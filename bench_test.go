@@ -1,0 +1,330 @@
+// Package repro's root benchmark suite regenerates every experiment of
+// DESIGN.md (E1–E8) under testing.B, plus micro-benchmarks for the hot
+// primitives (similarity measures, candidate-pair generation, assignment,
+// rule evaluation). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The human-readable experiment tables come from cmd/benchrunner; these
+// benchmarks measure the cost of regenerating them and of the underlying
+// kernels.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/experiments"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/pay"
+	"repro/internal/sim"
+	"repro/internal/similarity"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/transparency"
+	"repro/internal/workload"
+)
+
+const benchSeed = 42
+
+// --- One benchmark per experiment table (E1–E8) ---
+
+func BenchmarkE1Assignment(b *testing.B) {
+	p := experiments.E1Params{Workers: 200, Tasks: 100, Seed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E1Assignment(p)
+	}
+}
+
+func BenchmarkE2Visibility(b *testing.B) {
+	p := experiments.E2Params{Workers: 150, Tasks: 60, Seed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E2Visibility(p)
+	}
+}
+
+func BenchmarkE3Compensation(b *testing.B) {
+	p := experiments.E3Params{Contributors: 20, Clusters: 3, Tasks: 10, Seed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E3Compensation(p)
+	}
+}
+
+func BenchmarkE4Detection(b *testing.B) {
+	p := experiments.E4Params{
+		Workers: 100, Questions: 40,
+		SpamFractions: []float64{0.2, 0.4}, Threshold: 0.5, Seed: benchSeed,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E4Detection(p)
+	}
+}
+
+func BenchmarkE5Completion(b *testing.B) {
+	p := experiments.E5Params{
+		WorkersPerTask: 10, Tasks: 20, OverPublish: []float64{1.0, 2.0}, Seed: benchSeed,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E5Completion(p)
+	}
+}
+
+func BenchmarkE6Retention(b *testing.B) {
+	p := experiments.E6Params{Workers: 30, Tasks: 60, Rounds: 3, Seed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E6Retention(p)
+	}
+}
+
+func BenchmarkE7CheckScale(b *testing.B) {
+	p := experiments.E7Params{Sizes: []int{100, 300}, Seed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E7CheckScale(p)
+	}
+}
+
+func BenchmarkE8RuleEngine(b *testing.B) {
+	p := experiments.E8Params{RuleCounts: []int{1, 20, 50}, Evaluations: 200, Seed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E8RuleEngine(p)
+	}
+}
+
+func BenchmarkE9Ablations(b *testing.B) {
+	p := experiments.E9Params{Workers: 80, Tasks: 40, Lambdas: []float64{0, 0.5, 1}, Seed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E9Ablations(p)
+	}
+}
+
+func BenchmarkRepairAxiom1(b *testing.B) {
+	pop, batch, st := benchEnv(200, 100)
+	res, err := (assign.RequesterCentric{}).Assign(&assign.Problem{
+		Workers: pop.Workers, Tasks: batch.Tasks, Capacity: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fairness.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fairness.RepairAxiom1(st, res.Offers, cfg)
+	}
+}
+
+// --- Kernel micro-benchmarks ---
+
+func benchEnv(workers, tasks int) (*workload.Population, *workload.Batch, *store.Store) {
+	rng := stats.NewRNG(benchSeed)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{Workers: workers}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{Tasks: tasks, Requesters: 5, Quota: 2}, pop, rng.Split())
+	st := store.New(pop.Universe)
+	for _, r := range batch.Requesters {
+		if err := st.PutRequester(r); err != nil {
+			panic(err)
+		}
+	}
+	for _, w := range pop.Workers {
+		if err := st.PutWorker(w); err != nil {
+			panic(err)
+		}
+	}
+	for _, t := range batch.Tasks {
+		if err := st.PutTask(t); err != nil {
+			panic(err)
+		}
+	}
+	return pop, batch, st
+}
+
+func BenchmarkAssigners(b *testing.B) {
+	pop, batch, _ := benchEnv(200, 100)
+	for _, a := range assign.All() {
+		b.Run(a.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := a.Assign(&assign.Problem{
+					Workers: pop.Workers, Tasks: batch.Tasks, Capacity: 2,
+					RNG: stats.NewRNG(benchSeed),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	for _, n := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := stats.NewRNG(benchSeed)
+			gain := make([][]float64, n)
+			for i := range gain {
+				gain[i] = make([]float64, n)
+				for j := range gain[i] {
+					gain[i][j] = rng.Float64()
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				assign.MaxWeightMatching(gain)
+			}
+		})
+	}
+}
+
+func BenchmarkCandidatePairs(b *testing.B) {
+	_, _, st := benchEnv(1000, 100)
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st.CandidateWorkerPairs()
+		}
+	})
+}
+
+func BenchmarkAxiom1Check(b *testing.B) {
+	pop, batch, st := benchEnv(400, 100)
+	res, err := (assign.FairRoundRobin{}).Assign(&assign.Problem{
+		Workers: pop.Workers, Tasks: batch.Tasks, Capacity: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name       string
+		exhaustive bool
+	}{{"indexed", false}, {"exhaustive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := fairness.DefaultConfig()
+			cfg.Exhaustive = mode.exhaustive
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fairness.Axiom1FromOffers(st, res.Offers, cfg)
+			}
+		})
+	}
+}
+
+func BenchmarkSimilarityMeasures(b *testing.B) {
+	u := model.MustUniverse("a", "b", "c", "d", "e", "f", "g", "h")
+	x := u.MustVector("a", "c", "e", "g")
+	y := u.MustVector("a", "c", "f", "h")
+	for _, m := range []similarity.VectorMeasure{
+		similarity.MeasureCosine, similarity.MeasureJaccard, similarity.MeasureHamming,
+	} {
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Func(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkNGramSimilarity(b *testing.B) {
+	a := "the quick brown fox jumps over the lazy dog near the river bank at dawn"
+	c := "the quick brown fox leaps over the lazy cat near the river bend at dusk"
+	b.Run("profile-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.NewNGramProfile(a, 3)
+		}
+	})
+	b.Run("compare", func(b *testing.B) {
+		pa := similarity.NewNGramProfile(a, 3)
+		pc := similarity.NewNGramProfile(c, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pa.Similarity(pc)
+		}
+	})
+}
+
+func BenchmarkPaySchemes(b *testing.B) {
+	rng := stats.NewRNG(benchSeed)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{Workers: 30}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{Tasks: 1}, pop, rng.Split())
+	ids := make([]model.WorkerID, len(pop.Workers))
+	for i, w := range pop.Workers {
+		ids[i] = w.ID
+	}
+	contribs, _ := workload.GenerateContributions(workload.ContributionSpec{
+		Contributors: 30, Clusters: 3, QualityJitter: 0.1,
+	}, batch.Tasks[0], ids, rng.Split())
+	for _, s := range pay.Schemes() {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Pay(batch.Tasks[0], contribs)
+			}
+		})
+	}
+}
+
+func BenchmarkPolicyParse(b *testing.B) {
+	src := experiments.SyntheticPolicy(50).String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := transparency.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyEvaluate(b *testing.B) {
+	pol := experiments.SyntheticPolicy(50)
+	cat := transparency.StandardCatalogue()
+	ctx := experiments.E8Context()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Evaluate(cat, ctx, transparency.AudienceWorkers, transparency.TriggerTaskView); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarketplaceRound(b *testing.B) {
+	rng := stats.NewRNG(benchSeed)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{Workers: 100}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{Tasks: 50, Quota: 2}, pop, rng.Split())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Population: pop, Batch: batch, Rounds: 1, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreInserts(b *testing.B) {
+	u := model.MustUniverse("a", "b", "c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := store.New(u)
+		for j := 0; j < 100; j++ {
+			w := &model.Worker{
+				ID:     model.WorkerID(fmt.Sprintf("w%04d", j)),
+				Skills: u.MustVector("a"),
+			}
+			if err := st.PutWorker(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Command benchrunner regenerates every experiment table of DESIGN.md
+// (E1–E8) and prints them in the format recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrunner [-seed N] [-only E4]
+//
+// With -only, a single experiment is run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "deterministic seed for all experiments")
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	flag.Parse()
+
+	tables := experiments.All(*seed)
+	found := false
+	for _, t := range tables {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		found = true
+		fmt.Println(t)
+	}
+	if *only != "" && !found {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (want E1..E8)\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,285 @@
+// Command crowdfair is the CLI front-end of the library: it runs
+// marketplace simulations, audits traces against the fairness and
+// transparency axioms, and works with declarative transparency policies.
+//
+// Subcommands:
+//
+//	crowdfair simulate -workers 200 -tasks 100 -assigner requester-centric -policy policy.tp
+//	crowdfair audit -trace trace.jsonl -snapshot snapshot.json
+//	crowdfair policy -render policy.tp
+//	crowdfair policy -compare a.tp b.tp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/crowdfair"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "simulate":
+		err = runSimulate(os.Args[2:])
+	case "audit":
+		err = runAudit(os.Args[2:])
+	case "policy":
+		err = runPolicy(os.Args[2:])
+	case "wages":
+		err = runWages(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crowdfair:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  crowdfair simulate [-workers N] [-tasks N] [-rounds N] [-assigner NAME] [-pay NAME] [-cancel NAME] [-policy FILE] [-seed N] [-trace FILE]
+  crowdfair audit -trace FILE [-snapshot FILE]
+  crowdfair policy (-render FILE | -compare FILE FILE | -check FILE)
+  crowdfair wages -trace FILE`)
+	fmt.Fprintf(os.Stderr, "\nassigners: %s\npay schemes: %s\ncancellation: never, grace, on-quota\n",
+		strings.Join(crowdfair.AssignerNames(), ", "),
+		strings.Join(crowdfair.PaySchemeNames(), ", "))
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	workers := fs.Int("workers", 200, "number of workers")
+	tasks := fs.Int("tasks", 100, "number of tasks")
+	rounds := fs.Int("rounds", 5, "assignment rounds")
+	assigner := fs.String("assigner", "fair-round-robin", "assignment algorithm")
+	payScheme := fs.String("pay", "fixed", "compensation scheme")
+	cancel := fs.String("cancel", "never", "cancellation policy")
+	policyFile := fs.String("policy", "", "transparency policy file (empty = opaque)")
+	seed := fs.Uint64("seed", 42, "seed")
+	traceOut := fs.String("trace", "", "write the event trace to this file")
+	fs.Parse(args)
+
+	spec := crowdfair.SimulationSpec{
+		Workers: *workers, Tasks: *tasks, Rounds: *rounds,
+		Assigner: *assigner, PayScheme: *payScheme, Cancellation: *cancel,
+		Seed: *seed,
+	}
+	if *policyFile != "" {
+		src, err := os.ReadFile(*policyFile)
+		if err != nil {
+			return err
+		}
+		pol, err := crowdfair.ParsePolicy(string(src))
+		if err != nil {
+			return err
+		}
+		spec.Policy = pol
+	}
+	res, err := crowdfair.Simulate(spec)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics
+	fmt.Printf("simulated: %d submissions, mean quality %.3f, retention %.3f, accepted %.3f\n",
+		m.Submitted, m.MeanQuality, m.RetentionRate, m.AcceptedRate)
+	fmt.Printf("requester utility %.2f, total paid %.2f, income gini %.3f, interrupted %d\n",
+		m.RequesterUtility, m.TotalPaid, m.IncomeGini, m.Interrupted)
+
+	fmt.Println("\nfairness audit:")
+	for _, rep := range res.Platform.AuditFairness(crowdfair.DefaultAuditConfig()) {
+		fmt.Println(" ", rep)
+	}
+	a6, a7 := res.Platform.AuditTransparency(nil)
+	fmt.Println("transparency audit:")
+	fmt.Println(" ", a6)
+	fmt.Println(" ", a7)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Platform.WriteTrace(f); err != nil {
+			return err
+		}
+		fmt.Println("trace written to", *traceOut)
+	}
+	return nil
+}
+
+func runAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "event trace (JSON lines)")
+	snapFile := fs.String("snapshot", "", "platform snapshot (JSON); optional")
+	fs.Parse(args)
+	if *traceFile == "" {
+		return fmt.Errorf("audit: -trace is required")
+	}
+
+	var p *crowdfair.Platform
+	if *snapFile != "" {
+		data, err := os.ReadFile(*snapFile)
+		if err != nil {
+			return err
+		}
+		snap, err := model.DecodeSnapshot(data)
+		if err != nil {
+			return err
+		}
+		st, err := store.FromSnapshot(snap)
+		if err != nil {
+			return err
+		}
+		u := st.Universe()
+		p = crowdfair.NewPlatform(u)
+		// Rebuild the platform over the snapshot store by reloading it.
+		for _, r := range snap.Requesters {
+			if err := p.AddRequester(r); err != nil {
+				return err
+			}
+		}
+		for _, w := range snap.Workers {
+			if err := p.AddWorker(w); err != nil {
+				return err
+			}
+		}
+		for _, t := range snap.Tasks {
+			if err := p.PostTask(t); err != nil {
+				return err
+			}
+		}
+		for _, c := range snap.Contributions {
+			if err := p.RecordContribution(c); err != nil {
+				return err
+			}
+		}
+	} else {
+		p = crowdfair.NewPlatform(crowdfair.NewUniverse("unspecified"))
+	}
+
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.LoadTrace(f); err != nil {
+		return err
+	}
+
+	fmt.Println("fairness audit:")
+	for _, rep := range p.AuditFairness(crowdfair.DefaultAuditConfig()) {
+		fmt.Println(" ", rep)
+		for i, v := range rep.Violations {
+			if i == 5 {
+				fmt.Printf("    ... and %d more\n", len(rep.Violations)-5)
+				break
+			}
+			fmt.Println("   ", v)
+		}
+	}
+	a6, a7 := p.AuditTransparency(nil)
+	fmt.Println("transparency audit:")
+	fmt.Println(" ", a6)
+	fmt.Println(" ", a7)
+	return nil
+}
+
+func runPolicy(args []string) error {
+	fs := flag.NewFlagSet("policy", flag.ExitOnError)
+	render := fs.String("render", "", "render a policy file to human-readable text")
+	check := fs.String("check", "", "statically check a policy file")
+	compare := fs.Bool("compare", false, "compare two policy files (positional args)")
+	fs.Parse(args)
+
+	switch {
+	case *render != "":
+		pol, err := loadPolicy(*render)
+		if err != nil {
+			return err
+		}
+		fmt.Print(crowdfair.RenderPolicy(pol))
+		fmt.Printf("transparency score: %.2f\n", crowdfair.PolicyScore(pol))
+		return nil
+	case *check != "":
+		pol, err := loadPolicy(*check)
+		if err != nil {
+			return err
+		}
+		warnings := crowdfair.LintPolicy(pol)
+		for _, w := range warnings {
+			fmt.Println("warning:", w)
+		}
+		if len(warnings) == 0 {
+			fmt.Println("policy ok")
+		} else {
+			fmt.Printf("policy ok with %d warning(s)\n", len(warnings))
+		}
+		return nil
+	case *compare:
+		rest := fs.Args()
+		if len(rest) != 2 {
+			return fmt.Errorf("policy -compare needs exactly two files")
+		}
+		a, err := loadPolicy(rest[0])
+		if err != nil {
+			return err
+		}
+		b, err := loadPolicy(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(crowdfair.ComparePolicies(a, b))
+		return nil
+	default:
+		return fmt.Errorf("policy: one of -render, -check, -compare is required")
+	}
+}
+
+func runWages(args []string) error {
+	fs := flag.NewFlagSet("wages", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "event trace (JSON lines)")
+	fs.Parse(args)
+	if *traceFile == "" {
+		return fmt.Errorf("wages: -trace is required")
+	}
+	p := crowdfair.NewPlatform(crowdfair.NewUniverse("unspecified"))
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.LoadTrace(f); err != nil {
+		return err
+	}
+	report := p.WageReport()
+	rank := report.RankRequesters()
+	if len(rank) == 0 {
+		fmt.Println("no completed work episodes in trace")
+		return nil
+	}
+	fmt.Println("estimated hourly wages per requester (best first):")
+	for _, req := range rank {
+		fmt.Printf("  %-12s %s\n", req, report.ByRequester[req])
+	}
+	return nil
+}
+
+func loadPolicy(path string) (*crowdfair.Policy, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return crowdfair.ParsePolicy(string(src))
+}

@@ -1,0 +1,267 @@
+// Package crowdfair is the public API of this repository: a framework for
+// checking and enforcing fairness and transparency in crowdsourcing
+// platforms, implementing Borromeo, Laurent, Toyama & Amer-Yahia,
+// "Fairness and Transparency in Crowdsourcing" (EDBT 2017).
+//
+// The package wraps the internal subsystems behind a Platform type:
+//
+//	u := crowdfair.NewUniverse("translation", "labeling")
+//	p := crowdfair.NewPlatform(u)
+//	p.AddRequester(&crowdfair.Requester{ID: "r1"})
+//	p.AddWorker(&crowdfair.Worker{ID: "w1", Skills: u.MustVector("labeling")})
+//	...
+//	reports := p.AuditFairness(crowdfair.DefaultAuditConfig())
+//
+// Transparency policies are authored in the declarative language of the
+// paper's §3.3.2 (see ParsePolicy), rendered to human-readable text, and
+// audited against the platform's event trace. Full marketplace simulations
+// (the controlled experiments of §4.1) run through Simulate.
+package crowdfair
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/store"
+	"repro/internal/transparency"
+)
+
+// Re-exported model types: the platform data model of the paper's §3.2.
+type (
+	// Worker is the tuple (id, declared attrs, computed attrs, skills).
+	Worker = model.Worker
+	// Task is the tuple (id, requester, required skills, reward).
+	Task = model.Task
+	// Requester publishes tasks.
+	Requester = model.Requester
+	// Contribution is a worker's submitted answer with its outcome.
+	Contribution = model.Contribution
+	// Universe is the shared skill-keyword space S.
+	Universe = model.Universe
+	// SkillVector is the Boolean skill vector of tasks and workers.
+	SkillVector = model.SkillVector
+	// Attributes holds declared or computed worker attributes.
+	Attributes = model.Attributes
+
+	// WorkerID, TaskID, RequesterID, ContributionID identify entities.
+	WorkerID       = model.WorkerID
+	TaskID         = model.TaskID
+	RequesterID    = model.RequesterID
+	ContributionID = model.ContributionID
+)
+
+// Re-exported audit types.
+type (
+	// FairnessReport is the outcome of checking one fairness axiom.
+	FairnessReport = fairness.Report
+	// Violation is one audited axiom failure.
+	Violation = fairness.Violation
+	// AuditConfig parameterises the fairness checkers (similarity measures
+	// and thresholds, per the paper's platform-dependent notion).
+	AuditConfig = fairness.Config
+	// TransparencyReport is the outcome of checking Axiom 6 or 7.
+	TransparencyReport = transparency.AxiomReport
+	// Policy is a parsed declarative transparency policy.
+	Policy = transparency.Policy
+	// Catalogue is the schema of disclosable fields.
+	Catalogue = transparency.Catalogue
+	// Event is one platform trace record.
+	Event = eventlog.Event
+)
+
+// Attribute constructors, re-exported.
+var (
+	// Num builds a numeric attribute value.
+	Num = model.Num
+	// Str builds a categorical attribute value.
+	Str = model.Str
+)
+
+// NewUniverse builds the skill universe; it panics on empty input (use
+// model.NewUniverse directly for error handling).
+func NewUniverse(skills ...string) *Universe { return model.MustUniverse(skills...) }
+
+// DefaultAuditConfig returns the checker configuration used by the paper
+// experiments: cosine skill similarity at 0.9, tolerant attribute matching,
+// identical-access requirement, n-gram/nDCG contribution similarity at 0.8.
+func DefaultAuditConfig() AuditConfig { return fairness.DefaultConfig() }
+
+// Platform is a crowdsourcing platform under audit: entity state plus the
+// append-only event trace the temporal axioms need.
+type Platform struct {
+	st  *store.Store
+	log *eventlog.Log
+}
+
+// NewPlatform returns an empty platform over the universe.
+func NewPlatform(u *Universe) *Platform {
+	return &Platform{st: store.New(u), log: eventlog.New()}
+}
+
+// AddWorker registers a worker and logs their arrival.
+func (p *Platform) AddWorker(w *Worker) error {
+	if err := p.st.PutWorker(w); err != nil {
+		return err
+	}
+	p.log.MustAppend(eventlog.Event{Time: p.now(), Type: eventlog.WorkerJoined, Worker: w.ID})
+	return nil
+}
+
+// AddRequester registers a requester.
+func (p *Platform) AddRequester(r *Requester) error { return p.st.PutRequester(r) }
+
+// PostTask publishes a task and logs TaskPosted.
+func (p *Platform) PostTask(t *Task) error {
+	if err := p.st.PutTask(t); err != nil {
+		return err
+	}
+	p.log.MustAppend(eventlog.Event{Time: p.now(), Type: eventlog.TaskPosted, Task: t.ID, Requester: t.Requester})
+	return nil
+}
+
+// Offer records that a task was made visible to a worker — the access
+// evidence Axioms 1 and 2 audit.
+func (p *Platform) Offer(task TaskID, worker WorkerID) error {
+	t, err := p.st.Task(task)
+	if err != nil {
+		return err
+	}
+	if _, err := p.st.Worker(worker); err != nil {
+		return err
+	}
+	p.log.MustAppend(eventlog.Event{
+		Time: p.now(), Type: eventlog.TaskOffered, Task: task, Worker: worker, Requester: t.Requester,
+	})
+	return nil
+}
+
+// RecordContribution stores a contribution and its submission event.
+func (p *Platform) RecordContribution(c *Contribution) error {
+	if err := p.st.PutContribution(c); err != nil {
+		return err
+	}
+	p.log.MustAppend(eventlog.Event{
+		Time: p.now(), Type: eventlog.TaskSubmitted, Task: c.Task, Worker: c.Worker, Contribution: c.ID,
+	})
+	return nil
+}
+
+// AppendEvent appends a raw trace event (for replaying external traces).
+func (p *Platform) AppendEvent(e Event) error {
+	_, err := p.log.Append(e)
+	return err
+}
+
+// now returns the next logical timestamp (monotone with the log).
+func (p *Platform) now() int64 {
+	events := p.log.Events()
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)-1].Time
+}
+
+// Store exposes the underlying store for advanced queries.
+func (p *Platform) Store() *store.Store { return p.st }
+
+// Log exposes the underlying event log.
+func (p *Platform) Log() *eventlog.Log { return p.log }
+
+// AuditFairness runs all five fairness axiom checkers over the platform
+// trace and returns their reports in axiom order.
+func (p *Platform) AuditFairness(cfg AuditConfig) []*FairnessReport {
+	return fairness.CheckAll(p.st, p.log, cfg)
+}
+
+// AuditTransparency runs the Axiom 6 and 7 checkers against the trace,
+// using the standard catalogue when cat is nil.
+func (p *Platform) AuditTransparency(cat *Catalogue) (axiom6, axiom7 *TransparencyReport) {
+	if cat == nil {
+		cat = transparency.StandardCatalogue()
+	}
+	return transparency.CheckAxiom6(cat, p.log), transparency.CheckAxiom7(cat, p.log)
+}
+
+// WriteTrace serialises the platform's event trace as JSON lines.
+func (p *Platform) WriteTrace(w io.Writer) error {
+	_, err := p.log.WriteTo(w)
+	return err
+}
+
+// LoadTrace replaces the platform's event log with a trace previously
+// produced by WriteTrace.
+func (p *Platform) LoadTrace(r io.Reader) error {
+	l, err := eventlog.Read(r)
+	if err != nil {
+		return err
+	}
+	p.log = l
+	return nil
+}
+
+// ParsePolicy parses a declarative transparency policy and statically
+// checks it against the standard catalogue, returning all check errors
+// joined.
+func ParsePolicy(src string) (*Policy, error) {
+	pol, err := transparency.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if errs := transparency.StandardCatalogue().Check(pol); len(errs) > 0 {
+		return nil, fmt.Errorf("crowdfair: policy %q: %d check error(s), first: %w", pol.Name, len(errs), errs[0])
+	}
+	return pol, nil
+}
+
+// RenderPolicy translates a policy into human-readable commitments using
+// the standard catalogue.
+func RenderPolicy(pol *Policy) string {
+	return transparency.Render(pol, transparency.StandardCatalogue())
+}
+
+// ComparePolicies diffs two policies (the cross-platform comparison the
+// declarative design enables) and renders the result.
+func ComparePolicies(a, b *Policy) string {
+	return transparency.Compare(a, b).String()
+}
+
+// PolicyScore quantifies how much of the standard catalogue a policy
+// discloses to workers, in [0,1].
+func PolicyScore(pol *Policy) float64 {
+	return transparency.TransparencyScore(pol, transparency.StandardCatalogue())
+}
+
+// StandardCatalogue exposes the paper-derived disclosure schema.
+func StandardCatalogue() *Catalogue { return transparency.StandardCatalogue() }
+
+// LintPolicy returns redundancy warnings (duplicate and shadowed rules)
+// for a policy, as human-readable strings. An empty result means the
+// policy has no redundant commitments.
+func LintPolicy(pol *Policy) []string {
+	var out []string
+	for _, w := range transparency.Lint(pol) {
+		out = append(out, w.String())
+	}
+	return out
+}
+
+// EncodePolicyJSON serialises a policy to its JSON interchange form.
+func EncodePolicyJSON(pol *Policy) ([]byte, error) {
+	return pol.MarshalJSON()
+}
+
+// DecodePolicyJSON parses a policy from its JSON interchange form and
+// statically checks it against the standard catalogue.
+func DecodePolicyJSON(data []byte) (*Policy, error) {
+	pol, err := transparency.DecodePolicy(data)
+	if err != nil {
+		return nil, err
+	}
+	if errs := transparency.StandardCatalogue().Check(pol); len(errs) > 0 {
+		return nil, fmt.Errorf("crowdfair: policy %q: %d check error(s), first: %w", pol.Name, len(errs), errs[0])
+	}
+	return pol, nil
+}

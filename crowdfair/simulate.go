@@ -1,0 +1,155 @@
+package crowdfair
+
+import (
+	"repro/internal/assign"
+	"repro/internal/complete"
+	"repro/internal/pay"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SimulationSpec parameterises a full marketplace simulation — the
+// controlled-experiment harness of §4.1 — at the public-API level.
+type SimulationSpec struct {
+	// Workers and Tasks size the synthetic marketplace.
+	Workers int
+	Tasks   int
+	// Rounds is the number of assignment/completion/payment cycles
+	// (default 5).
+	Rounds int
+	// Assigner names the assignment algorithm: one of "self-appointment",
+	// "requester-centric", "requester-centric-optimal", "worker-centric",
+	// "fair-round-robin", "online-greedy" (default "fair-round-robin").
+	Assigner string
+	// PayScheme names the compensation scheme: "fixed", "quality-based",
+	// or "similarity-fair" (default "fixed").
+	PayScheme string
+	// Cancellation names the completion policy: "never", "grace",
+	// "on-quota" (default "never").
+	Cancellation string
+	// Policy is the platform transparency policy; nil simulates a fully
+	// opaque platform.
+	Policy *Policy
+	// OverPublish is the Published/Quota ratio of tasks (default 1).
+	OverPublish float64
+	// AcceptanceMean and AcceptanceSpread shape the synthetic population's
+	// competence distribution (defaults 0.85 / 0.1); a wider spread gives
+	// requester-centric assignment more to discriminate on.
+	AcceptanceMean   float64
+	AcceptanceSpread float64
+	// AcceptThreshold is the quality at/above which requesters accept a
+	// contribution (default 0.5).
+	AcceptThreshold float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// SimulationMetrics re-exports the simulator's objective measures.
+type SimulationMetrics = sim.Metrics
+
+// SimulationResult bundles the simulated platform (ready for auditing)
+// with its metrics.
+type SimulationResult struct {
+	// Platform holds the simulated trace; run AuditFairness /
+	// AuditTransparency on it directly.
+	Platform *Platform
+	Metrics  SimulationMetrics
+}
+
+// Simulate generates a synthetic population and task batch, runs the
+// marketplace, and returns the populated platform plus metrics.
+func Simulate(spec SimulationSpec) (*SimulationResult, error) {
+	if spec.Workers <= 0 {
+		spec.Workers = 100
+	}
+	if spec.Tasks <= 0 {
+		spec.Tasks = 50
+	}
+	if spec.Rounds <= 0 {
+		spec.Rounds = 5
+	}
+	rng := stats.NewRNG(spec.Seed + 0xc0ffee)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers:          spec.Workers,
+		AcceptanceMean:   spec.AcceptanceMean,
+		AcceptanceSpread: spec.AcceptanceSpread,
+	}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{
+		Tasks:       spec.Tasks,
+		OverPublish: spec.OverPublish,
+	}, pop, rng.Split())
+
+	cfg := sim.Config{
+		Population:        pop,
+		Batch:             batch,
+		Policy:            spec.Policy,
+		Rounds:            spec.Rounds,
+		AcceptThreshold:   spec.AcceptThreshold,
+		Seed:              spec.Seed,
+		FlagLowAcceptance: true,
+	}
+	if spec.Assigner != "" {
+		a, ok := assign.ByName(spec.Assigner)
+		if !ok {
+			return nil, &UnknownNameError{Kind: "assigner", Name: spec.Assigner}
+		}
+		cfg.Assigner = a
+	}
+	if spec.PayScheme != "" {
+		s, ok := pay.SchemeByName(spec.PayScheme)
+		if !ok {
+			return nil, &UnknownNameError{Kind: "pay scheme", Name: spec.PayScheme}
+		}
+		cfg.PayScheme = s
+	}
+	switch spec.Cancellation {
+	case "", "never":
+		cfg.Cancellation = complete.CancelNever
+	case "grace":
+		cfg.Cancellation = complete.CancelGrace
+	case "on-quota":
+		cfg.Cancellation = complete.CancelOnQuota
+	default:
+		return nil, &UnknownNameError{Kind: "cancellation policy", Name: spec.Cancellation}
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulationResult{
+		Platform: &Platform{st: res.Store, log: res.Log},
+		Metrics:  res.Metrics,
+	}, nil
+}
+
+// UnknownNameError reports an unrecognised algorithm/scheme/policy name in
+// a SimulationSpec.
+type UnknownNameError struct {
+	Kind string
+	Name string
+}
+
+// Error implements error.
+func (e *UnknownNameError) Error() string {
+	return "crowdfair: unknown " + e.Kind + " " + e.Name
+}
+
+// AssignerNames lists the valid SimulationSpec.Assigner values.
+func AssignerNames() []string {
+	var out []string
+	for _, a := range assign.All() {
+		out = append(out, a.Name())
+	}
+	return out
+}
+
+// PaySchemeNames lists the valid SimulationSpec.PayScheme values.
+func PaySchemeNames() []string {
+	var out []string
+	for _, s := range pay.Schemes() {
+		out = append(out, s.Name())
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package crowdfair
+
+import (
+	"sort"
+
+	"repro/internal/reviews"
+	"repro/internal/wage"
+)
+
+// Worker-tooling facade: the paper's §2.2 surveys the infrastructure
+// workers built around opaque platforms — Turkopticon's requester reviews,
+// Crowd-Workers/Turkbench's expected hourly wages. Here both are
+// first-class platform features computed from the platform's own trace,
+// so a platform adopting this library can disclose them natively instead
+// of leaving workers to scrape.
+
+// Re-exported worker-tooling types.
+type (
+	// WageEstimate is an aggregated hourly-wage figure for a requester,
+	// task, or worker.
+	WageEstimate = wage.Estimate
+	// WageReport holds per-requester/task/worker wage estimates
+	// reconstructed from a platform trace.
+	WageReport = wage.Report
+	// ReviewBoard collects Turkopticon-style requester reviews.
+	ReviewBoard = reviews.Board
+	// RequesterReview is one worker's review of a requester.
+	RequesterReview = reviews.Review
+	// RequesterRating is a requester's aggregated rating.
+	RequesterRating = reviews.Aggregate
+)
+
+// Review axes, re-exported.
+const (
+	AxisPay      = reviews.AxisPay
+	AxisFairness = reviews.AxisFairness
+	AxisSpeed    = reviews.AxisSpeed
+	AxisComm     = reviews.AxisComm
+)
+
+// NewReviewBoard returns an empty requester-review board.
+func NewReviewBoard() *ReviewBoard { return reviews.NewBoard() }
+
+// WageReport reconstructs hourly-wage estimates from the platform's trace
+// (Turkbench as a platform feature).
+func (p *Platform) WageReport() *WageReport {
+	return wage.FromLog(p.log)
+}
+
+// HourlyWages returns the estimated hourly wage per requester, for binding
+// to the requester.hourly_wage disclosure field.
+func (p *Platform) HourlyWages() map[RequesterID]float64 {
+	rep := p.WageReport()
+	out := make(map[RequesterID]float64, len(rep.ByRequester))
+	for id := range rep.ByRequester {
+		if w, ok := rep.RequesterWage(id); ok {
+			out[id] = w
+		}
+	}
+	return out
+}
+
+// RankRequestersByWage returns requester ids by descending estimated
+// hourly wage.
+func (p *Platform) RankRequestersByWage() []RequesterID {
+	return p.WageReport().RankRequesters()
+}
+
+// ReviewsFromTrace synthesises a review board from every worker's
+// measurable experience in the platform trace: each worker reviews each
+// requester they worked for, scoring pay against fairWage (the hourly wage
+// the reviewer considers fair) and fairness against their personal paid
+// rate with that requester. It is the Turkopticon bootstrap for platforms
+// that have traces but no review culture yet.
+func (p *Platform) ReviewsFromTrace(fairWage float64) (*ReviewBoard, error) {
+	rep := p.WageReport()
+	board := reviews.NewBoard()
+
+	// Group episodes per (worker, requester).
+	type key struct {
+		w WorkerID
+		r RequesterID
+	}
+	type exp struct {
+		earned float64
+		ticks  int64
+		n      int
+		paid   int
+	}
+	experiences := make(map[key]*exp)
+	var keys []key
+	for _, ep := range rep.Episodes {
+		if ep.Requester == "" {
+			continue
+		}
+		k := key{ep.Worker, ep.Requester}
+		x := experiences[k]
+		if x == nil {
+			x = &exp{}
+			experiences[k] = x
+			keys = append(keys, k)
+		}
+		x.earned += ep.Earned
+		x.ticks += ep.Duration()
+		x.n++
+		if ep.Earned > 0 {
+			x.paid++
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].w != keys[j].w {
+			return keys[i].w < keys[j].w
+		}
+		return keys[i].r < keys[j].r
+	})
+	for _, k := range keys {
+		x := experiences[k]
+		hourly := 0.0
+		if x.ticks > 0 {
+			hourly = x.earned / (float64(x.ticks) / wage.TicksPerHour)
+		}
+		acceptRate := float64(x.paid) / float64(x.n)
+		review := reviews.ReviewFromExperience(k.w, k.r, hourly, fairWage, acceptRate, 0, 0)
+		if err := board.Post(review); err != nil {
+			return nil, err
+		}
+	}
+	return board, nil
+}

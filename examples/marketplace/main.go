@@ -1,0 +1,67 @@
+// Marketplace: run the full controlled experiment of §4.1 on a simulated
+// marketplace — sweep assignment algorithms and transparency levels and
+// report the paper's objective measures (contribution quality for fairness,
+// worker retention for transparency) side by side.
+//
+//	go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/crowdfair"
+)
+
+func main() {
+	fullPolicy, err := crowdfair.ParsePolicy(`policy "full" {
+		disclose requester.hourly_wage to workers always;
+		disclose requester.payment_delay to workers always;
+		disclose task.recruitment_criteria to workers always;
+		disclose task.rejection_criteria to workers always;
+		disclose task.reward to workers always;
+		disclose worker.performance to workers always;
+		disclose worker.acceptance_ratio to workers always;
+		disclose platform.requester_rating to workers always;
+	}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "assigner\tpolicy\tretention\tmean-quality\tutility\tincome-gini\taxiom1-violations")
+
+	for _, assigner := range []string{"self-appointment", "requester-centric", "fair-round-robin"} {
+		for _, policy := range []struct {
+			name string
+			pol  *crowdfair.Policy
+		}{{"opaque", nil}, {"full", fullPolicy}} {
+			res, err := crowdfair.Simulate(crowdfair.SimulationSpec{
+				Workers: 100, Tasks: 160, Rounds: 4,
+				Assigner: assigner,
+				Policy:   policy.pol,
+				// A heterogeneous population under a strict acceptance bar:
+				// this is where assignment and transparency choices bite.
+				AcceptanceMean: 0.6, AcceptanceSpread: 0.3,
+				AcceptThreshold: 0.62,
+				Seed:            7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := res.Metrics
+			reports := res.Platform.AuditFairness(crowdfair.DefaultAuditConfig())
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d\n",
+				assigner, policy.name, m.RetentionRate, m.MeanQuality,
+				m.RequesterUtility, m.IncomeGini, len(reports[0].Violations))
+		}
+	}
+	tw.Flush()
+
+	fmt.Println("\nReading the table: requester-centric assignment cherry-picks competent")
+	fmt.Println("workers (higher mean quality) at the cost of hundreds of Axiom-1 access")
+	fmt.Println("violations; under the fair mechanisms, full transparency is what lifts")
+	fmt.Println("worker retention (§4.1's objective measure for transparency).")
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a tiny crowdsourcing platform in memory, record who was
+// offered what, and audit it against the fairness axioms of Borromeo et al.
+// (EDBT 2017).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/crowdfair"
+)
+
+func main() {
+	// The skill universe S = {s1..sm} shared by tasks and workers (§3.2).
+	u := crowdfair.NewUniverse("translation", "labeling", "transcription")
+	p := crowdfair.NewPlatform(u)
+
+	if err := p.AddRequester(&crowdfair.Requester{ID: "acme", Name: "Acme Surveys"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two workers with identical declared attributes, computed attributes,
+	// and skills — the "similar workers" of Axiom 1.
+	for _, id := range []crowdfair.WorkerID{"alice", "bob"} {
+		err := p.AddWorker(&crowdfair.Worker{
+			ID:       id,
+			Declared: crowdfair.Attributes{"country": crowdfair.Str("jp")},
+			Computed: crowdfair.Attributes{"acceptance_ratio": crowdfair.Num(0.92)},
+			Skills:   u.MustVector("labeling"),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := p.PostTask(&crowdfair.Task{
+		ID: "label-cats", Requester: "acme",
+		Skills: u.MustVector("labeling"), Reward: 0.5,
+		Title: "Label 20 cat pictures",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The platform shows the task to alice only — discrimination in task
+	// assignment.
+	if err := p.Offer("label-cats", "alice"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== audit with unequal access ==")
+	for _, rep := range p.AuditFairness(crowdfair.DefaultAuditConfig()) {
+		fmt.Println(" ", rep)
+		for _, v := range rep.Violations {
+			fmt.Println("   ", v)
+		}
+	}
+
+	// Remedy: give bob the same access and re-audit.
+	if err := p.Offer("label-cats", "bob"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== audit after equalising access ==")
+	for _, rep := range p.AuditFairness(crowdfair.DefaultAuditConfig()) {
+		fmt.Println(" ", rep)
+	}
+}

@@ -1,0 +1,94 @@
+// Workertools: rebuild the worker-made transparency infrastructure the
+// paper surveys in §2.2 — Turkbench-style expected hourly wages and
+// Turkopticon-style requester reviews — as native platform features
+// computed from the platform's own event trace.
+//
+// The example records a trace with two requesters of very different
+// conduct: "fairco" pays every submission promptly, "grinder" rejects
+// half the work and pays less. The wage report and the review board make
+// the difference visible to workers before they accept a task.
+//
+//	go run ./examples/workertools
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/crowdfair"
+	"repro/internal/eventlog"
+)
+
+func main() {
+	u := crowdfair.NewUniverse("labeling")
+	p := crowdfair.NewPlatform(u)
+
+	for _, r := range []crowdfair.RequesterID{"fairco", "grinder"} {
+		if err := p.AddRequester(&crowdfair.Requester{ID: r}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	const workers = 20
+	for i := 0; i < workers; i++ {
+		w := &crowdfair.Worker{
+			ID:     crowdfair.WorkerID(fmt.Sprintf("w%02d", i)),
+			Skills: u.MustVector("labeling"),
+		}
+		if err := p.AddWorker(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each requester posts a batch; every worker completes one task for
+	// each requester. fairco pays 1.2 for ~5 ticks of work and accepts
+	// everything; grinder pays 0.6 and rejects every second submission.
+	now := int64(1)
+	appendEvent := func(e crowdfair.Event) {
+		e.Time = now
+		if err := p.AppendEvent(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for ti, req := range []crowdfair.RequesterID{"fairco", "grinder"} {
+		for i := 0; i < workers; i++ {
+			taskID := crowdfair.TaskID(fmt.Sprintf("%s-t%02d", req, i))
+			worker := crowdfair.WorkerID(fmt.Sprintf("w%02d", i))
+			contribution := crowdfair.ContributionID(fmt.Sprintf("c-%s-%02d", req, i))
+			appendEvent(crowdfair.Event{Type: eventlog.TaskPosted, Task: taskID, Requester: req})
+			appendEvent(crowdfair.Event{Type: eventlog.TaskStarted, Task: taskID, Worker: worker})
+			now += 5 // five ticks of work
+			appendEvent(crowdfair.Event{Type: eventlog.TaskSubmitted, Task: taskID, Worker: worker, Contribution: contribution})
+			rejected := ti == 1 && i%2 == 1 // grinder rejects odd workers
+			if rejected {
+				appendEvent(crowdfair.Event{Type: eventlog.ContributionRejected, Task: taskID, Worker: worker, Contribution: contribution, Requester: req})
+			} else {
+				amount := 1.2
+				if ti == 1 {
+					amount = 0.6
+				}
+				appendEvent(crowdfair.Event{Type: eventlog.PaymentIssued, Task: taskID, Worker: worker, Contribution: contribution, Amount: amount})
+			}
+			now++
+		}
+	}
+
+	fmt.Println("== Turkbench: estimated hourly wages per requester ==")
+	report := p.WageReport()
+	for _, req := range p.RankRequestersByWage() {
+		est := report.ByRequester[req]
+		fmt.Printf("  %-8s %s\n", req, est)
+	}
+
+	fmt.Println("\n== Turkopticon: review board synthesised from worker experience ==")
+	board, err := p.ReviewsFromTrace(2.5 /* fair hourly wage benchmark */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, agg := range board.Rank() {
+		fmt.Println(" ", agg)
+	}
+
+	fmt.Println("\nWorkers browsing with these tools see grinder's true wage and")
+	fmt.Println("rejection behaviour before accepting — the transparency the paper")
+	fmt.Println("says should come from the platform, not from browser plug-ins.")
+}

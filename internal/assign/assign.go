@@ -1,0 +1,226 @@
+// Package assign implements the task-assignment algorithms whose
+// discriminatory power the paper's research agenda (§4.2) calls to assess.
+//
+// §3.1.1 distinguishes three families:
+//
+//   - self-appointment ("workers have access to the same set of tasks" —
+//     characterised as fair),
+//   - requester-centric assignment (maximise requester gain; can be
+//     discriminatory to workers),
+//   - worker-centric assignment (favour workers' preferences/compensation;
+//     may be unfavourable to requesters).
+//
+// The package provides those three plus a fairness-enforcing round-robin
+// and an online greedy assigner in the spirit of Ho & Vaughan (AAAI 2012).
+// Every assigner produces both the final matching and the offer sets
+// (which tasks were visible to which worker) so the Axiom 1/2 checkers can
+// audit access, not just outcomes.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Assignment is one worker↔task pairing produced by an assigner.
+type Assignment struct {
+	Worker model.WorkerID
+	Task   model.TaskID
+}
+
+// Result is the full output of an assignment run.
+type Result struct {
+	// Algorithm names the assigner that produced the result.
+	Algorithm string
+	// Assignments is the matching, at most Capacity entries per worker and
+	// at most EffectivePublished entries per task.
+	Assignments []Assignment
+	// Offers records, per worker, the set of task ids made visible to that
+	// worker during the run — the "access" audited by Axiom 1 and the
+	// "shown to" audited by Axiom 2. Workers with no offers have no entry.
+	Offers map[model.WorkerID][]model.TaskID
+	// Utility is the total requester gain of the matching as scored by the
+	// run's utility function.
+	Utility float64
+}
+
+// Problem is the input to an assigner.
+type Problem struct {
+	Workers []*model.Worker
+	Tasks   []*model.Task
+	// Capacity is the maximum number of tasks per worker (default 1).
+	Capacity int
+	// Utility scores the requester gain of giving task t to worker w.
+	// Nil defaults to QualificationUtility.
+	Utility func(w *model.Worker, t *model.Task) float64
+	// Preference scores worker w's own preference for task t (used by the
+	// worker-centric assigner). Nil defaults to RewardPreference.
+	Preference func(w *model.Worker, t *model.Task) float64
+	// RNG drives tie-breaking/browsing order where an algorithm is
+	// randomised. Nil defaults to a fixed-seed generator, keeping runs
+	// deterministic.
+	RNG *stats.RNG
+}
+
+// ErrNoWorkers is returned when a problem has no workers.
+var ErrNoWorkers = errors.New("assign: no workers")
+
+func (p *Problem) capacity() int {
+	if p.Capacity <= 0 {
+		return 1
+	}
+	return p.Capacity
+}
+
+func (p *Problem) utility() func(w *model.Worker, t *model.Task) float64 {
+	if p.Utility != nil {
+		return p.Utility
+	}
+	return QualificationUtility
+}
+
+func (p *Problem) preference() func(w *model.Worker, t *model.Task) float64 {
+	if p.Preference != nil {
+		return p.Preference
+	}
+	return RewardPreference
+}
+
+func (p *Problem) rng() *stats.RNG {
+	if p.RNG != nil {
+		return p.RNG
+	}
+	return stats.NewRNG(1)
+}
+
+// QualificationUtility is the default requester gain: the worker's
+// acceptance ratio (or 0.5 when absent) scaled by qualification — an
+// unqualified worker contributes nothing.
+func QualificationUtility(w *model.Worker, t *model.Task) float64 {
+	if !w.Skills.Covers(t.Skills) {
+		return 0
+	}
+	if v, ok := w.Computed[model.AttrAcceptanceRatio]; ok && v.Kind == model.AttrNum {
+		return v.Num
+	}
+	return 0.5
+}
+
+// RewardPreference is the default worker preference: the task reward,
+// zeroed for tasks the worker is not qualified for.
+func RewardPreference(w *model.Worker, t *model.Task) float64 {
+	if !w.Skills.Covers(t.Skills) {
+		return 0
+	}
+	return t.Reward
+}
+
+// Assigner is a named assignment algorithm.
+type Assigner interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// Assign computes a matching for the problem.
+	Assign(p *Problem) (*Result, error)
+}
+
+// Qualified reports whether worker w qualifies for task t (covers all its
+// required skills).
+func Qualified(w *model.Worker, t *model.Task) bool {
+	return w.Skills.Covers(t.Skills)
+}
+
+// qualifiedTasks returns the indices of tasks in p that w qualifies for,
+// in input order.
+func qualifiedTasks(p *Problem, w *model.Worker) []int {
+	var out []int
+	for i, t := range p.Tasks {
+		if Qualified(w, t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// slots returns the per-task remaining assignment slots (EffectivePublished).
+func slots(tasks []*model.Task) []int {
+	s := make([]int, len(tasks))
+	for i, t := range tasks {
+		s[i] = t.EffectivePublished()
+	}
+	return s
+}
+
+// sortedWorkers returns workers sorted by id for deterministic iteration.
+func sortedWorkers(ws []*model.Worker) []*model.Worker {
+	out := append([]*model.Worker(nil), ws...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// validate checks the problem for basic well-formedness.
+func validate(p *Problem) error {
+	if len(p.Workers) == 0 {
+		return ErrNoWorkers
+	}
+	seen := make(map[model.WorkerID]bool, len(p.Workers))
+	for _, w := range p.Workers {
+		if seen[w.ID] {
+			return fmt.Errorf("assign: duplicate worker %s", w.ID)
+		}
+		seen[w.ID] = true
+	}
+	seenT := make(map[model.TaskID]bool, len(p.Tasks))
+	for _, t := range p.Tasks {
+		if seenT[t.ID] {
+			return fmt.Errorf("assign: duplicate task %s", t.ID)
+		}
+		seenT[t.ID] = true
+	}
+	return nil
+}
+
+// scoreUtility totals the utility of a matching.
+func scoreUtility(p *Problem, asg []Assignment) float64 {
+	byW := make(map[model.WorkerID]*model.Worker, len(p.Workers))
+	for _, w := range p.Workers {
+		byW[w.ID] = w
+	}
+	byT := make(map[model.TaskID]*model.Task, len(p.Tasks))
+	for _, t := range p.Tasks {
+		byT[t.ID] = t
+	}
+	u := p.utility()
+	var total float64
+	for _, a := range asg {
+		total += u(byW[a.Worker], byT[a.Task])
+	}
+	return total
+}
+
+// All returns one instance of every assigner in the package, in the order
+// they are reported by the experiments.
+func All() []Assigner {
+	return []Assigner{
+		SelfAppointment{},
+		RequesterCentric{},
+		RequesterCentric{Optimal: true},
+		WorkerCentric{},
+		FairRoundRobin{},
+		OnlineGreedy{},
+	}
+}
+
+// ByName resolves an assigner from its Name; the boolean is false for
+// unknown names.
+func ByName(name string) (Assigner, bool) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

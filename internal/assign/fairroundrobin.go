@@ -1,0 +1,81 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// FairRoundRobin is the fairness-enforcing assigner this repository
+// contributes on top of the paper's taxonomy: it makes every task visible
+// to every qualified worker (satisfying Axiom 1's access condition by
+// construction) and then allocates slots in round-robin order of ascending
+// worker load, so similarly-qualified workers end the run with task counts
+// differing by at most one.
+type FairRoundRobin struct{}
+
+// Name implements Assigner.
+func (FairRoundRobin) Name() string { return "fair-round-robin" }
+
+// Assign implements Assigner.
+func (FairRoundRobin) Assign(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: FairRoundRobin{}.Name(), Offers: make(map[model.WorkerID][]model.TaskID)}
+	workers := sortedWorkers(p.Workers)
+
+	qualified := make([][]int, len(workers))
+	for wi, w := range workers {
+		qi := qualifiedTasks(p, w)
+		qualified[wi] = qi
+		for _, ti := range qi {
+			res.Offers[w.ID] = append(res.Offers[w.ID], p.Tasks[ti].ID)
+		}
+	}
+
+	remaining := slots(p.Tasks)
+	load := make([]int, len(workers))
+	next := make([]int, len(workers))
+	// Rounds: each pass gives every worker at most one task, in worker-id
+	// order; repeat until capacity is exhausted or nothing can move.
+	for round := 0; round < p.capacity(); round++ {
+		progressed := false
+		// Within a round, serve workers with the lowest load first so
+		// stragglers (fewer qualified tasks) are not starved by early ids.
+		order := make([]int, len(workers))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if load[order[a]] != load[order[b]] {
+				return load[order[a]] < load[order[b]]
+			}
+			return workers[order[a]].ID < workers[order[b]].ID
+		})
+		for _, wi := range order {
+			if load[wi] > round { // already served this round
+				continue
+			}
+			for next[wi] < len(qualified[wi]) {
+				ti := qualified[wi][next[wi]]
+				next[wi]++
+				if remaining[ti] == 0 {
+					continue
+				}
+				remaining[ti]--
+				load[wi]++
+				res.Assignments = append(res.Assignments, Assignment{
+					Worker: workers[wi].ID, Task: p.Tasks[ti].ID,
+				})
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	res.Utility = scoreUtility(p, res.Assignments)
+	return res, nil
+}

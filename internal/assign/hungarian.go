@@ -1,0 +1,105 @@
+package assign
+
+// MaxWeightMatching solves the assignment problem exactly: given a gain
+// matrix (rows = agents, cols = jobs), it returns, per row, the column
+// assigned to it, or -1 if the row is left unmatched. The implementation is
+// the O(n³) Jonker-style potentials formulation of the Hungarian algorithm
+// run on the cost matrix (max-gain = min-cost of negated gains), padded to
+// square form.
+//
+// Gains may be any finite values; only the relative order matters. The
+// caller is responsible for pruning assignments whose gain it considers
+// unusable (e.g. zero-gain pairs).
+func MaxWeightMatching(gain [][]float64) []int {
+	nRows := len(gain)
+	if nRows == 0 {
+		return nil
+	}
+	nCols := len(gain[0])
+	n := nRows
+	if nCols > n {
+		n = nCols
+	}
+
+	// Build a square cost matrix of negated gains; padding cells cost 0,
+	// which never beats a real positive gain and never blocks feasibility.
+	const inf = 1e18
+	cost := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		cost[i] = make([]float64, n+1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i < nRows && j < nCols {
+				cost[i+1][j+1] = -gain[i][j]
+			}
+		}
+	}
+
+	// Standard Hungarian with row/column potentials (1-based internals).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	out := make([]int, nRows)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 1; j <= n; j++ {
+		i := p[j] - 1
+		if i >= 0 && i < nRows && j-1 < nCols {
+			out[i] = j - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package assign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// bruteForceBest finds the maximum total gain of any one-to-one matching by
+// trying every assignment of rows to columns (permutations over the larger
+// side). Exponential — only for tiny matrices in tests.
+func bruteForceBest(gain [][]float64) float64 {
+	nRows := len(gain)
+	if nRows == 0 {
+		return 0
+	}
+	nCols := len(gain[0])
+	used := make([]bool, nCols)
+	var rec func(row int) float64
+	rec = func(row int) float64 {
+		if row == nRows {
+			return 0
+		}
+		// Option: leave this row unmatched.
+		best := rec(row + 1)
+		for c := 0; c < nCols; c++ {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			if v := gain[row][c] + rec(row+1); v > best {
+				best = v
+			}
+			used[c] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func matchGain(gain [][]float64, match []int) float64 {
+	var total float64
+	for i, j := range match {
+		if j >= 0 {
+			total += gain[i][j]
+		}
+	}
+	return total
+}
+
+func TestHungarianKnownCase(t *testing.T) {
+	gain := [][]float64{
+		{3, 1},
+		{1, 3},
+	}
+	m := MaxWeightMatching(gain)
+	if got := matchGain(gain, m); got != 6 {
+		t.Fatalf("gain = %v, want 6 (match %v)", got, m)
+	}
+}
+
+func TestHungarianRectangularWide(t *testing.T) {
+	gain := [][]float64{
+		{1, 5, 2, 8},
+	}
+	m := MaxWeightMatching(gain)
+	if m[0] != 3 {
+		t.Fatalf("single row should take the best column, got %v", m)
+	}
+}
+
+func TestHungarianRectangularTall(t *testing.T) {
+	gain := [][]float64{
+		{5},
+		{9},
+		{2},
+	}
+	m := MaxWeightMatching(gain)
+	matched := 0
+	for i, j := range m {
+		if j == 0 {
+			matched++
+			if gain[i][0] != 9 {
+				t.Fatalf("column went to row with gain %v, want 9", gain[i][0])
+			}
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("one column matched %d times", matched)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if m := MaxWeightMatching(nil); m != nil {
+		t.Fatalf("empty matrix gave %v", m)
+	}
+}
+
+func TestHungarianNoColumnReuse(t *testing.T) {
+	gain := [][]float64{
+		{9, 9},
+		{9, 9},
+		{9, 9},
+	}
+	m := MaxWeightMatching(gain)
+	seen := make(map[int]bool)
+	for _, j := range m {
+		if j < 0 {
+			continue
+		}
+		if seen[j] {
+			t.Fatalf("column %d reused: %v", j, m)
+		}
+		seen[j] = true
+	}
+}
+
+func TestHungarianOptimalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nRows := 1 + rng.Intn(5)
+		nCols := 1 + rng.Intn(5)
+		gain := make([][]float64, nRows)
+		for i := range gain {
+			gain[i] = make([]float64, nCols)
+			for j := range gain[i] {
+				gain[i][j] = rng.Float64() * 10
+			}
+		}
+		m := MaxWeightMatching(gain)
+		got := matchGain(gain, m)
+		want := bruteForceBest(gain)
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHungarianNegativeGains(t *testing.T) {
+	// With all-negative gains the padded zero column is preferable: the
+	// matcher may match rows to padding (reported as -1 for real columns
+	// beyond range), but any matched real pair must not be forced.
+	gain := [][]float64{
+		{-5, -1},
+		{-1, -5},
+	}
+	m := MaxWeightMatching(gain)
+	// Square matrix with no padding: the optimal perfect matching is
+	// -1 + -1 = -2.
+	if got := matchGain(gain, m); got != -2 {
+		t.Fatalf("gain = %v, want -2", got)
+	}
+}

@@ -1,0 +1,156 @@
+package assign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// bruteForceBMatching enumerates all subsets of positive-gain edges that
+// respect worker and task capacities and returns the best total gain.
+// Exponential — tiny instances only.
+func bruteForceBMatching(gain [][]float64, workerCap, taskCap []int) float64 {
+	type edge struct {
+		w, t int
+		g    float64
+	}
+	var edges []edge
+	for i := range gain {
+		for j := range gain[i] {
+			if gain[i][j] > 0 {
+				edges = append(edges, edge{i, j, gain[i][j]})
+			}
+		}
+	}
+	wUsed := make([]int, len(workerCap))
+	tUsed := make([]int, len(taskCap))
+	var rec func(idx int) float64
+	rec = func(idx int) float64 {
+		if idx == len(edges) {
+			return 0
+		}
+		best := rec(idx + 1) // skip this edge
+		e := edges[idx]
+		if wUsed[e.w] < workerCap[e.w] && tUsed[e.t] < taskCap[e.t] {
+			wUsed[e.w]++
+			tUsed[e.t]++
+			if v := e.g + rec(idx+1); v > best {
+				best = v
+			}
+			wUsed[e.w]--
+			tUsed[e.t]--
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func matchingGain(gain [][]float64, m map[[2]int]bool) float64 {
+	var total float64
+	for pr := range m {
+		total += gain[pr[0]][pr[1]]
+	}
+	return total
+}
+
+func TestBMatchingKnownCase(t *testing.T) {
+	// Greedy would take a/t1=10 then b/t2=1; optimal takes the cross.
+	gain := [][]float64{
+		{10, 9},
+		{9, 1},
+	}
+	m := MaxWeightBMatching(gain, []int{1, 1}, []int{1, 1})
+	if got := matchingGain(gain, m); got != 18 {
+		t.Fatalf("gain = %v, want 18 (match %v)", got, m)
+	}
+}
+
+func TestBMatchingRespectsCapacities(t *testing.T) {
+	gain := [][]float64{
+		{5, 4, 3},
+	}
+	m := MaxWeightBMatching(gain, []int{2}, []int{1, 1, 1})
+	if len(m) != 2 {
+		t.Fatalf("matches = %v, want 2 (worker capacity)", m)
+	}
+	if got := matchingGain(gain, m); got != 9 {
+		t.Fatalf("gain = %v, want 9", got)
+	}
+}
+
+func TestBMatchingNoDuplicatePairs(t *testing.T) {
+	// Worker capacity 2, one task with 2 slots: the pair may appear once.
+	gain := [][]float64{{7}}
+	m := MaxWeightBMatching(gain, []int{2}, []int{2})
+	if len(m) != 1 {
+		t.Fatalf("matches = %v, want exactly one use of the pair", m)
+	}
+}
+
+func TestBMatchingSkipsNonPositive(t *testing.T) {
+	gain := [][]float64{
+		{0, -2},
+	}
+	if m := MaxWeightBMatching(gain, []int{1}, []int{1, 1}); len(m) != 0 {
+		t.Fatalf("non-positive gains matched: %v", m)
+	}
+}
+
+func TestBMatchingEmpty(t *testing.T) {
+	if m := MaxWeightBMatching(nil, nil, nil); len(m) != 0 {
+		t.Fatalf("empty instance matched: %v", m)
+	}
+}
+
+func TestBMatchingOptimalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nW := 1 + rng.Intn(4)
+		nT := 1 + rng.Intn(4)
+		gain := make([][]float64, nW)
+		for i := range gain {
+			gain[i] = make([]float64, nT)
+			for j := range gain[i] {
+				// Mix of positive and non-positive gains.
+				gain[i][j] = rng.Float64()*4 - 1
+			}
+		}
+		workerCap := make([]int, nW)
+		for i := range workerCap {
+			workerCap[i] = 1 + rng.Intn(3)
+		}
+		taskCap := make([]int, nT)
+		for j := range taskCap {
+			taskCap[j] = 1 + rng.Intn(3)
+		}
+		m := MaxWeightBMatching(gain, workerCap, taskCap)
+		// Feasibility.
+		wUsed := make([]int, nW)
+		tUsed := make([]int, nT)
+		for pr := range m {
+			wUsed[pr[0]]++
+			tUsed[pr[1]]++
+			if gain[pr[0]][pr[1]] <= 0 {
+				return false
+			}
+		}
+		for i, u := range wUsed {
+			if u > workerCap[i] {
+				return false
+			}
+		}
+		for j, u := range tUsed {
+			if u > taskCap[j] {
+				return false
+			}
+		}
+		// Optimality.
+		want := bruteForceBMatching(gain, workerCap, taskCap)
+		return math.Abs(matchingGain(gain, m)-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

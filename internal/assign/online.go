@@ -1,0 +1,102 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// OnlineGreedy models online task assignment in the spirit of Ho & Vaughan
+// (AAAI 2012): workers arrive one at a time in random order and the
+// platform must irrevocably offer each arriving worker a small slate of
+// open tasks, choosing the slate to maximise marginal requester gain. The
+// worker accepts the best-paying task on the slate they qualify for.
+//
+// SlateSize controls how many tasks are shown per arrival; the offer sets
+// it generates are narrower than self-appointment but broader than
+// requester-centric, which places it between the two on the fairness axis —
+// the crossover E1 looks for.
+type OnlineGreedy struct {
+	// SlateSize is the number of tasks offered per arrival (default 3).
+	SlateSize int
+}
+
+// Name implements Assigner.
+func (OnlineGreedy) Name() string { return "online-greedy" }
+
+// Assign implements Assigner.
+func (o OnlineGreedy) Assign(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	slate := o.SlateSize
+	if slate <= 0 {
+		slate = 3
+	}
+	res := &Result{Algorithm: o.Name(), Offers: make(map[model.WorkerID][]model.TaskID)}
+	u := p.utility()
+	workers := sortedWorkers(p.Workers)
+	rng := p.rng()
+	order := rng.Perm(len(workers))
+	remaining := slots(p.Tasks)
+
+	for _, wi := range order {
+		w := workers[wi]
+		taken := make(map[int]bool, p.capacity())
+		for c := 0; c < p.capacity(); c++ {
+			// Rank open tasks by marginal gain for this worker, excluding
+			// tasks the worker already holds (one contribution per task).
+			type cand struct {
+				ti   int
+				gain float64
+			}
+			var cands []cand
+			for ti, t := range p.Tasks {
+				if remaining[ti] == 0 || taken[ti] {
+					continue
+				}
+				if g := u(w, t); g > 0 {
+					cands = append(cands, cand{ti, g})
+				}
+			}
+			if len(cands) == 0 {
+				break
+			}
+			sort.SliceStable(cands, func(a, b int) bool {
+				if cands[a].gain != cands[b].gain {
+					return cands[a].gain > cands[b].gain
+				}
+				return p.Tasks[cands[a].ti].ID < p.Tasks[cands[b].ti].ID
+			})
+			if len(cands) > slate {
+				cands = cands[:slate]
+			}
+			// The slate is what the worker can see: record offers.
+			for _, c := range cands {
+				res.Offers[w.ID] = appendTaskOnce(res.Offers[w.ID], p.Tasks[c.ti].ID)
+			}
+			// The worker takes the best-paying task on the slate.
+			best := cands[0].ti
+			bestReward := p.Tasks[best].Reward
+			for _, c := range cands[1:] {
+				if r := p.Tasks[c.ti].Reward; r > bestReward {
+					best, bestReward = c.ti, r
+				}
+			}
+			remaining[best]--
+			taken[best] = true
+			res.Assignments = append(res.Assignments, Assignment{Worker: w.ID, Task: p.Tasks[best].ID})
+		}
+	}
+	res.Utility = scoreUtility(p, res.Assignments)
+	return res, nil
+}
+
+func appendTaskOnce(ids []model.TaskID, id model.TaskID) []model.TaskID {
+	for _, v := range ids {
+		if v == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}

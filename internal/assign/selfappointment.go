@@ -1,0 +1,71 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// SelfAppointment models the AMT/CrowdFlower browse-and-pick mechanism of
+// §3.1.1: every qualified worker sees every open task ("workers have access
+// to the same set of tasks" — the paper's fair baseline), then workers pick
+// in a random arrival order, each taking their most-preferred tasks while
+// slots remain.
+type SelfAppointment struct{}
+
+// Name implements Assigner.
+func (SelfAppointment) Name() string { return "self-appointment" }
+
+// Assign implements Assigner.
+func (SelfAppointment) Assign(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Algorithm: SelfAppointment{}.Name(),
+		Offers:    make(map[model.WorkerID][]model.TaskID),
+	}
+	// Full visibility: every worker is offered every task they qualify for.
+	qualified := make(map[model.WorkerID][]int, len(p.Workers))
+	for _, w := range p.Workers {
+		qi := qualifiedTasks(p, w)
+		qualified[w.ID] = qi
+		for _, i := range qi {
+			res.Offers[w.ID] = append(res.Offers[w.ID], p.Tasks[i].ID)
+		}
+	}
+	// Workers arrive in random order and self-select.
+	rng := p.rng()
+	order := rng.Perm(len(p.Workers))
+	remaining := slots(p.Tasks)
+	pref := p.preference()
+	workers := sortedWorkers(p.Workers)
+	for _, wi := range order {
+		w := workers[wi]
+		// The worker ranks their qualified tasks by personal preference and
+		// takes the top ones that still have open slots.
+		qi := append([]int(nil), qualified[w.ID]...)
+		sort.SliceStable(qi, func(a, b int) bool {
+			pa := pref(w, p.Tasks[qi[a]])
+			pb := pref(w, p.Tasks[qi[b]])
+			if pa != pb {
+				return pa > pb
+			}
+			return p.Tasks[qi[a]].ID < p.Tasks[qi[b]].ID
+		})
+		taken := 0
+		for _, ti := range qi {
+			if taken >= p.capacity() {
+				break
+			}
+			if remaining[ti] == 0 {
+				continue
+			}
+			remaining[ti]--
+			taken++
+			res.Assignments = append(res.Assignments, Assignment{Worker: w.ID, Task: p.Tasks[ti].ID})
+		}
+	}
+	res.Utility = scoreUtility(p, res.Assignments)
+	return res, nil
+}

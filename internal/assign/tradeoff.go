@@ -1,0 +1,110 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Tradeoff is the utility–fairness hybrid assigner this repository adds as
+// an extension of the paper's taxonomy: §3.1.1 presents requester-centric
+// and worker-centric assignment as opposite poles; Tradeoff interpolates
+// between them with a single parameter.
+//
+// Visibility is always full (every qualified worker sees every task, so the
+// Axiom 1/2 access conditions hold by construction — fairness of *access*
+// is not traded away). What Lambda controls is slot allocation: each
+// assignment is scored
+//
+//	score = Lambda*gain - (1-Lambda)*loadPenalty
+//
+// where gain is the requester utility and loadPenalty is the number of
+// tasks the worker already holds. Lambda=1 reproduces greedy
+// requester-centric allocation (on full visibility); Lambda=0 reproduces
+// round-robin-style load balancing. The E9 ablation sweeps Lambda.
+type Tradeoff struct {
+	// Lambda in [0,1] weights requester utility against load balance
+	// (default 0.5). Values outside the range are clamped.
+	Lambda float64
+}
+
+// Name implements Assigner.
+func (t Tradeoff) Name() string { return "tradeoff" }
+
+// Assign implements Assigner.
+func (t Tradeoff) Assign(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	lambda := t.Lambda
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	res := &Result{Algorithm: t.Name(), Offers: make(map[model.WorkerID][]model.TaskID)}
+	u := p.utility()
+	workers := sortedWorkers(p.Workers)
+
+	// Full visibility: fairness of access by construction.
+	type edge struct {
+		wi, ti int
+		gain   float64
+	}
+	var edges []edge
+	for wi, w := range workers {
+		for ti, task := range p.Tasks {
+			if !Qualified(w, task) {
+				continue
+			}
+			res.Offers[w.ID] = append(res.Offers[w.ID], task.ID)
+			if g := u(w, task); g > 0 {
+				edges = append(edges, edge{wi, ti, g})
+			}
+		}
+	}
+
+	remaining := slots(p.Tasks)
+	load := make([]int, len(workers))
+	assignedPair := make(map[[2]int]bool)
+	// Repeatedly take the best-scoring feasible edge. Scores depend on
+	// load, so re-sort per round; rounds are bounded by total slots.
+	less := func(a, b edge) bool { // deterministic tie-break
+		if workers[a.wi].ID != workers[b.wi].ID {
+			return workers[a.wi].ID < workers[b.wi].ID
+		}
+		return p.Tasks[a.ti].ID < p.Tasks[b.ti].ID
+	}
+	for {
+		best := -1
+		bestScore := 0.0
+		for i, e := range edges {
+			if load[e.wi] >= p.capacity() || remaining[e.ti] == 0 || assignedPair[[2]int{e.wi, e.ti}] {
+				continue
+			}
+			score := lambda*e.gain - (1-lambda)*float64(load[e.wi])
+			if best == -1 || score > bestScore || (score == bestScore && less(e, edges[best])) {
+				best, bestScore = i, score
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := edges[best]
+		assignedPair[[2]int{e.wi, e.ti}] = true
+		load[e.wi]++
+		remaining[e.ti]--
+		res.Assignments = append(res.Assignments, Assignment{
+			Worker: workers[e.wi].ID, Task: p.Tasks[e.ti].ID,
+		})
+	}
+	sort.Slice(res.Assignments, func(a, b int) bool {
+		if res.Assignments[a].Worker != res.Assignments[b].Worker {
+			return res.Assignments[a].Worker < res.Assignments[b].Worker
+		}
+		return res.Assignments[a].Task < res.Assignments[b].Task
+	})
+	res.Utility = scoreUtility(p, res.Assignments)
+	return res, nil
+}

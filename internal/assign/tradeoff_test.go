@@ -1,0 +1,137 @@
+package assign
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestTradeoffInvariants(t *testing.T) {
+	for _, lambda := range []float64{0, 0.5, 1, -3, 7} { // including clamped
+		p := testProblem()
+		res, err := (Tradeoff{Lambda: lambda}).Assign(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, p, res)
+	}
+}
+
+func TestTradeoffFullVisibility(t *testing.T) {
+	p := testProblem()
+	res, err := (Tradeoff{Lambda: 1}).Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every qualified worker sees both of its archetype's tasks, whatever
+	// lambda says about allocation.
+	for _, w := range p.Workers {
+		if len(res.Offers[w.ID]) != 2 {
+			t.Fatalf("worker %s offers = %v", w.ID, res.Offers[w.ID])
+		}
+	}
+}
+
+func TestTradeoffLambdaOneMatchesGreedyUtility(t *testing.T) {
+	p := testProblem()
+	greedy, err := (RequesterCentric{}).Assign(testProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := (Tradeoff{Lambda: 1}).Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Utility != greedy.Utility {
+		t.Fatalf("lambda=1 utility %v != greedy %v", tr.Utility, greedy.Utility)
+	}
+}
+
+func TestTradeoffLambdaZeroBalancesLoad(t *testing.T) {
+	// One archetype, heterogeneous workers, scarce capacity: lambda=0 must
+	// spread tasks evenly regardless of utility.
+	u := model.MustUniverse("s")
+	var workers []*model.Worker
+	ratios := []float64{0.9, 0.5, 0.3}
+	for i, r := range ratios {
+		workers = append(workers, &model.Worker{
+			ID:       model.WorkerID(string(rune('a' + i))),
+			Computed: model.Attributes{model.AttrAcceptanceRatio: model.Num(r)},
+			Skills:   u.MustVector("s"),
+		})
+	}
+	var tasks []*model.Task
+	for i := 0; i < 3; i++ {
+		tasks = append(tasks, &model.Task{
+			ID: model.TaskID(string(rune('x' + i))), Requester: "r",
+			Skills: u.MustVector("s"), Reward: 1,
+		})
+	}
+	p := &Problem{Workers: workers, Tasks: tasks, Capacity: 3}
+	res, err := (Tradeoff{Lambda: 0}).Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[model.WorkerID]int{}
+	for _, a := range res.Assignments {
+		load[a.Worker]++
+	}
+	for _, w := range workers {
+		if load[w.ID] != 1 {
+			t.Fatalf("lambda=0 load = %v, want 1 each", load)
+		}
+	}
+	// At lambda=1 the best worker takes everything (capacity allows).
+	res1, err := (Tradeoff{Lambda: 1}).Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load1 := map[model.WorkerID]int{}
+	for _, a := range res1.Assignments {
+		load1[a.Worker]++
+	}
+	if load1["a"] != 3 {
+		t.Fatalf("lambda=1 load = %v, want worker a to take all 3", load1)
+	}
+}
+
+func TestTradeoffUtilityMonotoneInLambda(t *testing.T) {
+	p := testProblem()
+	var prev float64 = -1
+	for _, lambda := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		res, err := (Tradeoff{Lambda: lambda}).Assign(testProblemWithCapacity(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Utility < prev-1e-9 {
+			t.Fatalf("utility decreased at lambda=%v: %v after %v", lambda, res.Utility, prev)
+		}
+		prev = res.Utility
+	}
+	_ = p
+}
+
+func testProblemWithCapacity(c int) *Problem {
+	p := testProblem()
+	p.Capacity = c
+	return p
+}
+
+func TestTradeoffDeterministic(t *testing.T) {
+	a, err := (Tradeoff{Lambda: 0.5}).Assign(testProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Tradeoff{Lambda: 0.5}).Assign(testProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Assignments) != len(b.Assignments) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}

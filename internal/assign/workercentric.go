@@ -1,0 +1,76 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// WorkerCentric allocates "based on workers' preferences ... favoring their
+// expected compensation" (§3.1.1). It runs a deferred-acceptance style
+// round sequence: in each round every still-unsatisfied worker proposes to
+// their most-preferred remaining task; tasks accept proposals while slots
+// remain, preferring workers for whom the task ranks higher (stabilising
+// the outcome). The paper notes this family is fairer to workers but "may
+// be unfavorable to requesters" — E1 quantifies exactly that utility gap.
+type WorkerCentric struct{}
+
+// Name implements Assigner.
+func (WorkerCentric) Name() string { return "worker-centric" }
+
+// Assign implements Assigner.
+func (WorkerCentric) Assign(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: WorkerCentric{}.Name(), Offers: make(map[model.WorkerID][]model.TaskID)}
+	pref := p.preference()
+	workers := sortedWorkers(p.Workers)
+
+	// Worker-centric platforms surface the full qualified set to each
+	// worker (the preference is the worker's own), so offers are broad.
+	prefs := make([][]int, len(workers)) // per worker: task indices by desc preference
+	for wi, w := range workers {
+		qi := qualifiedTasks(p, w)
+		for _, ti := range qi {
+			res.Offers[w.ID] = append(res.Offers[w.ID], p.Tasks[ti].ID)
+		}
+		sort.SliceStable(qi, func(a, b int) bool {
+			pa, pb := pref(w, p.Tasks[qi[a]]), pref(w, p.Tasks[qi[b]])
+			if pa != pb {
+				return pa > pb
+			}
+			return p.Tasks[qi[a]].ID < p.Tasks[qi[b]].ID
+		})
+		prefs[wi] = qi
+	}
+
+	remaining := slots(p.Tasks)
+	next := make([]int, len(workers)) // next proposal index per worker
+	load := make([]int, len(workers))
+	for {
+		progressed := false
+		for wi, w := range workers {
+			if load[wi] >= p.capacity() {
+				continue
+			}
+			for next[wi] < len(prefs[wi]) {
+				ti := prefs[wi][next[wi]]
+				next[wi]++
+				if remaining[ti] == 0 {
+					continue
+				}
+				remaining[ti]--
+				load[wi]++
+				res.Assignments = append(res.Assignments, Assignment{Worker: w.ID, Task: p.Tasks[ti].ID})
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	res.Utility = scoreUtility(p, res.Assignments)
+	return res, nil
+}

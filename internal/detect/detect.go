@@ -1,0 +1,331 @@
+// Package detect implements the malicious-worker detection that Axiom 4
+// requires ("requesters must be able to detect workers behaving maliciously
+// during task completion").
+//
+// The detectors follow the approaches the paper surveys: Vuurens, de Vries
+// & Eickhoff (SIGIR CIR 2011) observed that nearly 40% of AMT answers came
+// from malicious users and proposed agreement-based counter-measures; gold
+// questions are the standard platform mechanism. Detection here operates
+// over labelled answer matrices (worker × question), which the workload
+// package synthesises with a controlled spammer fraction so the E4
+// experiment can sweep it.
+package detect
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Answer is one worker's label for one question of a labelling task.
+type Answer struct {
+	Worker   model.WorkerID
+	Question int
+	// Label is the chosen category index.
+	Label int
+}
+
+// AnswerSet is the input to the detectors: all answers to one labelling
+// task plus the ground truth for the subset of questions that are gold.
+type AnswerSet struct {
+	// Labels is the number of label categories.
+	Labels int
+	// Questions is the number of questions.
+	Questions int
+	// Answers holds every (worker, question, label) triple.
+	Answers []Answer
+	// Gold maps a question index to its true label for gold questions.
+	// Non-gold questions are absent.
+	Gold map[int]int
+}
+
+// byWorker groups answers per worker in question order.
+func (s *AnswerSet) byWorker() map[model.WorkerID][]Answer {
+	m := make(map[model.WorkerID][]Answer)
+	for _, a := range s.Answers {
+		m[a.Worker] = append(m[a.Worker], a)
+	}
+	for _, as := range m {
+		sort.Slice(as, func(i, j int) bool { return as[i].Question < as[j].Question })
+	}
+	return m
+}
+
+// Workers returns the distinct worker ids in the set, sorted.
+func (s *AnswerSet) Workers() []model.WorkerID {
+	seen := make(map[model.WorkerID]bool)
+	var out []model.WorkerID
+	for _, a := range s.Answers {
+		if !seen[a.Worker] {
+			seen[a.Worker] = true
+			out = append(out, a.Worker)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Detector scores workers for maliciousness over an answer set.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Score returns a suspicion score in [0,1] per worker (1 = certainly
+	// malicious). Workers not present in the answer set are absent.
+	Score(s *AnswerSet) map[model.WorkerID]float64
+}
+
+// GoldQuestion scores workers by their error rate on gold questions — the
+// platform-standard detector. Workers who answered no gold questions score
+// the neutral 0.5.
+type GoldQuestion struct{}
+
+// Name implements Detector.
+func (GoldQuestion) Name() string { return "gold-question" }
+
+// Score implements Detector.
+func (GoldQuestion) Score(s *AnswerSet) map[model.WorkerID]float64 {
+	out := make(map[model.WorkerID]float64)
+	for w, answers := range s.byWorker() {
+		golds, errs := 0, 0
+		for _, a := range answers {
+			truth, ok := s.Gold[a.Question]
+			if !ok {
+				continue
+			}
+			golds++
+			if a.Label != truth {
+				errs++
+			}
+		}
+		if golds == 0 {
+			out[w] = 0.5
+			continue
+		}
+		out[w] = float64(errs) / float64(golds)
+	}
+	return out
+}
+
+// MajorityDeviation scores workers by how often they disagree with the
+// per-question majority label — Vuurens et al.'s core signal for random
+// spammers, which needs no gold questions at all.
+type MajorityDeviation struct{}
+
+// Name implements Detector.
+func (MajorityDeviation) Name() string { return "majority-deviation" }
+
+// Score implements Detector.
+func (MajorityDeviation) Score(s *AnswerSet) map[model.WorkerID]float64 {
+	majority := majorityLabels(s)
+	out := make(map[model.WorkerID]float64)
+	for w, answers := range s.byWorker() {
+		if len(answers) == 0 {
+			continue
+		}
+		dev := 0
+		for _, a := range answers {
+			if m, ok := majority[a.Question]; ok && a.Label != m {
+				dev++
+			}
+		}
+		out[w] = float64(dev) / float64(len(answers))
+	}
+	return out
+}
+
+// Agreement scores workers by one minus their mean pairwise agreement with
+// other workers on shared questions. Honest workers agree with each other
+// through the truth; random spammers agree with no one — the inter-worker
+// agreement signal of Vuurens et al. Workers sharing no questions with
+// anyone score the neutral 0.5.
+type Agreement struct{}
+
+// Name implements Detector.
+func (Agreement) Name() string { return "agreement" }
+
+// Score implements Detector.
+func (Agreement) Score(s *AnswerSet) map[model.WorkerID]float64 {
+	// Build question -> (worker -> label).
+	perQ := make(map[int]map[model.WorkerID]int)
+	for _, a := range s.Answers {
+		m, ok := perQ[a.Question]
+		if !ok {
+			m = make(map[model.WorkerID]int)
+			perQ[a.Question] = m
+		}
+		m[a.Worker] = a.Label
+	}
+	agree := make(map[model.WorkerID]int)
+	total := make(map[model.WorkerID]int)
+	for _, labels := range perQ {
+		// Count label multiplicities once, then each worker's agreements
+		// with the others are (count of their label - 1).
+		counts := make(map[int]int)
+		for _, l := range labels {
+			counts[l]++
+		}
+		n := len(labels)
+		if n < 2 {
+			continue
+		}
+		for w, l := range labels {
+			agree[w] += counts[l] - 1
+			total[w] += n - 1
+		}
+	}
+	out := make(map[model.WorkerID]float64)
+	for _, w := range s.Workers() {
+		if total[w] == 0 {
+			out[w] = 0.5
+			continue
+		}
+		out[w] = 1 - float64(agree[w])/float64(total[w])
+	}
+	return out
+}
+
+// majorityLabels computes the plurality label per question (ties broken by
+// smaller label for determinism).
+func majorityLabels(s *AnswerSet) map[int]int {
+	perQ := make(map[int]map[int]int)
+	for _, a := range s.Answers {
+		m, ok := perQ[a.Question]
+		if !ok {
+			m = make(map[int]int)
+			perQ[a.Question] = m
+		}
+		m[a.Label]++
+	}
+	out := make(map[int]int, len(perQ))
+	for q, counts := range perQ {
+		best, bestCount := -1, -1
+		labels := make([]int, 0, len(counts))
+		for l := range counts {
+			labels = append(labels, l)
+		}
+		sort.Ints(labels)
+		for _, l := range labels {
+			if counts[l] > bestCount {
+				best, bestCount = l, counts[l]
+			}
+		}
+		out[q] = best
+	}
+	return out
+}
+
+// LabelEntropy scores workers by one minus the normalised Shannon entropy
+// of their answer distribution: a worker who gives (nearly) the same label
+// to every question — the *uniform spammer* of Vuurens et al., which
+// defeats agreement-based detection because uniform spammers agree with
+// each other — scores near 1. Honest workers answering varied questions
+// score near 0. Workers with fewer than two answers score the neutral 0.5.
+//
+// The score is meaningful only when the true labels are themselves varied;
+// the answer generator uses round-robin truth, which matches real labelling
+// batches where categories are balanced.
+type LabelEntropy struct{}
+
+// Name implements Detector.
+func (LabelEntropy) Name() string { return "label-entropy" }
+
+// Score implements Detector.
+func (LabelEntropy) Score(s *AnswerSet) map[model.WorkerID]float64 {
+	out := make(map[model.WorkerID]float64)
+	labels := s.Labels
+	if labels < 2 {
+		labels = 2
+	}
+	maxEntropy := math.Log2(float64(labels))
+	for w, answers := range s.byWorker() {
+		if len(answers) < 2 {
+			out[w] = 0.5
+			continue
+		}
+		counts := make(map[int]int)
+		for _, a := range answers {
+			counts[a.Label]++
+		}
+		var h float64
+		for _, c := range counts {
+			p := float64(c) / float64(len(answers))
+			h -= p * math.Log2(p)
+		}
+		score := 1 - h/maxEntropy
+		if score < 0 {
+			score = 0
+		}
+		out[w] = score
+	}
+	return out
+}
+
+// Detectors returns one instance of every detector, in report order.
+func Detectors() []Detector {
+	return []Detector{GoldQuestion{}, MajorityDeviation{}, Agreement{}, LabelEntropy{}}
+}
+
+// Classify thresholds detector scores into a flagged set.
+func Classify(scores map[model.WorkerID]float64, threshold float64) map[model.WorkerID]bool {
+	out := make(map[model.WorkerID]bool, len(scores))
+	for w, s := range scores {
+		out[w] = s >= threshold
+	}
+	return out
+}
+
+// Evaluation is the precision/recall scorecard for a detector against
+// ground-truth spammer labels.
+type Evaluation struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// Evaluate compares flagged against truth (truth[w] == true means w is a
+// spammer). Workers missing from flagged count as not-flagged.
+func Evaluate(flagged map[model.WorkerID]bool, truth map[model.WorkerID]bool) Evaluation {
+	var e Evaluation
+	for w, isSpammer := range truth {
+		switch {
+		case isSpammer && flagged[w]:
+			e.TruePositives++
+		case isSpammer && !flagged[w]:
+			e.FalseNegatives++
+		case !isSpammer && flagged[w]:
+			e.FalsePositives++
+		default:
+			e.TrueNegatives++
+		}
+	}
+	return e
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was flagged.
+func (e Evaluation) Precision() float64 {
+	d := e.TruePositives + e.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(e.TruePositives) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), or 1 when no spammers exist.
+func (e Evaluation) Recall() float64 {
+	d := e.TruePositives + e.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(e.TruePositives) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (e Evaluation) F1() float64 {
+	p, r := e.Precision(), e.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

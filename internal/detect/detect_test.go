@@ -1,0 +1,126 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// craftedSet builds a 3-worker set: honest answers truth, spammer answers
+// wrong, lurker answers truth but no golds exist for their questions.
+func craftedSet() *AnswerSet {
+	s := &AnswerSet{Labels: 2, Questions: 4, Gold: map[int]int{0: 0, 1: 1}}
+	add := func(w string, labels ...int) {
+		for q, l := range labels {
+			s.Answers = append(s.Answers, Answer{Worker: model.WorkerID(w), Question: q, Label: l})
+		}
+	}
+	add("honest", 0, 1, 0, 1)
+	add("honest2", 0, 1, 0, 1)
+	add("spammer", 1, 0, 1, 0)
+	return s
+}
+
+func TestGoldQuestionScores(t *testing.T) {
+	scores := GoldQuestion{}.Score(craftedSet())
+	if scores["honest"] != 0 {
+		t.Errorf("honest gold error = %v, want 0", scores["honest"])
+	}
+	if scores["spammer"] != 1 {
+		t.Errorf("spammer gold error = %v, want 1", scores["spammer"])
+	}
+}
+
+func TestGoldQuestionNoGolds(t *testing.T) {
+	s := craftedSet()
+	s.Gold = map[int]int{}
+	scores := GoldQuestion{}.Score(s)
+	if scores["honest"] != 0.5 {
+		t.Errorf("no-gold score = %v, want neutral 0.5", scores["honest"])
+	}
+}
+
+func TestMajorityDeviationScores(t *testing.T) {
+	scores := MajorityDeviation{}.Score(craftedSet())
+	if scores["honest"] != 0 || scores["honest2"] != 0 {
+		t.Errorf("honest deviation = %v/%v, want 0", scores["honest"], scores["honest2"])
+	}
+	if scores["spammer"] != 1 {
+		t.Errorf("spammer deviation = %v, want 1", scores["spammer"])
+	}
+}
+
+func TestAgreementScores(t *testing.T) {
+	scores := Agreement{}.Score(craftedSet())
+	// Honest pair agree with each other (1 of 2 peers each), spammer
+	// agrees with nobody.
+	if scores["spammer"] != 1 {
+		t.Errorf("spammer agreement score = %v, want 1", scores["spammer"])
+	}
+	if scores["honest"] != 0.5 {
+		t.Errorf("honest agreement score = %v, want 0.5 (agrees with 1 of 2 peers)", scores["honest"])
+	}
+}
+
+func TestAgreementSingleWorker(t *testing.T) {
+	s := &AnswerSet{Labels: 2, Questions: 1, Gold: map[int]int{}}
+	s.Answers = []Answer{{Worker: "solo", Question: 0, Label: 0}}
+	scores := Agreement{}.Score(s)
+	if scores["solo"] != 0.5 {
+		t.Errorf("solo score = %v, want neutral 0.5", scores["solo"])
+	}
+}
+
+func TestWorkersSorted(t *testing.T) {
+	s := craftedSet()
+	ws := s.Workers()
+	if len(ws) != 3 || ws[0] != "honest" || ws[2] != "spammer" {
+		t.Fatalf("workers = %v", ws)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	flagged := Classify(map[model.WorkerID]float64{"a": 0.9, "b": 0.3}, 0.5)
+	if !flagged["a"] || flagged["b"] {
+		t.Fatalf("flagged = %v", flagged)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	truth := map[model.WorkerID]bool{"s1": true, "s2": true, "h1": false, "h2": false}
+	flagged := map[model.WorkerID]bool{"s1": true, "h1": true}
+	e := Evaluate(flagged, truth)
+	if e.TruePositives != 1 || e.FalsePositives != 1 || e.FalseNegatives != 1 || e.TrueNegatives != 1 {
+		t.Fatalf("evaluation = %+v", e)
+	}
+	if e.Precision() != 0.5 || e.Recall() != 0.5 {
+		t.Fatalf("p/r = %v/%v", e.Precision(), e.Recall())
+	}
+	if e.F1() != 0.5 {
+		t.Fatalf("f1 = %v", e.F1())
+	}
+}
+
+func TestEvaluateDegenerate(t *testing.T) {
+	e := Evaluate(nil, map[model.WorkerID]bool{"h": false})
+	if e.Precision() != 1 || e.Recall() != 1 {
+		t.Fatalf("vacuous p/r = %v/%v, want 1/1", e.Precision(), e.Recall())
+	}
+	if (Evaluation{}).F1() != 0 && (Evaluation{}).F1() != 1 {
+		// F1 of all-zero evaluation: p=1, r=1 -> 1.
+		t.Fatalf("empty F1 = %v", (Evaluation{}).F1())
+	}
+}
+
+func TestMajorityTieBreaksDeterministically(t *testing.T) {
+	s := &AnswerSet{Labels: 2, Questions: 1}
+	s.Answers = []Answer{
+		{Worker: "a", Question: 0, Label: 0},
+		{Worker: "b", Question: 0, Label: 1},
+	}
+	// Tie on question 0: majority must pick label 0 (smaller label).
+	scores := MajorityDeviation{}.Score(s)
+	if scores["a"] != 0 || scores["b"] != 1 {
+		t.Fatalf("tie-break scores = %v", scores)
+	}
+}

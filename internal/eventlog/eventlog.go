@@ -1,0 +1,245 @@
+// Package eventlog provides the append-only trace of platform events that
+// the fairness checkers audit.
+//
+// Several of the paper's axioms are inherently temporal: Axiom 5 ("a worker
+// who started completing a task should not be interrupted") and Axiom 1's
+// access condition ("should have access to the same tasks") cannot be
+// checked from a state snapshot alone — they need the history of offers,
+// starts, cancellations, and payments. The log records that history as
+// typed events with a monotonically increasing sequence number and logical
+// timestamp, supports filtered replay, and round-trips through JSON lines
+// so traces can be archived and re-audited.
+package eventlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Type enumerates the platform event kinds.
+type Type string
+
+// Event types. The set covers the full task lifecycle of §3.1 plus the
+// disclosure events of the transparency axioms.
+const (
+	// TaskPosted: a requester published a task.
+	TaskPosted Type = "task_posted"
+	// TaskOffered: the platform made a task visible/available to a worker
+	// (the "access" of Axiom 1 and the "shown to" of Axiom 2).
+	TaskOffered Type = "task_offered"
+	// TaskStarted: a worker began completing a task.
+	TaskStarted Type = "task_started"
+	// TaskSubmitted: a worker submitted a contribution.
+	TaskSubmitted Type = "task_submitted"
+	// TaskInterrupted: the platform/requester halted a worker's in-progress
+	// work (e.g. the task was cancelled after quota was reached) — the
+	// Axiom 5 violation event.
+	TaskInterrupted Type = "task_interrupted"
+	// TaskCancelled: a requester withdrew remaining assignments of a task.
+	TaskCancelled Type = "task_cancelled"
+	// ContributionAccepted / ContributionRejected: the requester's decision.
+	ContributionAccepted Type = "contribution_accepted"
+	ContributionRejected Type = "contribution_rejected"
+	// PaymentIssued: a worker was paid Amount for a contribution.
+	PaymentIssued Type = "payment_issued"
+	// BonusPromised / BonusPaid: the §3.1.1 bonus-contract scenario.
+	BonusPromised Type = "bonus_promised"
+	BonusPaid     Type = "bonus_paid"
+	// WorkerFlagged: a detector flagged the worker as malicious (Axiom 4).
+	WorkerFlagged Type = "worker_flagged"
+	// Disclosure: a requester or the platform disclosed an information item
+	// (Axioms 6-7); Field names the disclosed item.
+	Disclosure Type = "disclosure"
+	// WorkerJoined / WorkerLeft: population churn, consumed by the
+	// retention metrics of §4.1.
+	WorkerJoined Type = "worker_joined"
+	WorkerLeft   Type = "worker_left"
+)
+
+// Event is one immutable log record. Unused entity fields are empty.
+type Event struct {
+	// Seq is the 1-based position in the log, assigned on append.
+	Seq uint64 `json:"seq"`
+	// Time is the logical timestamp (simulation tick).
+	Time int64 `json:"time"`
+	Type Type  `json:"type"`
+
+	Worker       model.WorkerID       `json:"worker,omitempty"`
+	Task         model.TaskID         `json:"task,omitempty"`
+	Requester    model.RequesterID    `json:"requester,omitempty"`
+	Contribution model.ContributionID `json:"contribution,omitempty"`
+
+	// Amount carries payment/bonus values for payment events.
+	Amount float64 `json:"amount,omitempty"`
+	// Field names the disclosed item for Disclosure events (e.g.
+	// "hourly_wage", "rejection_criteria").
+	Field string `json:"field,omitempty"`
+	// Note is free-form context (detector name, cancellation reason, ...).
+	Note string `json:"note,omitempty"`
+}
+
+// Log is an append-only event log, safe for concurrent use.
+type Log struct {
+	mu     sync.RWMutex
+	events []Event
+}
+
+// ErrOutOfOrder is returned when an append's timestamp precedes the log's
+// latest timestamp.
+var ErrOutOfOrder = errors.New("eventlog: timestamp out of order")
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append adds e to the log, assigning its sequence number, and returns the
+// stored event. Timestamps must be non-decreasing.
+func (l *Log) Append(e Event) (Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.events); n > 0 && e.Time < l.events[n-1].Time {
+		return Event{}, fmt.Errorf("%w: %d < %d", ErrOutOfOrder, e.Time, l.events[n-1].Time)
+	}
+	e.Seq = uint64(len(l.events) + 1)
+	l.events = append(l.events, e)
+	return e, nil
+}
+
+// MustAppend is Append that panics on error; for writers that control
+// their own clock (the simulator).
+func (l *Log) MustAppend(e Event) Event {
+	out, err := l.Append(e)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the whole log in append order.
+func (l *Log) Events() []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Filter returns the events for which keep returns true, in order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for _, e := range l.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByType returns the events of the given type, in order.
+func (l *Log) ByType(t Type) []Event {
+	return l.Filter(func(e Event) bool { return e.Type == t })
+}
+
+// ByWorker returns the events touching the given worker, in order.
+func (l *Log) ByWorker(id model.WorkerID) []Event {
+	return l.Filter(func(e Event) bool { return e.Worker == id })
+}
+
+// ByTask returns the events touching the given task, in order.
+func (l *Log) ByTask(id model.TaskID) []Event {
+	return l.Filter(func(e Event) bool { return e.Task == id })
+}
+
+// WriteTo serialises the log as JSON lines. It implements io.WriterTo.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var total int64
+	bw := bufio.NewWriter(w)
+	for _, e := range l.events {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return total, fmt.Errorf("eventlog: encode: %w", err)
+		}
+		n, err := bw.Write(append(data, '\n'))
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("eventlog: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return total, fmt.Errorf("eventlog: flush: %w", err)
+	}
+	return total, nil
+}
+
+// Read parses a JSON-lines trace produced by WriteTo, validating sequence
+// numbers and timestamp monotonicity.
+func Read(r io.Reader) (*Log, error) {
+	l := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("eventlog: line %d: %w", lineNo, err)
+		}
+		wantSeq := uint64(len(l.events) + 1)
+		if e.Seq != wantSeq {
+			return nil, fmt.Errorf("eventlog: line %d: seq %d, want %d", lineNo, e.Seq, wantSeq)
+		}
+		if _, err := l.Append(Event{
+			Time: e.Time, Type: e.Type,
+			Worker: e.Worker, Task: e.Task, Requester: e.Requester, Contribution: e.Contribution,
+			Amount: e.Amount, Field: e.Field, Note: e.Note,
+		}); err != nil {
+			return nil, fmt.Errorf("eventlog: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eventlog: read: %w", err)
+	}
+	return l, nil
+}
+
+// Cursor iterates a log incrementally; each Next call returns events
+// appended since the previous call. It is the mechanism the retention model
+// uses to consume the trace online during simulation.
+type Cursor struct {
+	log *Log
+	pos int
+}
+
+// NewCursor returns a cursor positioned at the start of l.
+func NewCursor(l *Log) *Cursor { return &Cursor{log: l} }
+
+// Next returns all events appended since the last call (possibly none).
+func (c *Cursor) Next() []Event {
+	c.log.mu.RLock()
+	defer c.log.mu.RUnlock()
+	if c.pos >= len(c.log.events) {
+		return nil
+	}
+	out := append([]Event(nil), c.log.events[c.pos:]...)
+	c.pos = len(c.log.events)
+	return out
+}

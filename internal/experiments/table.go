@@ -1,0 +1,76 @@
+// Package experiments implements the evaluation protocol of DESIGN.md:
+// experiments E1–E8, each reproducing one question the paper's §3.3.1
+// ("fairness check benchmarks"), §4.1 (objective validation measures), or
+// §4.2 (research agenda: assess the discriminatory power of existing
+// algorithms) poses. Every experiment returns a Table that cmd/benchrunner
+// prints and EXPERIMENTS.md records; bench_test.go wraps the same entry
+// points in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's result grid.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title describes the experiment and its paper anchor.
+	Title string
+	// Columns are the header names.
+	Columns []string
+	// Rows hold pre-formatted cells, parallel to Columns.
+	Rows [][]string
+	// Notes carry the expected-shape commentary checked in EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddRow appends a row of cells formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment at its default scale with the given seed and
+// returns the tables in order. It is the single entry point for
+// cmd/benchrunner.
+func All(seed uint64) []*Table {
+	return []*Table{
+		E1Assignment(DefaultE1Params(seed)),
+		E2Visibility(DefaultE2Params(seed)),
+		E3Compensation(DefaultE3Params(seed)),
+		E4Detection(DefaultE4Params(seed)),
+		E5Completion(DefaultE5Params(seed)),
+		E6Retention(DefaultE6Params(seed)),
+		E7CheckScale(DefaultE7Params(seed)),
+		E8RuleEngine(DefaultE8Params(seed)),
+		E9Ablations(DefaultE9Params(seed)),
+		E10Bonus(DefaultE10Params(seed)),
+	}
+}

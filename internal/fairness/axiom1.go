@@ -1,0 +1,116 @@
+package fairness
+
+import (
+	"fmt"
+
+	"repro/internal/eventlog"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// CheckAxiom1 audits worker fairness in task assignment:
+//
+//	"Given two different workers wi and wj, if Awi is similar to Awj and
+//	 Cwi is similar to Cwj, and Swi is similar to Swj, then wi and wj
+//	 should have access to the same tasks."
+//
+// Access is reconstructed from TaskOffered events in the log. For every
+// pair of similar workers (all three similarity conditions at their
+// thresholds), the checker compares offer sets by Jaccard overlap and
+// reports a violation when the overlap falls below cfg.AccessThreshold.
+//
+// Candidate pairs come from the store's skill inverted index unless
+// cfg.Exhaustive is set; pairs of workers with empty skill vectors are
+// always compared exhaustively since the index cannot see them.
+func CheckAxiom1(st *store.Store, log *eventlog.Log, cfg Config) *Report {
+	rep := &Report{Axiom: Axiom1WorkerAssignment}
+	offers := offersFromLog(log)
+	workers := st.Workers()
+	byID := make(map[model.WorkerID]*model.Worker, len(workers))
+	for _, w := range workers {
+		byID[w.ID] = w
+	}
+
+	skillThr := orDefault(cfg.SkillThreshold, 0.9)
+	attrThr := orDefault(cfg.AttrThreshold, 0.9)
+	accessThr := orDefault(cfg.AccessThreshold, 1.0)
+	measure := cfg.skillMeasure()
+	policy := cfg.attrPolicy()
+
+	// Precompute offer sets once; the pairwise loop only does lookups.
+	offerSets := make(map[model.WorkerID]idSet[model.TaskID], len(offers))
+	for id, ts := range offers {
+		offerSets[id] = newIDSet(ts)
+	}
+	emptySet := newIDSet[model.TaskID](nil)
+	setOf := func(id model.WorkerID) idSet[model.TaskID] {
+		if s, ok := offerSets[id]; ok {
+			return s
+		}
+		return emptySet
+	}
+
+	check := func(a, b *model.Worker) {
+		rep.Checked++
+		if measure.Func(a.Skills, b.Skills) < skillThr {
+			return
+		}
+		if policy.Similarity(a.Declared, b.Declared) < attrThr {
+			return
+		}
+		if policy.Similarity(a.Computed, b.Computed) < attrThr {
+			return
+		}
+		overlap := setOf(a.ID).jaccard(setOf(b.ID))
+		if overlap >= accessThr {
+			return
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			Axiom:    Axiom1WorkerAssignment,
+			Subjects: []string{string(a.ID), string(b.ID)},
+			Detail: fmt.Sprintf("similar workers saw different tasks: offer overlap %.2f < %.2f (|offers| %d vs %d)",
+				overlap, accessThr, len(offers[a.ID]), len(offers[b.ID])),
+			Severity: accessThr - overlap,
+		})
+	}
+
+	if cfg.Exhaustive {
+		for i := 0; i < len(workers); i++ {
+			for j := i + 1; j < len(workers); j++ {
+				check(workers[i], workers[j])
+			}
+		}
+	} else {
+		for _, pair := range st.CandidateWorkerPairs() {
+			check(byID[pair[0]], byID[pair[1]])
+		}
+		// Workers with no skills share no index entry; compare them among
+		// themselves (they are trivially skill-similar to each other).
+		var skillless []*model.Worker
+		for _, w := range workers {
+			if w.Skills.Count() == 0 {
+				skillless = append(skillless, w)
+			}
+		}
+		for i := 0; i < len(skillless); i++ {
+			for j := i + 1; j < len(skillless); j++ {
+				check(skillless[i], skillless[j])
+			}
+		}
+	}
+	sortViolations(rep.Violations)
+	return rep
+}
+
+// Axiom1FromOffers is a convenience entry point for auditing an assignment
+// result directly (before any simulation): it synthesises the TaskOffered
+// view from an offers map instead of an event log.
+func Axiom1FromOffers(st *store.Store, offers map[model.WorkerID][]model.TaskID, cfg Config) *Report {
+	log := eventlog.New()
+	for _, w := range st.Workers() {
+		for _, t := range offers[w.ID] {
+			log.MustAppend(eventlog.Event{Type: eventlog.TaskOffered, Worker: w.ID, Task: t})
+		}
+	}
+	return CheckAxiom1(st, log, cfg)
+}

@@ -1,0 +1,112 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventlog"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// CheckAxiom2 audits requester fairness in task assignment:
+//
+//	"Given two tasks ti and tj posted by different requesters, if the
+//	 required skills Sti and Stj are similar, and the two tasks offer
+//	 comparable rewards, then ti and tj should be shown to the same set
+//	 of workers."
+//
+// Audiences are reconstructed from TaskOffered events. Skill similarity
+// uses cfg.SkillMeasure (the paper suggests cosine); rewards are comparable
+// when their relative difference is within cfg.RewardTolerance. A pair of
+// comparable tasks whose audiences overlap (Jaccard) below
+// cfg.AccessThreshold is a violation.
+func CheckAxiom2(st *store.Store, log *eventlog.Log, cfg Config) *Report {
+	rep := &Report{Axiom: Axiom2RequesterAssignment}
+	audience := audienceFromLog(log)
+	tasks := st.Tasks()
+	byID := make(map[model.TaskID]*model.Task, len(tasks))
+	for _, t := range tasks {
+		byID[t.ID] = t
+	}
+
+	skillThr := orDefault(cfg.SkillThreshold, 0.9)
+	rewardTol := orDefault(cfg.RewardTolerance, 0.1)
+	accessThr := orDefault(cfg.AccessThreshold, 1.0)
+	measure := cfg.skillMeasure()
+
+	audienceSets := make(map[model.TaskID]idSet[model.WorkerID], len(audience))
+	for id, ws := range audience {
+		audienceSets[id] = newIDSet(ws)
+	}
+	emptySet := newIDSet[model.WorkerID](nil)
+	setOf := func(id model.TaskID) idSet[model.WorkerID] {
+		if s, ok := audienceSets[id]; ok {
+			return s
+		}
+		return emptySet
+	}
+
+	check := func(a, b *model.Task) {
+		rep.Checked++
+		if measure.Func(a.Skills, b.Skills) < skillThr {
+			return
+		}
+		if !comparableRewards(a.Reward, b.Reward, rewardTol) {
+			return
+		}
+		overlap := setOf(a.ID).jaccard(setOf(b.ID))
+		if overlap >= accessThr {
+			return
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			Axiom:    Axiom2RequesterAssignment,
+			Subjects: []string{string(a.ID), string(b.ID)},
+			Detail: fmt.Sprintf("comparable tasks (rewards %.2f vs %.2f) reached different audiences: overlap %.2f < %.2f",
+				a.Reward, b.Reward, overlap, accessThr),
+			Severity: accessThr - overlap,
+		})
+	}
+
+	if cfg.Exhaustive {
+		for i := 0; i < len(tasks); i++ {
+			for j := i + 1; j < len(tasks); j++ {
+				if tasks[i].Requester == tasks[j].Requester {
+					continue
+				}
+				check(tasks[i], tasks[j])
+			}
+		}
+	} else {
+		for _, pair := range st.CandidateTaskPairs() {
+			check(byID[pair[0]], byID[pair[1]])
+		}
+		var skillless []*model.Task
+		for _, t := range tasks {
+			if t.Skills.Count() == 0 {
+				skillless = append(skillless, t)
+			}
+		}
+		for i := 0; i < len(skillless); i++ {
+			for j := i + 1; j < len(skillless); j++ {
+				if skillless[i].Requester == skillless[j].Requester {
+					continue
+				}
+				check(skillless[i], skillless[j])
+			}
+		}
+	}
+	sortViolations(rep.Violations)
+	return rep
+}
+
+// comparableRewards reports whether two rewards differ relatively by at
+// most tol (relative to the larger reward; two zero rewards are
+// comparable).
+func comparableRewards(a, b, tol float64) bool {
+	hi := math.Max(math.Abs(a), math.Abs(b))
+	if hi == 0 {
+		return true
+	}
+	return math.Abs(a-b)/hi <= tol
+}

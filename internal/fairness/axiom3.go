@@ -1,0 +1,72 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/similarity"
+	"repro/internal/store"
+)
+
+// CheckAxiom3 audits fairness in worker compensation:
+//
+//	"Given two distinct workers wi and wj who contributed to the same task
+//	 t, if their contributions are similar, they should receive the same
+//	 reward dt."
+//
+// For each task, contributions from distinct workers are compared pairwise
+// with ContributionSimilarity (n-grams for text, nDCG for rankings, per the
+// paper); pairs at/above cfg.ContributionThreshold must be paid within
+// cfg.PayTolerance (relative) of each other.
+func CheckAxiom3(st *store.Store, cfg Config) *Report {
+	rep := &Report{Axiom: Axiom3Compensation}
+	simThr := orDefault(cfg.ContributionThreshold, 0.8)
+	payTol := orDefault(cfg.PayTolerance, 0.01)
+
+	for _, t := range st.Tasks() {
+		contribs := st.ContributionsByTask(t.ID)
+		for i := 0; i < len(contribs); i++ {
+			for j := i + 1; j < len(contribs); j++ {
+				a, b := contribs[i], contribs[j]
+				if a.Worker == b.Worker {
+					continue // the axiom quantifies over distinct workers
+				}
+				rep.Checked++
+				sim := similarity.ContributionSimilarity(a, b)
+				if sim < simThr {
+					continue
+				}
+				if equalPay(a.Paid, b.Paid, payTol) {
+					continue
+				}
+				gap := math.Abs(a.Paid - b.Paid)
+				hi := math.Max(a.Paid, b.Paid)
+				var sev float64
+				if hi > 0 {
+					sev = gap / hi
+				} else {
+					sev = 1
+				}
+				rep.Violations = append(rep.Violations, Violation{
+					Axiom:    Axiom3Compensation,
+					Subjects: []string{string(a.ID), string(b.ID)},
+					Detail: fmt.Sprintf("task %s: contributions %.0f%% similar but paid %.4f vs %.4f",
+						t.ID, sim*100, a.Paid, b.Paid),
+					Severity: sev,
+				})
+			}
+		}
+	}
+	sortViolations(rep.Violations)
+	return rep
+}
+
+// equalPay reports whether two payments are within the relative tolerance
+// (relative to the larger; two zero payments are equal).
+func equalPay(a, b, tol float64) bool {
+	hi := math.Max(a, b)
+	if hi == 0 {
+		return true
+	}
+	return math.Abs(a-b)/hi <= tol
+}

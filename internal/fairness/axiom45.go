@@ -1,0 +1,158 @@
+package fairness
+
+import (
+	"fmt"
+
+	"repro/internal/eventlog"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// CheckAxiom4 audits requester fairness in task completion:
+//
+//	"Requesters must be able to detect workers behaving maliciously during
+//	 task completion."
+//
+// The axiom is about *capability*: a compliant platform runs a detector and
+// records its flags. The checker treats a worker as detectably malicious
+// when their computed acceptance ratio is below the conventional spam line
+// (0.5) yet the log shows no WorkerFlagged event for them — i.e. the
+// platform had the evidence and surfaced nothing to requesters. Platforms
+// that never flag anyone while hosting low-acceptance workers therefore
+// fail wholesale, which matches the paper's complaint that detection is
+// left entirely to requesters. The quantitative quality of detectors is
+// evaluated separately in experiment E4 (package detect).
+func CheckAxiom4(st *store.Store, log *eventlog.Log) *Report {
+	rep := &Report{Axiom: Axiom4MaliciousDetection}
+	flagged := make(map[model.WorkerID]bool)
+	for _, e := range log.ByType(eventlog.WorkerFlagged) {
+		flagged[e.Worker] = true
+	}
+	const spamLine = 0.5
+	for _, w := range st.Workers() {
+		v, ok := w.Computed[model.AttrAcceptanceRatio]
+		if !ok || v.Kind != model.AttrNum {
+			continue
+		}
+		// Only workers with some history are judged; a ratio on zero
+		// submissions is meaningless and is stored as absent by the sim.
+		rep.Checked++
+		if v.Num >= spamLine || flagged[w.ID] {
+			continue
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			Axiom:    Axiom4MaliciousDetection,
+			Subjects: []string{string(w.ID)},
+			Detail: fmt.Sprintf("acceptance ratio %.2f below %.2f but the platform never flagged the worker",
+				v.Num, spamLine),
+			Severity: spamLine - v.Num,
+		})
+	}
+	sortViolations(rep.Violations)
+	return rep
+}
+
+// CheckAxiom5 audits worker fairness in task completion:
+//
+//	"A worker who started completing a task should not be interrupted."
+//
+// Every TaskStarted event must be matched by a later TaskSubmitted for the
+// same (worker, task); a TaskInterrupted event in between is a violation.
+// A start with neither outcome (the trace ended mid-flight) is not counted
+// as a violation but does count as checked work.
+func CheckAxiom5(log *eventlog.Log) *Report {
+	rep := &Report{Axiom: Axiom5NoInterruption}
+	type key struct {
+		w model.WorkerID
+		t model.TaskID
+	}
+	started := make(map[key]int64)
+	for _, e := range log.Events() {
+		k := key{e.Worker, e.Task}
+		switch e.Type {
+		case eventlog.TaskStarted:
+			started[k] = e.Time
+			rep.Checked++
+		case eventlog.TaskSubmitted:
+			delete(started, k)
+		case eventlog.TaskInterrupted:
+			if t0, ok := started[k]; ok {
+				rep.Violations = append(rep.Violations, Violation{
+					Axiom:    Axiom5NoInterruption,
+					Subjects: []string{string(e.Worker)},
+					Detail: fmt.Sprintf("task %s: started at t=%d, interrupted at t=%d after %d ticks of work",
+						e.Task, t0, e.Time, e.Time-t0),
+					Severity: 1,
+				})
+				delete(started, k)
+			}
+		}
+	}
+	sortViolations(rep.Violations)
+	return rep
+}
+
+// IncomeGini returns the Gini coefficient over per-worker incomes recorded
+// in the store's contributions — the inequality index E1 reports next to
+// the violation rates. Workers with no contributions count as zero income
+// only if includeIdle is set.
+func IncomeGini(st *store.Store, includeIdle bool) float64 {
+	incomes := make(map[model.WorkerID]float64)
+	if includeIdle {
+		for _, w := range st.Workers() {
+			incomes[w.ID] = 0
+		}
+	}
+	for _, c := range st.Contributions() {
+		incomes[c.Worker] += c.Paid
+	}
+	xs := make([]float64, 0, len(incomes))
+	ids := make([]model.WorkerID, 0, len(incomes))
+	for id := range incomes {
+		ids = append(ids, id)
+	}
+	sortWorkerIDs(ids)
+	for _, id := range ids {
+		xs = append(xs, incomes[id])
+	}
+	return gini(xs)
+}
+
+func sortWorkerIDs(ids []model.WorkerID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// gini duplicates stats.Gini locally to keep the fairness package free of a
+// stats dependency cycle risk; the two implementations are tested against
+// each other.
+func gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := range s {
+		if s[i] < 0 {
+			s[i] = 0
+		}
+	}
+	// insertion sort (n is workload-scale, fine)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := float64(len(s))
+	var cum, total float64
+	for i, x := range s {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(n*total) - (n+1)/n
+}

@@ -1,0 +1,293 @@
+// Package fairness implements the paper's central contribution as
+// executable code: checkers for fairness Axioms 1–5 (§3.2.1) that audit a
+// platform trace (a store.Store state plus an eventlog.Log history) and
+// report every violation, together with the aggregate fairness indices the
+// experiments report.
+//
+// Each axiom is a parameterised predicate — the paper makes the similarity
+// notions explicitly platform-dependent — so every checker takes a Config
+// carrying thresholds and measures, with defaults chosen per the paper's
+// own suggestions (cosine similarity for skills, n-grams/DCG for
+// contributions, threshold similarity for attributes).
+package fairness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventlog"
+	"repro/internal/model"
+	"repro/internal/similarity"
+	"repro/internal/store"
+)
+
+// Axiom identifies one of the paper's fairness axioms.
+type Axiom int
+
+// The five fairness axioms of §3.2.1.
+const (
+	Axiom1WorkerAssignment    Axiom = 1 // worker fairness in task assignment
+	Axiom2RequesterAssignment Axiom = 2 // requester fairness in task assignment
+	Axiom3Compensation        Axiom = 3 // fairness in worker compensation
+	Axiom4MaliciousDetection  Axiom = 4 // requester fairness in task completion
+	Axiom5NoInterruption      Axiom = 5 // worker fairness in task completion
+)
+
+// String renders the axiom name.
+func (a Axiom) String() string {
+	switch a {
+	case Axiom1WorkerAssignment:
+		return "Axiom 1 (worker fairness in task assignment)"
+	case Axiom2RequesterAssignment:
+		return "Axiom 2 (requester fairness in task assignment)"
+	case Axiom3Compensation:
+		return "Axiom 3 (fairness in worker compensation)"
+	case Axiom4MaliciousDetection:
+		return "Axiom 4 (requester fairness in task completion)"
+	case Axiom5NoInterruption:
+		return "Axiom 5 (worker fairness in task completion)"
+	default:
+		return fmt.Sprintf("Axiom %d", int(a))
+	}
+}
+
+// Violation is one audited failure of an axiom.
+type Violation struct {
+	Axiom Axiom
+	// Subjects are the entity ids involved (two workers for Axiom 1, two
+	// tasks for Axiom 2, two contributions for Axiom 3, one worker for
+	// Axioms 4/5).
+	Subjects []string
+	// Detail is a human-readable explanation with the measured quantities.
+	Detail string
+	// Severity in (0,1] scales with how blatant the violation is (e.g. the
+	// pay gap between similar contributions, or the access-overlap deficit).
+	Severity float64
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %v: %s (severity %.2f)", v.Axiom, v.Subjects, v.Detail, v.Severity)
+}
+
+// Config parameterises all checkers.
+type Config struct {
+	// SkillMeasure compares skill vectors (Axioms 1 and 2).
+	// Default: cosine.
+	SkillMeasure similarity.VectorMeasure
+	// SkillThreshold is the similarity at/above which two skill vectors
+	// are "similar" (default 0.9).
+	SkillThreshold float64
+	// AttrPolicy compares declared/computed attribute sets (Axiom 1).
+	// Default: numeric tolerance 0.1.
+	AttrPolicy *similarity.AttrPolicy
+	// AttrThreshold is the attribute-set similarity at/above which two
+	// workers are "similar" (default 0.9).
+	AttrThreshold float64
+	// AccessThreshold is the minimum Jaccard overlap of two similar
+	// workers' offer sets (Axiom 1) or two similar tasks' audiences
+	// (Axiom 2) before a violation is reported (default 1.0: identical
+	// access, the paper's literal reading).
+	AccessThreshold float64
+	// RewardTolerance is the relative reward difference within which two
+	// tasks "offer comparable rewards" (Axiom 2; default 0.1).
+	RewardTolerance float64
+	// ContributionThreshold is the similarity at/above which two
+	// contributions are "similar" (Axiom 3; default 0.8).
+	ContributionThreshold float64
+	// PayTolerance is the relative pay difference tolerated between
+	// similar contributions (Axiom 3; default 0.01).
+	PayTolerance float64
+	// Exhaustive forces the O(n²) pair scan instead of the index-pruned
+	// candidate generation (the E7 ablation switch).
+	Exhaustive bool
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	ap := similarity.TolerantAttrPolicy(0.1)
+	return Config{
+		SkillMeasure:          similarity.MeasureCosine,
+		SkillThreshold:        0.9,
+		AttrPolicy:            &ap,
+		AttrThreshold:         0.9,
+		AccessThreshold:       1.0,
+		RewardTolerance:       0.1,
+		ContributionThreshold: 0.8,
+		PayTolerance:          0.01,
+	}
+}
+
+func (c *Config) skillMeasure() similarity.VectorMeasure {
+	if c.SkillMeasure.Func == nil {
+		return similarity.MeasureCosine
+	}
+	return c.SkillMeasure
+}
+
+func (c *Config) attrPolicy() similarity.AttrPolicy {
+	if c.AttrPolicy == nil {
+		return similarity.TolerantAttrPolicy(0.1)
+	}
+	return *c.AttrPolicy
+}
+
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Report is the outcome of auditing one axiom over a trace.
+type Report struct {
+	Axiom Axiom
+	// Checked is the number of candidate units examined (pairs for Axioms
+	// 1–3, workers/starts for 4–5).
+	Checked int
+	// Violations lists every failure found, deterministically ordered.
+	Violations []Violation
+}
+
+// ViolationRate returns violations per checked unit (0 if nothing checked).
+func (r *Report) ViolationRate() float64 {
+	if r.Checked == 0 {
+		return 0
+	}
+	return float64(len(r.Violations)) / float64(r.Checked)
+}
+
+// Satisfied reports whether the axiom held over the whole trace.
+func (r *Report) Satisfied() bool { return len(r.Violations) == 0 }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: checked=%d violations=%d rate=%.4f",
+		r.Axiom, r.Checked, len(r.Violations), r.ViolationRate())
+}
+
+// jaccardIDs computes the Jaccard overlap of two id sets.
+func jaccardIDs[T ~string](a, b []T) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[T]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	shared := 0
+	setB := make(map[T]bool, len(b))
+	for _, x := range b {
+		if setB[x] {
+			continue
+		}
+		setB[x] = true
+		if set[x] {
+			shared++
+		}
+	}
+	union := len(set) + len(setB) - shared
+	if union == 0 {
+		return 1
+	}
+	return float64(shared) / float64(union)
+}
+
+// idSet is a precomputed id set with an order-independent fingerprint, so
+// the checkers can compare many offer sets pairwise without rebuilding maps
+// per pair and can shortcut the (common) identical-sets case.
+type idSet[T ~string] struct {
+	set  map[T]bool
+	hash uint64
+}
+
+func newIDSet[T ~string](ids []T) idSet[T] {
+	s := idSet[T]{set: make(map[T]bool, len(ids))}
+	for _, id := range ids {
+		if s.set[id] {
+			continue
+		}
+		s.set[id] = true
+		// FNV-1a per element, XOR-combined: order- and
+		// duplicate-independent.
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(id); i++ {
+			h ^= uint64(id[i])
+			h *= 1099511628211
+		}
+		s.hash ^= h
+	}
+	return s
+}
+
+// jaccard computes the overlap of two precomputed sets with an equality
+// fast path.
+func (a idSet[T]) jaccard(b idSet[T]) float64 {
+	if len(a.set) == 0 && len(b.set) == 0 {
+		return 1
+	}
+	if a.hash == b.hash && len(a.set) == len(b.set) {
+		return 1 // identical with overwhelming probability; severity-free path
+	}
+	small, big := a.set, b.set
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	shared := 0
+	for id := range small {
+		if big[id] {
+			shared++
+		}
+	}
+	union := len(a.set) + len(b.set) - shared
+	if union == 0 {
+		return 1
+	}
+	return float64(shared) / float64(union)
+}
+
+// offersFromLog reconstructs each worker's offer set (task ids made visible
+// to them) from TaskOffered events.
+func offersFromLog(log *eventlog.Log) map[model.WorkerID][]model.TaskID {
+	out := make(map[model.WorkerID][]model.TaskID)
+	for _, e := range log.ByType(eventlog.TaskOffered) {
+		out[e.Worker] = append(out[e.Worker], e.Task)
+	}
+	return out
+}
+
+// audienceFromLog reconstructs each task's audience (worker ids it was
+// shown to) from TaskOffered events.
+func audienceFromLog(log *eventlog.Log) map[model.TaskID][]model.WorkerID {
+	out := make(map[model.TaskID][]model.WorkerID)
+	for _, e := range log.ByType(eventlog.TaskOffered) {
+		out[e.Task] = append(out[e.Task], e.Worker)
+	}
+	return out
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		for k := 0; k < len(a.Subjects) && k < len(b.Subjects); k++ {
+			if a.Subjects[k] != b.Subjects[k] {
+				return a.Subjects[k] < b.Subjects[k]
+			}
+		}
+		return len(a.Subjects) < len(b.Subjects)
+	})
+}
+
+// CheckAll runs every axiom checker over the trace and returns the reports
+// in axiom order. The detection component of Axiom 4 is taken as satisfied
+// when the log shows WorkerFlagged events for workers the caller knows to
+// be malicious; see CheckAxiom4 for the contract.
+func CheckAll(st *store.Store, log *eventlog.Log, cfg Config) []*Report {
+	return []*Report{
+		CheckAxiom1(st, log, cfg),
+		CheckAxiom2(st, log, cfg),
+		CheckAxiom3(st, cfg),
+		CheckAxiom4(st, log),
+		CheckAxiom5(log),
+	}
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonAttrValue is the wire form of AttrValue: numeric attributes serialise
+// as {"num": x}, categorical ones as {"str": s}.
+type jsonAttrValue struct {
+	Num *float64 `json:"num,omitempty"`
+	Str *string  `json:"str,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a AttrValue) MarshalJSON() ([]byte, error) {
+	var j jsonAttrValue
+	if a.Kind == AttrNum {
+		j.Num = &a.Num
+	} else {
+		j.Str = &a.Str
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *AttrValue) UnmarshalJSON(data []byte) error {
+	var j jsonAttrValue
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("model: attr value: %w", err)
+	}
+	switch {
+	case j.Num != nil && j.Str != nil:
+		return fmt.Errorf("model: attr value has both num and str")
+	case j.Num != nil:
+		*a = Num(*j.Num)
+	case j.Str != nil:
+		*a = Str(*j.Str)
+	default:
+		return fmt.Errorf("model: attr value has neither num nor str")
+	}
+	return nil
+}
+
+// MarshalJSON encodes the vector as a bitstring ("10110") for compactness
+// and human readability in traces.
+func (v SkillVector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(v.String())
+}
+
+// UnmarshalJSON decodes a bitstring back into a vector.
+func (v *SkillVector) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("model: skill vector: %w", err)
+	}
+	out := NewSkillVector(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			out[i] = true
+		case '0':
+		default:
+			return fmt.Errorf("model: skill vector: invalid bit %q", s[i])
+		}
+	}
+	*v = out
+	return nil
+}
+
+// Snapshot is a serialisable capture of an entire platform state: the skill
+// universe plus every entity. It is the interchange format between the
+// generator, the simulator, the store, and the audit tools.
+type Snapshot struct {
+	Skills        []string        `json:"skills"`
+	Workers       []*Worker       `json:"workers"`
+	Requesters    []*Requester    `json:"requesters"`
+	Tasks         []*Task         `json:"tasks"`
+	Contributions []*Contribution `json:"contributions,omitempty"`
+}
+
+// Universe reconstructs the skill universe embedded in the snapshot.
+func (s *Snapshot) Universe() (*Universe, error) {
+	return NewUniverse(s.Skills...)
+}
+
+// Validate checks every entity in the snapshot against its universe.
+func (s *Snapshot) Validate() error {
+	u, err := s.Universe()
+	if err != nil {
+		return err
+	}
+	for _, w := range s.Workers {
+		if err := w.Validate(u); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.Requesters {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, t := range s.Tasks {
+		if err := t.Validate(u); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Contributions {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode serialises the snapshot to JSON.
+func (s *Snapshot) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// DecodeSnapshot parses a snapshot previously produced by Encode and
+// validates it.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("model: decode snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("model: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

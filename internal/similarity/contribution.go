@@ -1,0 +1,24 @@
+package similarity
+
+import "repro/internal/model"
+
+// ContributionSimilarity compares two contributions to the same task using
+// the measure appropriate to their payload, per the paper's Axiom 3
+// discussion: n-gram cosine similarity for text, nDCG-based similarity for
+// ranked lists. Mixed payloads (one text, one ranking) compare as 0.
+// When both payloads are empty the contributions are trivially identical.
+func ContributionSimilarity(a, b *model.Contribution) float64 {
+	aRanked := len(a.Ranking) > 0
+	bRanked := len(b.Ranking) > 0
+	switch {
+	case aRanked && bRanked:
+		// Symmetrise: nDCG is reference-directional, so average both ways.
+		return (RankingSimilarity(a.Ranking, b.Ranking) + RankingSimilarity(b.Ranking, a.Ranking)) / 2
+	case aRanked != bRanked:
+		return 0
+	case a.Text == "" && b.Text == "":
+		return 1
+	default:
+		return TextSimilarity(a.Text, b.Text)
+	}
+}

@@ -1,0 +1,59 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestContributionSimilarityText(t *testing.T) {
+	a := &model.Contribution{ID: "a", Text: "the quick brown fox"}
+	b := &model.Contribution{ID: "b", Text: "the quick brown fox"}
+	if got := ContributionSimilarity(a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical text = %v, want 1", got)
+	}
+	c := &model.Contribution{ID: "c", Text: "zzzzzz qqqqqq"}
+	if got := ContributionSimilarity(a, c); got > 0.1 {
+		t.Errorf("unrelated text = %v, want ~0", got)
+	}
+}
+
+func TestContributionSimilarityRanking(t *testing.T) {
+	a := &model.Contribution{ID: "a", Ranking: []string{"x", "y", "z"}}
+	b := &model.Contribution{ID: "b", Ranking: []string{"x", "y", "z"}}
+	if got := ContributionSimilarity(a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical ranking = %v, want 1", got)
+	}
+	c := &model.Contribution{ID: "c", Ranking: []string{"z", "y", "x"}}
+	mid := ContributionSimilarity(a, c)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("reversed ranking = %v, want in (0,1)", mid)
+	}
+}
+
+func TestContributionSimilaritySymmetricRanking(t *testing.T) {
+	a := &model.Contribution{ID: "a", Ranking: []string{"x", "y"}}
+	b := &model.Contribution{ID: "b", Ranking: []string{"y", "x", "w"}}
+	ab := ContributionSimilarity(a, b)
+	ba := ContributionSimilarity(b, a)
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Errorf("asymmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestContributionSimilarityMixedPayloads(t *testing.T) {
+	text := &model.Contribution{ID: "a", Text: "hello"}
+	ranked := &model.Contribution{ID: "b", Ranking: []string{"x"}}
+	if got := ContributionSimilarity(text, ranked); got != 0 {
+		t.Errorf("mixed payloads = %v, want 0", got)
+	}
+}
+
+func TestContributionSimilarityEmpty(t *testing.T) {
+	a := &model.Contribution{ID: "a"}
+	b := &model.Contribution{ID: "b"}
+	if got := ContributionSimilarity(a, b); got != 1 {
+		t.Errorf("two empty payloads = %v, want 1", got)
+	}
+}

@@ -1,0 +1,114 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCGKnownValue(t *testing.T) {
+	// DCG([3,2,1]) = 3 + 2/log2(3) + 1/2.
+	want := 3 + 2/math.Log2(3) + 0.5
+	if got := DCG([]float64{3, 2, 1}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DCG = %v, want %v", got, want)
+	}
+	if DCG(nil) != 0 {
+		t.Error("empty DCG should be 0")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	if got := NDCG([]float64{3, 2, 1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ideal order nDCG = %v, want 1", got)
+	}
+	rev := NDCG([]float64{1, 2, 3})
+	if rev >= 1 || rev <= 0 {
+		t.Errorf("reversed order nDCG = %v, want in (0,1)", rev)
+	}
+	if NDCG([]float64{0, 0}) != 1 {
+		t.Error("all-zero gains should be trivially ideal")
+	}
+}
+
+func TestNDCGRangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		gains := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound gains to a realistic relevance scale; 1e308 sums
+			// overflow any DCG computation.
+			gains = append(gains, math.Mod(math.Abs(x), 1000))
+		}
+		v := NDCG(gains)
+		return v >= 0 && v <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankingSimilarityIdentical(t *testing.T) {
+	r := []string{"a", "b", "c"}
+	if got := RankingSimilarity(r, r); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical rankings = %v, want 1", got)
+	}
+}
+
+func TestRankingSimilarityEmpty(t *testing.T) {
+	if RankingSimilarity(nil, nil) != 1 {
+		t.Error("two empty rankings should be 1")
+	}
+	if got := RankingSimilarity(nil, []string{"a"}); got != 0 {
+		t.Errorf("empty submission vs non-empty reference = %v, want 0", got)
+	}
+}
+
+func TestRankingSimilarityTopWeighted(t *testing.T) {
+	ref := []string{"a", "b", "c", "d"}
+	topSwap := RankingSimilarity([]string{"b", "a", "c", "d"}, ref)
+	botSwap := RankingSimilarity([]string{"a", "b", "d", "c"}, ref)
+	if topSwap >= botSwap {
+		t.Errorf("top swap (%v) should hurt more than bottom swap (%v)", topSwap, botSwap)
+	}
+}
+
+func TestRankingSimilarityMissingItems(t *testing.T) {
+	ref := []string{"a", "b", "c"}
+	got := RankingSimilarity([]string{"x", "y", "z"}, ref)
+	if got != 0 {
+		t.Errorf("fully-foreign ranking = %v, want 0", got)
+	}
+	partial := RankingSimilarity([]string{"a", "x", "y"}, ref)
+	if partial <= 0 || partial >= 1 {
+		t.Errorf("partial ranking = %v, want in (0,1)", partial)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	if got := KendallTau(a, a); got != 1 {
+		t.Errorf("identical tau = %v, want 1", got)
+	}
+	if got := KendallTau(a, []string{"z", "y", "x"}); got != 0 {
+		t.Errorf("reversed tau = %v, want 0", got)
+	}
+	if got := KendallTau(a, []string{"x", "z", "y"}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("one-swap tau = %v, want 2/3", got)
+	}
+}
+
+func TestKendallTauDisjoint(t *testing.T) {
+	if got := KendallTau([]string{"a"}, []string{"b"}); got != 1 {
+		t.Errorf("no shared items tau = %v, want 1 (vacuous)", got)
+	}
+}
+
+func TestKendallTauIgnoresUnshared(t *testing.T) {
+	a := []string{"a", "q", "b", "c"}
+	b := []string{"a", "b", "r", "c"}
+	if got := KendallTau(a, b); got != 1 {
+		t.Errorf("tau over shared subsequence = %v, want 1", got)
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Pearson(xs, xs); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self correlation = %v", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-9 {
+		t.Errorf("reversed correlation = %v", got)
+	}
+	// Linear transform preserves correlation.
+	ys := []float64{3, 5, 7, 9, 11}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("linear correlation = %v", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1}, []float64{1}) != 0 {
+		t.Error("single sample should give 0")
+	}
+	if Pearson([]float64{1, 2}, []float64{1, 2, 3}) != 0 {
+		t.Error("length mismatch should give 0")
+	}
+	if Pearson([]float64{2, 2, 2}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero variance should give 0")
+	}
+}
+
+func TestPearsonRangeProperty(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		xs := make([]float64, 0, len(pairs))
+		ys := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			a, b := p[0], p[1]
+			if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(a, 1e6))
+			ys = append(ys, math.Mod(b, 1e6))
+		}
+		r := Pearson(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone (non-linear) relation has Spearman 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // x³
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("monotone Spearman = %v, want 1", got)
+	}
+	// Pearson of the same data is below 1 (non-linear).
+	if got := Pearson(xs, ys); got >= 1-1e-9 {
+		t.Errorf("non-linear Pearson = %v, want < 1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("tied Spearman = %v, want 1", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	r := ranks([]float64{30, 10, 20})
+	if r[0] != 3 || r[1] != 1 || r[2] != 2 {
+		t.Fatalf("ranks = %v", r)
+	}
+	// Ties get the mean rank.
+	r = ranks([]float64{5, 5, 1})
+	if r[0] != 2.5 || r[1] != 2.5 || r[2] != 1 {
+		t.Fatalf("tied ranks = %v", r)
+	}
+}

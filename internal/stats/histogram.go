@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram accumulates observations into fixed-width buckets over a range.
+// It is used by the benchmark harness to report distributions of wages,
+// quality scores, and waiting times.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	under   int
+	over    int
+	count   int
+}
+
+// NewHistogram returns a histogram with n equal-width buckets spanning
+// [lo, hi). It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, n)}
+}
+
+// Observe records x. Values below lo or at/above hi are tallied in the
+// under/over counters rather than dropped, so totals are conserved.
+func (h *Histogram) Observe(x float64) {
+	h.count++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if idx == len(h.buckets) { // guard float rounding at the top edge
+			idx--
+		}
+		h.buckets[idx]++
+	}
+}
+
+// Count returns the total number of observations including out-of-range ones.
+func (h *Histogram) Count() int { return h.count }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// OutOfRange returns the under- and over-range counts.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// String renders an ASCII bar chart, one bucket per line, scaled to a
+// maximum bar width of 40 characters.
+func (h *Histogram) String() string {
+	maxCount := 1
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	var b strings.Builder
+	for i, c := range h.buckets {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "[%8.3f, %8.3f) %6d %s\n", h.lo+float64(i)*width, h.lo+float64(i+1)*width, c, bar)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "out of range: under=%d over=%d\n", h.under, h.over)
+	}
+	return b.String()
+}

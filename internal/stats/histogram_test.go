@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantBuckets := []int{2, 1, 1, 0, 1}
+	for i, want := range wantBuckets {
+		if got := h.Bucket(i); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Observe(-0.5)
+	h.Observe(1.0) // hi is exclusive
+	h.Observe(2.0)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", under, over)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count should include out-of-range: %d", h.Count())
+	}
+}
+
+func TestHistogramTopEdgeRounding(t *testing.T) {
+	// A value infinitesimally below hi must land in the last bucket, not
+	// panic on an off-by-one index.
+	h := NewHistogram(0, 1, 3)
+	h.Observe(0.9999999999999999)
+	if got := h.Bucket(2); got != 1 {
+		t.Fatalf("top-edge value in bucket 2 = %d, want 1", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, build := range map[string]func(){
+		"zero-buckets": func() { NewHistogram(0, 1, 0) },
+		"empty-range":  func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(1.6)
+	h.Observe(5)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Errorf("rendering has no bars:\n%s", s)
+	}
+	if !strings.Contains(s, "over=1") {
+		t.Errorf("rendering missing out-of-range line:\n%s", s)
+	}
+}
+
+func TestHistogramBucketsAccessor(t *testing.T) {
+	if got := NewHistogram(0, 1, 7).Buckets(); got != 7 {
+		t.Fatalf("Buckets() = %d, want 7", got)
+	}
+}

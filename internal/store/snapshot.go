@@ -1,0 +1,136 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Snapshot captures the entire store as a serialisable model.Snapshot.
+func (s *Store) Snapshot() *model.Snapshot {
+	return &model.Snapshot{
+		Skills:        s.universe.Names(),
+		Workers:       s.Workers(),
+		Requesters:    s.Requesters(),
+		Tasks:         s.Tasks(),
+		Contributions: s.Contributions(),
+	}
+}
+
+// FromSnapshot builds a fully-indexed store from a snapshot, validating
+// every entity and referential link on the way in.
+func FromSnapshot(snap *model.Snapshot) (*Store, error) {
+	u, err := snap.Universe()
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot universe: %w", err)
+	}
+	s := New(u)
+	for _, r := range snap.Requesters {
+		if err := s.PutRequester(r); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: %w", err)
+		}
+	}
+	for _, w := range snap.Workers {
+		if err := s.PutWorker(w); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: %w", err)
+		}
+	}
+	for _, t := range snap.Tasks {
+		if err := s.PutTask(t); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: %w", err)
+		}
+	}
+	for _, c := range snap.Contributions {
+		if err := s.PutContribution(c); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// CandidateWorkerPairs returns worker-id pairs that share at least one
+// skill, using the inverted index to avoid the full O(n²) cross product.
+// Each pair appears once with the lexicographically smaller id first.
+// Workers with empty skill vectors never appear (they can share no skill);
+// callers that must compare skill-less workers should fall back to the
+// exhaustive scan.
+//
+// This is the index-pruned candidate generation benchmarked against the
+// exhaustive scan in experiment E7. Deduplication is by ownership — a pair
+// is emitted only from the bucket of the pair's first shared skill — which
+// avoids a per-pair hash map on the hot path.
+func (s *Store) CandidateWorkerPairs() [][2]model.WorkerID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out [][2]model.WorkerID
+	bucket := make([]*model.Worker, 0, 64)
+	for skill, ids := range s.workersBySkill {
+		bucket = bucket[:0]
+		for _, id := range ids {
+			bucket = append(bucket, s.workers[id])
+		}
+		for i := 0; i < len(bucket); i++ {
+			wi := bucket[i]
+			for j := i + 1; j < len(bucket); j++ {
+				wj := bucket[j]
+				if firstSharedSkill(wi.Skills, wj.Skills) != skill {
+					continue // another bucket owns this pair
+				}
+				a, b := wi.ID, wj.ID
+				if b < a {
+					a, b = b, a
+				}
+				out = append(out, [2]model.WorkerID{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// firstSharedSkill returns the lowest index set in both vectors, or -1.
+func firstSharedSkill(a, b model.SkillVector) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] && b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// CandidateTaskPairs returns task-id pairs sharing at least one required
+// skill and posted by different requesters — the candidate set for Axiom 2
+// (requester fairness applies across distinct requesters).
+func (s *Store) CandidateTaskPairs() [][2]model.TaskID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out [][2]model.TaskID
+	bucket := make([]*model.Task, 0, 64)
+	for skill, ids := range s.tasksBySkill {
+		bucket = bucket[:0]
+		for _, id := range ids {
+			bucket = append(bucket, s.tasks[id])
+		}
+		for i := 0; i < len(bucket); i++ {
+			ti := bucket[i]
+			for j := i + 1; j < len(bucket); j++ {
+				tj := bucket[j]
+				if ti.Requester == tj.Requester {
+					continue
+				}
+				if firstSharedSkill(ti.Skills, tj.Skills) != skill {
+					continue
+				}
+				a, b := ti.ID, tj.ID
+				if b < a {
+					a, b = b, a
+				}
+				out = append(out, [2]model.TaskID{a, b})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+// Package store provides the in-memory, index-backed platform database that
+// the fairness checkers and the simulator operate over.
+//
+// The EDBT framing of the paper treats a crowdsourcing platform as a data
+// management problem: audits are queries over the platform state (workers,
+// tasks, requesters, contributions). Store keeps that state in typed tables
+// with primary-key hash indexes plus the secondary indexes the audits need:
+// a skill inverted index over workers and tasks (used to prune candidate
+// pairs in Axiom 1/2 checks, the E7 ablation), a per-requester task index,
+// and per-task / per-worker contribution indexes.
+//
+// Store is safe for concurrent readers and writers via a single RWMutex —
+// audits are read-heavy scans, mutation is append-mostly, and the workload
+// sizes here never justify finer-grained latching.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound  = errors.New("store: not found")
+	ErrDuplicate = errors.New("store: duplicate id")
+	ErrInvalid   = errors.New("store: invalid entity")
+)
+
+// Store is the platform database. Construct with New.
+type Store struct {
+	mu       sync.RWMutex
+	universe *model.Universe
+
+	workers    map[model.WorkerID]*model.Worker
+	requesters map[model.RequesterID]*model.Requester
+	tasks      map[model.TaskID]*model.Task
+	contribs   map[model.ContributionID]*model.Contribution
+
+	// Secondary indexes.
+	workersBySkill   [][]model.WorkerID // skill index -> worker ids
+	tasksBySkill     [][]model.TaskID   // skill index -> task ids
+	tasksByReq       map[model.RequesterID][]model.TaskID
+	contribsByTask   map[model.TaskID][]model.ContributionID
+	contribsByWorker map[model.WorkerID][]model.ContributionID
+
+	version uint64 // bumped on every mutation; used for optimistic scans
+}
+
+// New returns an empty store over the given skill universe.
+func New(u *model.Universe) *Store {
+	return &Store{
+		universe:         u,
+		workers:          make(map[model.WorkerID]*model.Worker),
+		requesters:       make(map[model.RequesterID]*model.Requester),
+		tasks:            make(map[model.TaskID]*model.Task),
+		contribs:         make(map[model.ContributionID]*model.Contribution),
+		workersBySkill:   make([][]model.WorkerID, u.Size()),
+		tasksBySkill:     make([][]model.TaskID, u.Size()),
+		tasksByReq:       make(map[model.RequesterID][]model.TaskID),
+		contribsByTask:   make(map[model.TaskID][]model.ContributionID),
+		contribsByWorker: make(map[model.WorkerID][]model.ContributionID),
+	}
+}
+
+// Universe returns the skill universe the store was built over.
+func (s *Store) Universe() *model.Universe { return s.universe }
+
+// Version returns the current mutation counter. Two equal versions bracket
+// an unchanged store, which lets long audits assert the trace did not move
+// under them.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// PutWorker validates and inserts a worker. The store keeps its own clone,
+// so later mutation of w by the caller does not affect stored state.
+func (s *Store) PutWorker(w *model.Worker) error {
+	if err := w.Validate(s.universe); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.workers[w.ID]; dup {
+		return fmt.Errorf("worker %s: %w", w.ID, ErrDuplicate)
+	}
+	c := w.Clone()
+	s.workers[c.ID] = c
+	for _, i := range c.Skills.Indices() {
+		s.workersBySkill[i] = append(s.workersBySkill[i], c.ID)
+	}
+	s.version++
+	return nil
+}
+
+// UpdateWorker replaces an existing worker's attributes and skills.
+func (s *Store) UpdateWorker(w *model.Worker) error {
+	if err := w.Validate(s.universe); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.workers[w.ID]
+	if !ok {
+		return fmt.Errorf("worker %s: %w", w.ID, ErrNotFound)
+	}
+	if !old.Skills.Equal(w.Skills) {
+		for _, i := range old.Skills.Indices() {
+			s.workersBySkill[i] = removeWorkerID(s.workersBySkill[i], w.ID)
+		}
+		for _, i := range w.Skills.Indices() {
+			s.workersBySkill[i] = append(s.workersBySkill[i], w.ID)
+		}
+	}
+	s.workers[w.ID] = w.Clone()
+	s.version++
+	return nil
+}
+
+// Worker returns a copy of the worker with the given id.
+func (s *Store) Worker(id model.WorkerID) (*model.Worker, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.workers[id]
+	if !ok {
+		return nil, fmt.Errorf("worker %s: %w", id, ErrNotFound)
+	}
+	return w.Clone(), nil
+}
+
+// Workers returns copies of all workers sorted by id.
+func (s *Store) Workers() []*model.Worker {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*model.Worker, 0, len(s.workers))
+	for _, w := range s.workers {
+		out = append(out, w.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WorkerCount returns the number of workers without copying them.
+func (s *Store) WorkerCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.workers)
+}
+
+// WorkersWithSkill returns the ids of workers whose vector sets the given
+// skill index, sorted. The result is a fresh slice owned by the caller.
+func (s *Store) WorkersWithSkill(skill int) []model.WorkerID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]model.WorkerID(nil), s.workersBySkill[skill]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PutRequester validates and inserts a requester.
+func (s *Store) PutRequester(r *model.Requester) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.requesters[r.ID]; dup {
+		return fmt.Errorf("requester %s: %w", r.ID, ErrDuplicate)
+	}
+	c := *r
+	s.requesters[r.ID] = &c
+	s.version++
+	return nil
+}
+
+// Requester returns a copy of the requester with the given id.
+func (s *Store) Requester(id model.RequesterID) (*model.Requester, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.requesters[id]
+	if !ok {
+		return nil, fmt.Errorf("requester %s: %w", id, ErrNotFound)
+	}
+	c := *r
+	return &c, nil
+}
+
+// Requesters returns copies of all requesters sorted by id.
+func (s *Store) Requesters() []*model.Requester {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*model.Requester, 0, len(s.requesters))
+	for _, r := range s.requesters {
+		c := *r
+		out = append(out, &c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PutTask validates and inserts a task; its requester must already exist.
+func (s *Store) PutTask(t *model.Task) error {
+	if err := t.Validate(s.universe); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tasks[t.ID]; dup {
+		return fmt.Errorf("task %s: %w", t.ID, ErrDuplicate)
+	}
+	if _, ok := s.requesters[t.Requester]; !ok {
+		return fmt.Errorf("task %s: requester %s: %w", t.ID, t.Requester, ErrNotFound)
+	}
+	c := t.Clone()
+	s.tasks[c.ID] = c
+	for _, i := range c.Skills.Indices() {
+		s.tasksBySkill[i] = append(s.tasksBySkill[i], c.ID)
+	}
+	s.tasksByReq[c.Requester] = append(s.tasksByReq[c.Requester], c.ID)
+	s.version++
+	return nil
+}
+
+// Task returns a copy of the task with the given id.
+func (s *Store) Task(id model.TaskID) (*model.Task, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("task %s: %w", id, ErrNotFound)
+	}
+	return t.Clone(), nil
+}
+
+// Tasks returns copies of all tasks sorted by id.
+func (s *Store) Tasks() []*model.Task {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*model.Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		out = append(out, t.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TaskCount returns the number of tasks.
+func (s *Store) TaskCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tasks)
+}
+
+// TasksByRequester returns ids of tasks posted by the requester, sorted.
+func (s *Store) TasksByRequester(id model.RequesterID) []model.TaskID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]model.TaskID(nil), s.tasksByReq[id]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TasksWithSkill returns ids of tasks requiring the given skill index, sorted.
+func (s *Store) TasksWithSkill(skill int) []model.TaskID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]model.TaskID(nil), s.tasksBySkill[skill]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PutContribution validates and inserts a contribution; its task and worker
+// must already exist.
+func (s *Store) PutContribution(c *model.Contribution) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.contribs[c.ID]; dup {
+		return fmt.Errorf("contribution %s: %w", c.ID, ErrDuplicate)
+	}
+	if _, ok := s.tasks[c.Task]; !ok {
+		return fmt.Errorf("contribution %s: task %s: %w", c.ID, c.Task, ErrNotFound)
+	}
+	if _, ok := s.workers[c.Worker]; !ok {
+		return fmt.Errorf("contribution %s: worker %s: %w", c.ID, c.Worker, ErrNotFound)
+	}
+	cc := c.Clone()
+	s.contribs[cc.ID] = cc
+	s.contribsByTask[cc.Task] = append(s.contribsByTask[cc.Task], cc.ID)
+	s.contribsByWorker[cc.Worker] = append(s.contribsByWorker[cc.Worker], cc.ID)
+	s.version++
+	return nil
+}
+
+// UpdateContribution replaces an existing contribution (e.g. after the
+// requester's accept/reject decision or payment).
+func (s *Store) UpdateContribution(c *model.Contribution) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.contribs[c.ID]
+	if !ok {
+		return fmt.Errorf("contribution %s: %w", c.ID, ErrNotFound)
+	}
+	if old.Task != c.Task || old.Worker != c.Worker {
+		return fmt.Errorf("contribution %s: task/worker are immutable: %w", c.ID, ErrInvalid)
+	}
+	s.contribs[c.ID] = c.Clone()
+	s.version++
+	return nil
+}
+
+// Contribution returns a copy of the contribution with the given id.
+func (s *Store) Contribution(id model.ContributionID) (*model.Contribution, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.contribs[id]
+	if !ok {
+		return nil, fmt.Errorf("contribution %s: %w", id, ErrNotFound)
+	}
+	return c.Clone(), nil
+}
+
+// Contributions returns copies of all contributions sorted by id.
+func (s *Store) Contributions() []*model.Contribution {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*model.Contribution, 0, len(s.contribs))
+	for _, c := range s.contribs {
+		out = append(out, c.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ContributionsByTask returns copies of the contributions to a task,
+// ordered by submission time then id.
+func (s *Store) ContributionsByTask(id model.TaskID) []*model.Contribution {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.contribsByTask[id]
+	out := make([]*model.Contribution, 0, len(ids))
+	for _, cid := range ids {
+		out = append(out, s.contribs[cid].Clone())
+	}
+	sortContribs(out)
+	return out
+}
+
+// ContributionsByWorker returns copies of the contributions by a worker,
+// ordered by submission time then id.
+func (s *Store) ContributionsByWorker(id model.WorkerID) []*model.Contribution {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.contribsByWorker[id]
+	out := make([]*model.Contribution, 0, len(ids))
+	for _, cid := range ids {
+		out = append(out, s.contribs[cid].Clone())
+	}
+	sortContribs(out)
+	return out
+}
+
+func sortContribs(cs []*model.Contribution) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].SubmittedAt != cs[j].SubmittedAt {
+			return cs[i].SubmittedAt < cs[j].SubmittedAt
+		}
+		return cs[i].ID < cs[j].ID
+	})
+}
+
+func removeWorkerID(ids []model.WorkerID, id model.WorkerID) []model.WorkerID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,209 @@
+package transparency
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// FieldKind types a catalogue field.
+type FieldKind uint8
+
+// Field kinds.
+const (
+	FieldNum FieldKind = iota
+	FieldStr
+)
+
+// CatalogueEntry describes one disclosable information item: its type and
+// the human-readable phrasing the renderer uses.
+type CatalogueEntry struct {
+	Ref  FieldRef
+	Kind FieldKind
+	// Description is the noun phrase inserted into rendered rules, e.g.
+	// "the hourly wage offered by the requester".
+	Description string
+	// Axiom6 marks fields whose disclosure Axiom 6 requires of requesters;
+	// Axiom7 marks fields whose disclosure Axiom 7 requires of the platform.
+	Axiom6 bool
+	Axiom7 bool
+}
+
+// Catalogue is the schema of disclosable fields a platform supports. Static
+// checking validates every policy against it.
+type Catalogue struct {
+	entries map[FieldRef]CatalogueEntry
+}
+
+// ErrUnknownField is wrapped by checker errors for out-of-catalogue refs.
+var ErrUnknownField = errors.New("transparency: field not in catalogue")
+
+// NewCatalogue builds a catalogue from entries; duplicate refs error.
+func NewCatalogue(entries ...CatalogueEntry) (*Catalogue, error) {
+	c := &Catalogue{entries: make(map[FieldRef]CatalogueEntry, len(entries))}
+	for _, e := range entries {
+		if !validSubject(e.Ref.Subject) {
+			return nil, fmt.Errorf("transparency: catalogue entry %s: unknown subject", e.Ref)
+		}
+		if _, dup := c.entries[e.Ref]; dup {
+			return nil, fmt.Errorf("transparency: duplicate catalogue entry %s", e.Ref)
+		}
+		c.entries[e.Ref] = e
+	}
+	return c, nil
+}
+
+// Lookup returns the entry for ref.
+func (c *Catalogue) Lookup(ref FieldRef) (CatalogueEntry, error) {
+	e, ok := c.entries[ref]
+	if !ok {
+		return CatalogueEntry{}, fmt.Errorf("%w: %s", ErrUnknownField, ref)
+	}
+	return e, nil
+}
+
+// Entries returns all entries sorted by reference.
+func (c *Catalogue) Entries() []CatalogueEntry {
+	out := make([]CatalogueEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ref.Subject != out[j].Ref.Subject {
+			return out[i].Ref.Subject < out[j].Ref.Subject
+		}
+		return out[i].Ref.Field < out[j].Ref.Field
+	})
+	return out
+}
+
+// RequiredFor returns the refs that the given axiom (6 or 7) requires to be
+// disclosed, sorted.
+func (c *Catalogue) RequiredFor(axiom int) []FieldRef {
+	var out []FieldRef
+	for _, e := range c.Entries() {
+		if (axiom == 6 && e.Axiom6) || (axiom == 7 && e.Axiom7) {
+			out = append(out, e.Ref)
+		}
+	}
+	return out
+}
+
+// StandardCatalogue returns the disclosure schema assembled from the
+// paper's own inventory: Axiom 6's requester-dependent working conditions
+// ("hourly wage and time between submission of work and payment") and
+// task-dependent conditions ("recruitment criteria and rejection
+// criteria"), Axiom 7's computed worker attributes ("performance and
+// acceptance ratio"), plus the platform-opacity items of §3.1.2 (requester
+// ratings, payment schedules, worker progress).
+func StandardCatalogue() *Catalogue {
+	c, err := NewCatalogue(
+		CatalogueEntry{Ref: FieldRef{SubjectRequester, "hourly_wage"}, Kind: FieldNum,
+			Description: "the expected hourly wage for the requester's tasks", Axiom6: true},
+		CatalogueEntry{Ref: FieldRef{SubjectRequester, "payment_delay"}, Kind: FieldNum,
+			Description: "the time between submission of work and payment", Axiom6: true},
+		CatalogueEntry{Ref: FieldRef{SubjectTask, "recruitment_criteria"}, Kind: FieldStr,
+			Description: "the criteria used to recruit workers for the task", Axiom6: true},
+		CatalogueEntry{Ref: FieldRef{SubjectTask, "rejection_criteria"}, Kind: FieldStr,
+			Description: "the conditions under which work on the task may be rejected", Axiom6: true},
+		CatalogueEntry{Ref: FieldRef{SubjectTask, "evaluation_scheme"}, Kind: FieldStr,
+			Description: "how contributions to the task are evaluated"},
+		CatalogueEntry{Ref: FieldRef{SubjectTask, "reward"}, Kind: FieldNum,
+			Description: "the reward paid on completing the task"},
+		CatalogueEntry{Ref: FieldRef{SubjectWorker, "performance"}, Kind: FieldNum,
+			Description: "the worker's estimated performance so far", Axiom7: true},
+		CatalogueEntry{Ref: FieldRef{SubjectWorker, "acceptance_ratio"}, Kind: FieldNum,
+			Description: "the worker's acceptance ratio", Axiom7: true},
+		CatalogueEntry{Ref: FieldRef{SubjectWorker, "completed"}, Kind: FieldNum,
+			Description: "the number of tasks the worker has completed"},
+		CatalogueEntry{Ref: FieldRef{SubjectWorker, "consent"}, Kind: FieldStr,
+			Description: "whether the worker consented to data sharing"},
+		CatalogueEntry{Ref: FieldRef{SubjectPlatform, "requester_rating"}, Kind: FieldNum,
+			Description: "the platform's rating of the requester"},
+		CatalogueEntry{Ref: FieldRef{SubjectPlatform, "payment_schedule"}, Kind: FieldStr,
+			Description: "the platform's payment schedule"},
+		CatalogueEntry{Ref: FieldRef{SubjectPlatform, "auto_approval_delay"}, Kind: FieldNum,
+			Description: "the time until a submission is automatically approved"},
+		CatalogueEntry{Ref: FieldRef{SubjectPlatform, "worker_progress"}, Kind: FieldNum,
+			Description: "the worker's live progress relative to other workers"},
+	)
+	if err != nil {
+		panic(err) // the standard catalogue is a package invariant
+	}
+	return c
+}
+
+// Check statically validates a policy against the catalogue: every
+// disclosed field and every field referenced in a condition must exist, and
+// condition comparisons must be type-correct (numbers compare with
+// ordering; strings only with ==/!=). It returns all problems found.
+func (c *Catalogue) Check(p *Policy) []error {
+	var errs []error
+	for _, r := range p.Rules {
+		if _, err := c.Lookup(r.Field); err != nil {
+			errs = append(errs, fmt.Errorf("rule at line %d: %w", r.Line, err))
+		}
+		if r.When != nil {
+			if err := c.checkExpr(r.When, r.Line); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errs
+}
+
+// checkExpr type-checks a condition; it returns the first error found.
+func (c *Catalogue) checkExpr(e Expr, line int) error {
+	switch x := e.(type) {
+	case *NotExpr:
+		return c.checkExpr(x.X, line)
+	case *BinaryExpr:
+		if x.Op == "and" || x.Op == "or" {
+			if err := c.checkExpr(x.Left, line); err != nil {
+				return err
+			}
+			return c.checkExpr(x.Right, line)
+		}
+		lk, err := c.operandKind(x.Left, line)
+		if err != nil {
+			return err
+		}
+		rk, err := c.operandKind(x.Right, line)
+		if err != nil {
+			return err
+		}
+		if lk != rk {
+			return fmt.Errorf("rule at line %d: comparing %s with %s", line, kindName(lk), kindName(rk))
+		}
+		if lk == FieldStr && x.Op != "==" && x.Op != "!=" {
+			return fmt.Errorf("rule at line %d: strings only compare with == or !=, not %s", line, x.Op)
+		}
+		return nil
+	default:
+		return fmt.Errorf("rule at line %d: condition must be a comparison", line)
+	}
+}
+
+func (c *Catalogue) operandKind(e Expr, line int) (FieldKind, error) {
+	switch x := e.(type) {
+	case *NumberExpr:
+		return FieldNum, nil
+	case *StringExpr:
+		return FieldStr, nil
+	case *FieldExpr:
+		entry, err := c.Lookup(x.Ref)
+		if err != nil {
+			return 0, fmt.Errorf("rule at line %d: %w", line, err)
+		}
+		return entry.Kind, nil
+	default:
+		return 0, fmt.Errorf("rule at line %d: boolean sub-expression used as operand", line)
+	}
+}
+
+func kindName(k FieldKind) string {
+	if k == FieldNum {
+		return "number"
+	}
+	return "string"
+}

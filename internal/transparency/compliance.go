@@ -1,0 +1,219 @@
+package transparency
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventlog"
+	"repro/internal/model"
+)
+
+// AxiomReport is the outcome of auditing a transparency axiom (6 or 7).
+type AxiomReport struct {
+	Axiom int
+	// Required lists the field refs the axiom demands.
+	Required []FieldRef
+	// Missing lists required refs the audited party never disclosed.
+	Missing []FieldRef
+	// Detail explains per-entity gaps.
+	Detail []string
+}
+
+// Satisfied reports whether the axiom held.
+func (r *AxiomReport) Satisfied() bool { return len(r.Missing) == 0 && len(r.Detail) == 0 }
+
+// String renders a one-line summary.
+func (r *AxiomReport) String() string {
+	return fmt.Sprintf("Axiom %d: required=%d missing=%d gaps=%d",
+		r.Axiom, len(r.Required), len(r.Missing), len(r.Detail))
+}
+
+// CheckAxiom6 audits requester transparency:
+//
+//	"A Requester must make available requester-dependent working conditions
+//	 such as hourly wage and time between submission of work and payment,
+//	 and task-dependent working conditions such as recruitment criteria and
+//	 rejection criteria."
+//
+// For each requester appearing in the log, every Axiom-6 field of the
+// catalogue must appear in at least one Disclosure event attributed to that
+// requester (requester-subject fields), and each of their tasks must have
+// its task-subject fields disclosed.
+func CheckAxiom6(cat *Catalogue, log *eventlog.Log) *AxiomReport {
+	rep := &AxiomReport{Axiom: 6, Required: cat.RequiredFor(6)}
+
+	requesters := make(map[model.RequesterID]bool)
+	taskOwner := make(map[model.TaskID]model.RequesterID)
+	disclosedReq := make(map[model.RequesterID]map[string]bool)
+	disclosedTask := make(map[model.TaskID]map[string]bool)
+	for _, e := range log.Events() {
+		switch e.Type {
+		case eventlog.TaskPosted:
+			requesters[e.Requester] = true
+			taskOwner[e.Task] = e.Requester
+		case eventlog.Disclosure:
+			if e.Requester != "" && e.Task == "" {
+				m := disclosedReq[e.Requester]
+				if m == nil {
+					m = make(map[string]bool)
+					disclosedReq[e.Requester] = m
+				}
+				m[e.Field] = true
+			}
+			if e.Task != "" {
+				m := disclosedTask[e.Task]
+				if m == nil {
+					m = make(map[string]bool)
+					disclosedTask[e.Task] = m
+				}
+				m[e.Field] = true
+			}
+		}
+	}
+
+	missing := make(map[FieldRef]bool)
+	var reqIDs []model.RequesterID
+	for r := range requesters {
+		reqIDs = append(reqIDs, r)
+	}
+	sort.Slice(reqIDs, func(i, j int) bool { return reqIDs[i] < reqIDs[j] })
+	var taskIDs []model.TaskID
+	for t := range taskOwner {
+		taskIDs = append(taskIDs, t)
+	}
+	sort.Slice(taskIDs, func(i, j int) bool { return taskIDs[i] < taskIDs[j] })
+
+	for _, ref := range rep.Required {
+		switch ref.Subject {
+		case SubjectRequester:
+			for _, r := range reqIDs {
+				if !disclosedReq[r][ref.String()] {
+					missing[ref] = true
+					rep.Detail = append(rep.Detail,
+						fmt.Sprintf("requester %s never disclosed %s", r, ref))
+				}
+			}
+		case SubjectTask:
+			for _, t := range taskIDs {
+				if !disclosedTask[t][ref.String()] {
+					missing[ref] = true
+					rep.Detail = append(rep.Detail,
+						fmt.Sprintf("task %s (requester %s) never disclosed %s", t, taskOwner[t], ref))
+				}
+			}
+		}
+	}
+	for _, ref := range rep.Required {
+		if missing[ref] {
+			rep.Missing = append(rep.Missing, ref)
+		}
+	}
+	return rep
+}
+
+// CheckAxiom7 audits platform transparency:
+//
+//	"The platform must disclose, for each worker w, computed attributes Cw
+//	 such as performance and acceptance ratio."
+//
+// Every worker that appears in the log (joined or active) must have each
+// Axiom-7 field disclosed to them at least once.
+func CheckAxiom7(cat *Catalogue, log *eventlog.Log) *AxiomReport {
+	rep := &AxiomReport{Axiom: 7, Required: cat.RequiredFor(7)}
+
+	workers := make(map[model.WorkerID]bool)
+	disclosed := make(map[model.WorkerID]map[string]bool)
+	for _, e := range log.Events() {
+		switch e.Type {
+		case eventlog.WorkerJoined, eventlog.TaskStarted, eventlog.TaskSubmitted:
+			workers[e.Worker] = true
+		case eventlog.Disclosure:
+			if e.Worker != "" {
+				m := disclosed[e.Worker]
+				if m == nil {
+					m = make(map[string]bool)
+					disclosed[e.Worker] = m
+				}
+				m[e.Field] = true
+			}
+		}
+	}
+
+	var ids []model.WorkerID
+	for w := range workers {
+		ids = append(ids, w)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	missing := make(map[FieldRef]bool)
+	for _, ref := range rep.Required {
+		if ref.Subject != SubjectWorker {
+			continue
+		}
+		for _, w := range ids {
+			if !disclosed[w][ref.String()] {
+				missing[ref] = true
+				rep.Detail = append(rep.Detail,
+					fmt.Sprintf("platform never disclosed %s to worker %s", ref, w))
+			}
+		}
+	}
+	for _, ref := range rep.Required {
+		if missing[ref] {
+			rep.Missing = append(rep.Missing, ref)
+		}
+	}
+	return rep
+}
+
+// PolicyCompliance audits an event trace against a specific policy: every
+// field the policy promises "always" to an audience must appear as a
+// Disclosure event at least once for each member of that audience seen in
+// the trace. It returns human-readable gap descriptions (empty = compliant).
+//
+// Conditional and triggered rules are not audited here — verifying them
+// requires replaying contexts, which the simulator does natively by only
+// emitting Disclosure events the policy mandates.
+func PolicyCompliance(p *Policy, log *eventlog.Log) []string {
+	var gaps []string
+
+	workers := make(map[model.WorkerID]bool)
+	disclosedToWorker := make(map[model.WorkerID]map[string]bool)
+	for _, e := range log.Events() {
+		switch e.Type {
+		case eventlog.WorkerJoined:
+			workers[e.Worker] = true
+		case eventlog.Disclosure:
+			if e.Worker != "" {
+				m := disclosedToWorker[e.Worker]
+				if m == nil {
+					m = make(map[string]bool)
+					disclosedToWorker[e.Worker] = m
+				}
+				m[e.Field] = true
+			}
+		}
+	}
+	var ids []model.WorkerID
+	for w := range workers {
+		ids = append(ids, w)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, r := range p.Rules {
+		if r.On != TriggerAlways || r.When != nil {
+			continue
+		}
+		if r.To != AudienceWorkers && r.To != AudiencePublic {
+			continue
+		}
+		field := r.Field.String()
+		for _, w := range ids {
+			if !disclosedToWorker[w][field] {
+				gaps = append(gaps, fmt.Sprintf("policy %q promises %s to workers always, but worker %s never saw it",
+					p.Name, field, w))
+			}
+		}
+	}
+	return gaps
+}

@@ -1,0 +1,203 @@
+package transparency
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Value is a runtime field value in a disclosure context.
+type Value struct {
+	Kind FieldKind
+	Num  float64
+	Str  string
+}
+
+// NumValue returns a numeric Value.
+func NumValue(x float64) Value { return Value{Kind: FieldNum, Num: x} }
+
+// StrValue returns a string Value.
+func StrValue(s string) Value { return Value{Kind: FieldStr, Str: s} }
+
+// Context carries the concrete field values for one disclosure decision —
+// typically one (worker, task, requester) interaction on the platform.
+type Context struct {
+	values map[FieldRef]Value
+}
+
+// NewContext returns an empty context.
+func NewContext() *Context {
+	return &Context{values: make(map[FieldRef]Value)}
+}
+
+// Set binds a field value.
+func (c *Context) Set(ref FieldRef, v Value) *Context {
+	c.values[ref] = v
+	return c
+}
+
+// SetNum binds a numeric value by subject/field name.
+func (c *Context) SetNum(subject Subject, field string, x float64) *Context {
+	return c.Set(FieldRef{subject, field}, NumValue(x))
+}
+
+// SetStr binds a string value by subject/field name.
+func (c *Context) SetStr(subject Subject, field, s string) *Context {
+	return c.Set(FieldRef{subject, field}, StrValue(s))
+}
+
+// Get returns the bound value for ref.
+func (c *Context) Get(ref FieldRef) (Value, bool) {
+	v, ok := c.values[ref]
+	return v, ok
+}
+
+// Evaluation errors.
+var (
+	// ErrUnboundField is returned when a condition references a field the
+	// context does not bind.
+	ErrUnboundField = errors.New("transparency: unbound field in condition")
+	// ErrTypeMismatch is returned when a comparison's operand kinds differ
+	// at runtime (static checking prevents this for catalogued policies).
+	ErrTypeMismatch = errors.New("transparency: type mismatch in condition")
+)
+
+// Disclosure is one field a policy requires to be shown in a context.
+type Disclosure struct {
+	Field FieldRef
+	To    Audience
+	On    Trigger
+	// Value is the context's value for the field if bound.
+	Value Value
+	// Bound reports whether the context had a value to disclose.
+	Bound bool
+}
+
+// Evaluate returns the disclosures the policy mandates for the given
+// audience and trigger in the given context. Rules with TriggerAlways fire
+// on every trigger; "public" rules fire for every audience. Rules whose
+// conditions reference unbound fields produce an error — a policy committed
+// to disclosing under a condition must be able to evaluate that condition.
+func (p *Policy) Evaluate(cat *Catalogue, ctx *Context, aud Audience, trig Trigger) ([]Disclosure, error) {
+	var out []Disclosure
+	for _, r := range p.Rules {
+		if r.To != aud && r.To != AudiencePublic {
+			continue
+		}
+		if r.On != TriggerAlways && r.On != trig {
+			continue
+		}
+		if r.When != nil {
+			ok, err := evalExpr(r.When, ctx)
+			if err != nil {
+				return nil, fmt.Errorf("rule at line %d: %w", r.Line, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		d := Disclosure{Field: r.Field, To: r.To, On: r.On}
+		if v, bound := ctx.Get(r.Field); bound {
+			d.Value, d.Bound = v, true
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Field.Subject != out[j].Field.Subject {
+			return out[i].Field.Subject < out[j].Field.Subject
+		}
+		return out[i].Field.Field < out[j].Field.Field
+	})
+	return out, nil
+}
+
+// evalExpr evaluates a condition to a boolean.
+func evalExpr(e Expr, ctx *Context) (bool, error) {
+	switch x := e.(type) {
+	case *NotExpr:
+		v, err := evalExpr(x.X, ctx)
+		return !v, err
+	case *BinaryExpr:
+		switch x.Op {
+		case "and":
+			l, err := evalExpr(x.Left, ctx)
+			if err != nil {
+				return false, err
+			}
+			if !l {
+				return false, nil
+			}
+			return evalExpr(x.Right, ctx)
+		case "or":
+			l, err := evalExpr(x.Left, ctx)
+			if err != nil {
+				return false, err
+			}
+			if l {
+				return true, nil
+			}
+			return evalExpr(x.Right, ctx)
+		default:
+			return evalComparison(x, ctx)
+		}
+	default:
+		return false, fmt.Errorf("%w: condition must be a comparison", ErrTypeMismatch)
+	}
+}
+
+func evalComparison(e *BinaryExpr, ctx *Context) (bool, error) {
+	lv, err := evalOperand(e.Left, ctx)
+	if err != nil {
+		return false, err
+	}
+	rv, err := evalOperand(e.Right, ctx)
+	if err != nil {
+		return false, err
+	}
+	if lv.Kind != rv.Kind {
+		return false, fmt.Errorf("%w: %s vs %s", ErrTypeMismatch, kindName(lv.Kind), kindName(rv.Kind))
+	}
+	if lv.Kind == FieldStr {
+		switch e.Op {
+		case "==":
+			return lv.Str == rv.Str, nil
+		case "!=":
+			return lv.Str != rv.Str, nil
+		default:
+			return false, fmt.Errorf("%w: strings do not support %s", ErrTypeMismatch, e.Op)
+		}
+	}
+	switch e.Op {
+	case "==":
+		return lv.Num == rv.Num, nil
+	case "!=":
+		return lv.Num != rv.Num, nil
+	case "<":
+		return lv.Num < rv.Num, nil
+	case "<=":
+		return lv.Num <= rv.Num, nil
+	case ">":
+		return lv.Num > rv.Num, nil
+	case ">=":
+		return lv.Num >= rv.Num, nil
+	default:
+		return false, fmt.Errorf("%w: unknown operator %s", ErrTypeMismatch, e.Op)
+	}
+}
+
+func evalOperand(e Expr, ctx *Context) (Value, error) {
+	switch x := e.(type) {
+	case *NumberExpr:
+		return NumValue(x.Value), nil
+	case *StringExpr:
+		return StrValue(x.Value), nil
+	case *FieldExpr:
+		v, ok := ctx.Get(x.Ref)
+		if !ok {
+			return Value{}, fmt.Errorf("%w: %s", ErrUnboundField, x.Ref)
+		}
+		return v, nil
+	default:
+		return Value{}, fmt.Errorf("%w: boolean used as operand", ErrTypeMismatch)
+	}
+}

@@ -1,0 +1,212 @@
+package transparency
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEvaluateUnconditional(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose requester.hourly_wage to workers always;
+		disclose worker.performance to requesters always;
+	}`)
+	cat := StandardCatalogue()
+	ctx := NewContext().SetNum(SubjectRequester, "hourly_wage", 12)
+	ds, err := pol.Evaluate(cat, ctx, AudienceWorkers, TriggerTaskView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("disclosures = %v", ds)
+	}
+	d := ds[0]
+	if d.Field.Field != "hourly_wage" || !d.Bound || d.Value.Num != 12 {
+		t.Fatalf("disclosure = %+v", d)
+	}
+}
+
+func TestEvaluateTriggerFiltering(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.rejection_criteria to workers on rejection;
+	}`)
+	cat := StandardCatalogue()
+	ctx := NewContext()
+	ds, err := pol.Evaluate(cat, ctx, AudienceWorkers, TriggerTaskView)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("wrong-trigger disclosures = %v, %v", ds, err)
+	}
+	ds, err = pol.Evaluate(cat, ctx, AudienceWorkers, TriggerRejection)
+	if err != nil || len(ds) != 1 {
+		t.Fatalf("matching-trigger disclosures = %v, %v", ds, err)
+	}
+}
+
+func TestEvaluatePublicVisibleToAll(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose platform.requester_rating to public always;
+	}`)
+	cat := StandardCatalogue()
+	for _, aud := range []Audience{AudienceWorkers, AudienceRequesters} {
+		ds, err := pol.Evaluate(cat, NewContext(), aud, TriggerTaskView)
+		if err != nil || len(ds) != 1 {
+			t.Fatalf("public rule for %s = %v, %v", aud, ds, err)
+		}
+	}
+}
+
+func TestEvaluateConditions(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose worker.acceptance_ratio to workers when worker.completed >= 10;
+	}`)
+	cat := StandardCatalogue()
+	low := NewContext().SetNum(SubjectWorker, "completed", 5)
+	ds, err := pol.Evaluate(cat, low, AudienceWorkers, TriggerTaskView)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("unmet condition fired: %v, %v", ds, err)
+	}
+	high := NewContext().SetNum(SubjectWorker, "completed", 10)
+	ds, err = pol.Evaluate(cat, high, AudienceWorkers, TriggerTaskView)
+	if err != nil || len(ds) != 1 {
+		t.Fatalf("met condition did not fire: %v, %v", ds, err)
+	}
+}
+
+func TestEvaluateStringConditions(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose worker.performance to requesters when worker.consent == "granted";
+	}`)
+	cat := StandardCatalogue()
+	yes := NewContext().SetStr(SubjectWorker, "consent", "granted")
+	ds, err := pol.Evaluate(cat, yes, AudienceRequesters, TriggerTaskView)
+	if err != nil || len(ds) != 1 {
+		t.Fatalf("granted consent = %v, %v", ds, err)
+	}
+	no := NewContext().SetStr(SubjectWorker, "consent", "denied")
+	ds, err = pol.Evaluate(cat, no, AudienceRequesters, TriggerTaskView)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("denied consent = %v, %v", ds, err)
+	}
+}
+
+func TestEvaluateBooleanOperators(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when task.reward > 1 and not (worker.completed < 5);
+	}`)
+	cat := StandardCatalogue()
+	ctx := NewContext().
+		SetNum(SubjectTask, "reward", 2).
+		SetNum(SubjectWorker, "completed", 5)
+	ds, err := pol.Evaluate(cat, ctx, AudienceWorkers, TriggerTaskView)
+	if err != nil || len(ds) != 1 {
+		t.Fatalf("compound condition = %v, %v", ds, err)
+	}
+	ctx.SetNum(SubjectWorker, "completed", 4)
+	ds, err = pol.Evaluate(cat, ctx, AudienceWorkers, TriggerTaskView)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("negated branch = %v, %v", ds, err)
+	}
+}
+
+func TestEvaluateOrShortCircuit(t *testing.T) {
+	// The right side references an unbound field; with a true left side
+	// the evaluator must short-circuit and not error.
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when task.reward > 1 or worker.completed > 3;
+	}`)
+	cat := StandardCatalogue()
+	ctx := NewContext().SetNum(SubjectTask, "reward", 5)
+	ds, err := pol.Evaluate(cat, ctx, AudienceWorkers, TriggerTaskView)
+	if err != nil || len(ds) != 1 {
+		t.Fatalf("short circuit = %v, %v", ds, err)
+	}
+}
+
+func TestEvaluateUnboundFieldErrors(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when worker.completed > 3;
+	}`)
+	cat := StandardCatalogue()
+	_, err := pol.Evaluate(cat, NewContext(), AudienceWorkers, TriggerTaskView)
+	if !errors.Is(err, ErrUnboundField) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestEvaluateTypeMismatchErrors(t *testing.T) {
+	// Hand-built rule bypassing the static checker: number vs string.
+	pol := &Policy{Name: "x", Rules: []*Rule{{
+		Field: FieldRef{SubjectTask, "reward"},
+		To:    AudienceWorkers, On: TriggerAlways,
+		When: &BinaryExpr{Op: "==",
+			Left:  &NumberExpr{Value: 1},
+			Right: &StringExpr{Value: "1"}},
+	}}}
+	_, err := pol.Evaluate(StandardCatalogue(), NewContext(), AudienceWorkers, TriggerTaskView)
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestEvaluateDeterministicOrder(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose worker.performance to workers always;
+		disclose requester.hourly_wage to workers always;
+		disclose platform.payment_schedule to workers always;
+	}`)
+	ds, err := pol.Evaluate(StandardCatalogue(), NewContext(), AudienceWorkers, TriggerTaskView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by subject then field: platform < requester < worker.
+	if ds[0].Field.Subject != SubjectPlatform || ds[2].Field.Subject != SubjectWorker {
+		t.Fatalf("order = %v", ds)
+	}
+}
+
+func TestCatalogueCheck(t *testing.T) {
+	cat := StandardCatalogue()
+	good := MustParse(samplePolicy)
+	if errs := cat.Check(good); len(errs) != 0 {
+		t.Fatalf("valid policy failed check: %v", errs)
+	}
+	bad := MustParse(`policy "x" {
+		disclose worker.shoe_size to workers always;
+		disclose task.reward to workers when task.reward == "high";
+		disclose task.reward to workers when task.recruitment_criteria > 3;
+	}`)
+	errs := cat.Check(bad)
+	if len(errs) != 3 {
+		t.Fatalf("check errors = %v", errs)
+	}
+	if !errors.Is(errs[0], ErrUnknownField) {
+		t.Errorf("first error = %v", errs[0])
+	}
+}
+
+func TestCatalogueLookupAndEntries(t *testing.T) {
+	cat := StandardCatalogue()
+	e, err := cat.Lookup(FieldRef{SubjectRequester, "hourly_wage"})
+	if err != nil || !e.Axiom6 {
+		t.Fatalf("hourly_wage = %+v, %v", e, err)
+	}
+	if _, err := cat.Lookup(FieldRef{SubjectWorker, "nope"}); !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("unknown lookup = %v", err)
+	}
+	if len(cat.RequiredFor(6)) != 4 {
+		t.Fatalf("axiom 6 fields = %v", cat.RequiredFor(6))
+	}
+	if len(cat.RequiredFor(7)) != 2 {
+		t.Fatalf("axiom 7 fields = %v", cat.RequiredFor(7))
+	}
+}
+
+func TestNewCatalogueRejectsDuplicates(t *testing.T) {
+	e := CatalogueEntry{Ref: FieldRef{SubjectTask, "x"}, Kind: FieldNum}
+	if _, err := NewCatalogue(e, e); err == nil {
+		t.Fatal("duplicate entries accepted")
+	}
+	bad := CatalogueEntry{Ref: FieldRef{"alien", "x"}}
+	if _, err := NewCatalogue(bad); err == nil {
+		t.Fatal("bad subject accepted")
+	}
+}

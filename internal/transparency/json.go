@@ -1,0 +1,189 @@
+package transparency
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange for policies. §3.3.2's case for declarative rules is
+// that they can be shared and compared across platforms; the DSL is the
+// authoring format, and this file provides a structured wire format so
+// policies can also travel through APIs and be manipulated by tools that
+// do not embed the parser. Parse(p.String()) and DecodePolicy(p.JSON())
+// produce the same policy.
+
+// jsonRule is the wire form of Rule.
+type jsonRule struct {
+	Field string    `json:"field"` // "subject.field"
+	To    Audience  `json:"to"`
+	On    Trigger   `json:"on"`
+	When  *jsonExpr `json:"when,omitempty"`
+}
+
+// jsonExpr is the wire form of Expr, a tagged union.
+type jsonExpr struct {
+	Op    string    `json:"op"`             // "and","or","not", comparison ops, "field","num","str"
+	Left  *jsonExpr `json:"left,omitempty"` // binary/unary operands
+	Right *jsonExpr `json:"right,omitempty"`
+	Field string    `json:"field,omitempty"` // for op=="field"
+	Num   float64   `json:"num,omitempty"`   // for op=="num"
+	Str   string    `json:"str,omitempty"`   // for op=="str"
+}
+
+// jsonPolicy is the wire form of Policy.
+type jsonPolicy struct {
+	Name  string      `json:"name"`
+	Rules []*jsonRule `json:"rules"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	jp := jsonPolicy{Name: p.Name}
+	for _, r := range p.Rules {
+		jr := &jsonRule{Field: r.Field.String(), To: r.To, On: r.On}
+		if r.When != nil {
+			je, err := exprToJSON(r.When)
+			if err != nil {
+				return nil, err
+			}
+			jr.When = je
+		}
+		jp.Rules = append(jp.Rules, jr)
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with full validation (subjects,
+// audiences, triggers, expression structure).
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var jp jsonPolicy
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return fmt.Errorf("transparency: policy json: %w", err)
+	}
+	if jp.Name == "" {
+		return fmt.Errorf("transparency: policy json: empty name")
+	}
+	out := Policy{Name: jp.Name}
+	for i, jr := range jp.Rules {
+		ref, err := parseFieldRefString(jr.Field)
+		if err != nil {
+			return fmt.Errorf("transparency: policy json: rule %d: %w", i, err)
+		}
+		if !validAudience(jr.To) {
+			return fmt.Errorf("transparency: policy json: rule %d: unknown audience %q", i, jr.To)
+		}
+		on := jr.On
+		if on == "" {
+			on = TriggerAlways
+		}
+		if !validTrigger(on) {
+			return fmt.Errorf("transparency: policy json: rule %d: unknown trigger %q", i, on)
+		}
+		r := &Rule{Field: ref, To: jr.To, On: on}
+		if jr.When != nil {
+			e, err := exprFromJSON(jr.When)
+			if err != nil {
+				return fmt.Errorf("transparency: policy json: rule %d: %w", i, err)
+			}
+			r.When = e
+		}
+		out.Rules = append(out.Rules, r)
+	}
+	*p = out
+	return nil
+}
+
+// DecodePolicy parses the JSON wire form of a policy.
+func DecodePolicy(data []byte) (*Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// parseFieldRefString splits "subject.field" and validates the subject.
+func parseFieldRefString(s string) (FieldRef, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			subj := Subject(s[:i])
+			field := s[i+1:]
+			if !validSubject(subj) {
+				return FieldRef{}, fmt.Errorf("unknown subject %q", subj)
+			}
+			if field == "" {
+				return FieldRef{}, fmt.Errorf("empty field in %q", s)
+			}
+			return FieldRef{Subject: subj, Field: field}, nil
+		}
+	}
+	return FieldRef{}, fmt.Errorf("field ref %q lacks a '.'", s)
+}
+
+func exprToJSON(e Expr) (*jsonExpr, error) {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		l, err := exprToJSON(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exprToJSON(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Op: x.Op, Left: l, Right: r}, nil
+	case *NotExpr:
+		inner, err := exprToJSON(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonExpr{Op: "not", Left: inner}, nil
+	case *FieldExpr:
+		return &jsonExpr{Op: "field", Field: x.Ref.String()}, nil
+	case *NumberExpr:
+		return &jsonExpr{Op: "num", Num: x.Value}, nil
+	case *StringExpr:
+		return &jsonExpr{Op: "str", Str: x.Value}, nil
+	default:
+		return nil, fmt.Errorf("transparency: unknown expression type %T", e)
+	}
+}
+
+func exprFromJSON(je *jsonExpr) (Expr, error) {
+	switch je.Op {
+	case "and", "or", "==", "!=", "<", "<=", ">", ">=":
+		if je.Left == nil || je.Right == nil {
+			return nil, fmt.Errorf("operator %q needs two operands", je.Op)
+		}
+		l, err := exprFromJSON(je.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exprFromJSON(je.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: je.Op, Left: l, Right: r}, nil
+	case "not":
+		if je.Left == nil {
+			return nil, fmt.Errorf("not needs an operand")
+		}
+		inner, err := exprFromJSON(je.Left)
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: inner}, nil
+	case "field":
+		ref, err := parseFieldRefString(je.Field)
+		if err != nil {
+			return nil, err
+		}
+		return &FieldExpr{Ref: ref}, nil
+	case "num":
+		return &NumberExpr{Value: je.Num}, nil
+	case "str":
+		return &StringExpr{Value: je.Str}, nil
+	default:
+		return nil, fmt.Errorf("unknown expression op %q", je.Op)
+	}
+}

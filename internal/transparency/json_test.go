@@ -1,0 +1,104 @@
+package transparency
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	pol := MustParse(samplePolicy)
+	data, err := json.Marshal(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePolicy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != pol.String() {
+		t.Fatalf("round trip mismatch:\n%s\n%s", pol, back)
+	}
+}
+
+func TestPolicyJSONRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		pol := randomPolicy(rng)
+		data, err := json.Marshal(pol)
+		if err != nil {
+			return false
+		}
+		back, err := DecodePolicy(data)
+		if err != nil {
+			return false
+		}
+		return back.String() == pol.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty name":    `{"name":"","rules":[]}`,
+		"bad subject":   `{"name":"x","rules":[{"field":"alien.f","to":"workers","on":"always"}]}`,
+		"no dot":        `{"name":"x","rules":[{"field":"nodot","to":"workers","on":"always"}]}`,
+		"empty field":   `{"name":"x","rules":[{"field":"worker.","to":"workers","on":"always"}]}`,
+		"bad audience":  `{"name":"x","rules":[{"field":"task.reward","to":"martians","on":"always"}]}`,
+		"bad trigger":   `{"name":"x","rules":[{"field":"task.reward","to":"workers","on":"blue_moon"}]}`,
+		"bad expr op":   `{"name":"x","rules":[{"field":"task.reward","to":"workers","on":"always","when":{"op":"xor"}}]}`,
+		"unary missing": `{"name":"x","rules":[{"field":"task.reward","to":"workers","on":"always","when":{"op":"not"}}]}`,
+		"binary one-op": `{"name":"x","rules":[{"field":"task.reward","to":"workers","on":"always","when":{"op":"==","left":{"op":"num","num":1}}}]}`,
+		"not json":      `nope`,
+	}
+	for name, src := range cases {
+		if _, err := DecodePolicy([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPolicyJSONDefaultTrigger(t *testing.T) {
+	src := `{"name":"x","rules":[{"field":"task.reward","to":"workers"}]}`
+	pol, err := DecodePolicy([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Rules[0].On != TriggerAlways {
+		t.Fatalf("default trigger = %v", pol.Rules[0].On)
+	}
+}
+
+func TestPolicyJSONConditionSemantics(t *testing.T) {
+	// The JSON form must evaluate identically to the parsed form.
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when task.reward > 1 and not (worker.completed < 5);
+	}`)
+	data, err := json.Marshal(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePolicy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := StandardCatalogue()
+	ctx := NewContext().
+		SetNum(SubjectTask, "reward", 2).
+		SetNum(SubjectWorker, "completed", 7)
+	a, err := pol.Evaluate(cat, ctx, AudienceWorkers, TriggerTaskView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Evaluate(cat, ctx, AudienceWorkers, TriggerTaskView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 1 {
+		t.Fatalf("evaluation mismatch: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,75 @@
+package transparency
+
+import "fmt"
+
+// LintWarning is a non-fatal policy quality finding. Lint complements the
+// catalogue Check: Check rejects ill-typed policies, Lint flags policies
+// that are valid but misleading — the kind of review a platform would want
+// before publishing transparency commitments workers will rely on.
+type LintWarning struct {
+	// Rule indexes the offending rule in Policy.Rules.
+	Rule int
+	Msg  string
+}
+
+// String renders the warning.
+func (w LintWarning) String() string {
+	return fmt.Sprintf("rule %d: %s", w.Rule+1, w.Msg)
+}
+
+// Lint analyses a policy for redundancy:
+//
+//   - exact duplicates (same field, audience, trigger, and condition text);
+//   - shadowed rules: a rule whose disclosure is implied by a strictly
+//     less-restrictive earlier rule for the same field and an audience
+//     that covers it (public covers workers and requesters; TriggerAlways
+//     covers every trigger; an unconditional rule covers any condition).
+//
+// Shadowed rules are not wrong, but they overstate a policy's length and
+// make comparisons (Compare, TransparencyScore) harder to read.
+func Lint(p *Policy) []LintWarning {
+	var out []LintWarning
+	seen := make(map[string]int)
+	for i, r := range p.Rules {
+		sig := r.String()
+		if first, dup := seen[sig]; dup {
+			out = append(out, LintWarning{Rule: i,
+				Msg: fmt.Sprintf("duplicate of rule %d", first+1)})
+			continue
+		}
+		seen[sig] = i
+		for j := 0; j < i; j++ {
+			prev := p.Rules[j]
+			if prev.Field != r.Field {
+				continue
+			}
+			if covers(prev, r) {
+				out = append(out, LintWarning{Rule: i,
+					Msg: fmt.Sprintf("shadowed by less restrictive rule %d (%s)", j+1, prev)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether rule a discloses at least whenever rule b would.
+func covers(a, b *Rule) bool {
+	// Audience: a must reach everyone b reaches.
+	if a.To != b.To && a.To != AudiencePublic {
+		return false
+	}
+	// Trigger: a must fire whenever b fires.
+	if a.On != b.On && a.On != TriggerAlways {
+		return false
+	}
+	// Condition: only an unconditional a is guaranteed to cover b's
+	// condition; identical condition text also covers.
+	if a.When != nil {
+		if b.When == nil {
+			return false
+		}
+		return a.When.exprString() == b.When.exprString()
+	}
+	return true
+}

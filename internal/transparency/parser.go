@@ -1,0 +1,306 @@
+package transparency
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses policy source text into a Policy. The grammar:
+//
+//	policy     = "policy" STRING "{" rule* "}"
+//	rule       = "disclose" fieldref "to" audience when-part? cond-part? ";"
+//	fieldref   = IDENT "." IDENT
+//	audience   = "workers" | "requesters" | "public"
+//	when-part  = "always" | "on" IDENT
+//	cond-part  = "when" expr
+//	expr       = orExpr
+//	orExpr     = andExpr ("or" andExpr)*
+//	andExpr    = unary ("and" unary)*
+//	unary      = "not" unary | comparison
+//	comparison = operand OP operand | "(" expr ")"
+//	operand    = fieldref | NUMBER | STRING
+//
+// Conditions are restricted to comparisons (no bare booleans), which keeps
+// evaluation total over the typed context.
+func Parse(src string) (*Policy, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	pol, err := p.parsePolicy()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, p.errf("unexpected %s after policy", p.cur.kind)
+	}
+	return pol, nil
+}
+
+// MustParse is Parse that panics on error; for literal policies in tests
+// and examples.
+func MustParse(src string) *Policy {
+	pol, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: p.cur.line, Col: p.cur.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// expect consumes the current token if it matches, else errors.
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.cur.kind != k {
+		return token{}, p.errf("expected %s, found %s %q", what, p.cur.kind, p.cur.text)
+	}
+	t := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// keyword consumes an identifier with the given text.
+func (p *parser) keyword(kw string) error {
+	if p.cur.kind != tokIdent || p.cur.text != kw {
+		return p.errf("expected %q, found %q", kw, p.cur.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur.kind == tokIdent && p.cur.text == kw
+}
+
+func (p *parser) parsePolicy() (*Policy, error) {
+	if err := p.keyword("policy"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokString, "policy name string")
+	if err != nil {
+		return nil, err
+	}
+	if name.text == "" {
+		return nil, p.errf("policy name must not be empty")
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	pol := &Policy{Name: name.text}
+	for p.cur.kind != tokRBrace {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		pol.Rules = append(pol.Rules, r)
+	}
+	if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	line := p.cur.line
+	if err := p.keyword("disclose"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("to"); err != nil {
+		return nil, err
+	}
+	aud, err := p.expect(tokIdent, "audience")
+	if err != nil {
+		return nil, err
+	}
+	audience := Audience(aud.text)
+	if !validAudience(audience) {
+		return nil, p.errf("unknown audience %q (want workers, requesters, or public)", aud.text)
+	}
+
+	rule := &Rule{Field: ref, To: audience, On: TriggerAlways, Line: line}
+	switch {
+	case p.atKeyword("always"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case p.atKeyword("on"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		trig, err := p.expect(tokIdent, "trigger name")
+		if err != nil {
+			return nil, err
+		}
+		t := Trigger(trig.text)
+		if !validTrigger(t) {
+			return nil, p.errf("unknown trigger %q", trig.text)
+		}
+		rule.On = t
+	}
+	if p.atKeyword("when") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		rule.When = cond
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return rule, nil
+}
+
+func (p *parser) parseFieldRef() (FieldRef, error) {
+	subj, err := p.expect(tokIdent, "subject (requester/platform/worker/task)")
+	if err != nil {
+		return FieldRef{}, err
+	}
+	s := Subject(subj.text)
+	if !validSubject(s) {
+		return FieldRef{}, p.errf("unknown subject %q (want requester, platform, worker, or task)", subj.text)
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return FieldRef{}, err
+	}
+	field, err := p.expect(tokIdent, "field name")
+	if err != nil {
+		return FieldRef{}, err
+	}
+	return FieldRef{Subject: s, Field: field.text}, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.cur.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	switch op.text {
+	case "==", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, p.errf("unknown operator %q", op.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op.text, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	switch p.cur.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumberExpr{Value: v}, nil
+	case tokString:
+		v := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &StringExpr{Value: v}, nil
+	case tokIdent:
+		ref, err := p.parseFieldRef()
+		if err != nil {
+			return nil, err
+		}
+		return &FieldExpr{Ref: ref}, nil
+	default:
+		return nil, p.errf("expected operand, found %s %q", p.cur.kind, p.cur.text)
+	}
+}

@@ -1,0 +1,220 @@
+package transparency
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+const samplePolicy = `
+# Example platform policy.
+policy "acme" {
+    disclose requester.hourly_wage to workers always;
+    disclose requester.payment_delay to workers always;
+    disclose task.rejection_criteria to workers on task_view;
+    disclose worker.acceptance_ratio to workers when worker.completed >= 10;
+    disclose worker.performance to requesters when task.reward > 0.5 and worker.consent == "granted";
+    disclose platform.requester_rating to public always;
+}
+`
+
+func TestParseSample(t *testing.T) {
+	pol, err := Parse(samplePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name != "acme" {
+		t.Fatalf("name = %q", pol.Name)
+	}
+	if len(pol.Rules) != 6 {
+		t.Fatalf("rules = %d", len(pol.Rules))
+	}
+	r := pol.Rules[3]
+	if r.Field != (FieldRef{SubjectWorker, "acceptance_ratio"}) {
+		t.Fatalf("rule 3 field = %v", r.Field)
+	}
+	if r.When == nil {
+		t.Fatal("rule 3 condition missing")
+	}
+	if pol.Rules[2].On != TriggerTaskView {
+		t.Fatalf("rule 2 trigger = %v", pol.Rules[2].On)
+	}
+	if pol.Rules[5].To != AudiencePublic {
+		t.Fatalf("rule 5 audience = %v", pol.Rules[5].To)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	pol := MustParse(samplePolicy)
+	src := pol.String()
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, src)
+	}
+	if back.String() != src {
+		t.Fatalf("round trip not a fixed point:\n%s\n%s", src, back.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing policy kw": `"x" { }`,
+		"missing name":      `policy { }`,
+		"empty name":        `policy "" { }`,
+		"bad subject":       `policy "x" { disclose alien.field to workers always; }`,
+		"bad audience":      `policy "x" { disclose worker.performance to martians always; }`,
+		"bad trigger":       `policy "x" { disclose worker.performance to workers on blue_moon; }`,
+		"missing semicolon": `policy "x" { disclose worker.performance to workers always }`,
+		"single equals":     `policy "x" { disclose worker.performance to workers when worker.completed = 1; }`,
+		"unterminated str":  `policy "x`,
+		"trailing garbage":  `policy "x" { } extra`,
+		"bare boolean":      `policy "x" { disclose worker.performance to workers when worker.completed; }`,
+		"unclosed paren":    `policy "x" { disclose worker.performance to workers when (worker.completed > 1; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Parse("policy \"x\" {\n  disclose alien.f to workers always;\n}")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type = %T", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("line = %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "2:") {
+		t.Fatalf("message lacks position: %s", se)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `policy "x" { # inline
+# full line
+disclose task.reward to workers always; # trailing
+}`
+	pol, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Rules) != 1 {
+		t.Fatalf("rules = %d", len(pol.Rules))
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	pol, err := Parse(`policy "a\"b\\c" { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name != `a"b\c` {
+		t.Fatalf("name = %q", pol.Name)
+	}
+	if _, err := Parse(`policy "bad\q" { }`); err == nil {
+		t.Error("unknown escape accepted")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when task.reward > 1 or task.reward < 0.5 and worker.completed > 3;
+	}`)
+	// "and" binds tighter than "or": (a or (b and c)).
+	top, ok := pol.Rules[0].When.(*BinaryExpr)
+	if !ok || top.Op != "or" {
+		t.Fatalf("top op = %v", pol.Rules[0].When)
+	}
+	right, ok := top.Right.(*BinaryExpr)
+	if !ok || right.Op != "and" {
+		t.Fatalf("right op = %v", top.Right)
+	}
+}
+
+func TestParseNotAndParens(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when not (task.reward > 1);
+	}`)
+	if _, ok := pol.Rules[0].When.(*NotExpr); !ok {
+		t.Fatalf("expr = %T", pol.Rules[0].When)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when task.reward >= 1.25;
+	}`)
+	cmp := pol.Rules[0].When.(*BinaryExpr)
+	if num := cmp.Right.(*NumberExpr); num.Value != 1.25 {
+		t.Fatalf("number = %v", num.Value)
+	}
+}
+
+// Generated policies must round-trip through their canonical source.
+func TestSyntheticRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		pol := randomPolicy(rng)
+		src := pol.String()
+		back, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		return back.String() == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomPolicy builds a structurally random but well-formed policy.
+func randomPolicy(rng *stats.RNG) *Policy {
+	cat := StandardCatalogue()
+	entries := cat.Entries()
+	audiences := []Audience{AudienceWorkers, AudienceRequesters, AudiencePublic}
+	triggers := []Trigger{TriggerAlways, TriggerTaskView, TriggerSubmission, TriggerRejection, TriggerPayment, TriggerSignup}
+	pol := &Policy{Name: "random"}
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		e := entries[rng.Intn(len(entries))]
+		r := &Rule{
+			Field: e.Ref,
+			To:    audiences[rng.Intn(len(audiences))],
+			On:    triggers[rng.Intn(len(triggers))],
+		}
+		if rng.Bool(0.5) {
+			r.When = randomExpr(rng, entries, 2)
+		}
+		pol.Rules = append(pol.Rules, r)
+	}
+	return pol
+}
+
+func randomExpr(rng *stats.RNG, entries []CatalogueEntry, depth int) Expr {
+	if depth == 0 || rng.Bool(0.5) {
+		e := entries[rng.Intn(len(entries))]
+		left := &FieldExpr{Ref: e.Ref}
+		if e.Kind == FieldNum {
+			ops := []string{"==", "!=", "<", "<=", ">", ">="}
+			return &BinaryExpr{Op: ops[rng.Intn(len(ops))], Left: left,
+				Right: &NumberExpr{Value: float64(rng.Intn(100)) / 4}}
+		}
+		ops := []string{"==", "!="}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], Left: left,
+			Right: &StringExpr{Value: "v"}}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &NotExpr{X: randomExpr(rng, entries, depth-1)}
+	case 1:
+		return &BinaryExpr{Op: "and", Left: randomExpr(rng, entries, depth-1), Right: randomExpr(rng, entries, depth-1)}
+	default:
+		return &BinaryExpr{Op: "or", Left: randomExpr(rng, entries, depth-1), Right: randomExpr(rng, entries, depth-1)}
+	}
+}

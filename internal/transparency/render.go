@@ -1,0 +1,121 @@
+package transparency
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render translates a policy into the human-readable description the paper
+// calls for ("rules can also be translated into human-readable descriptions
+// for workers' consumption"). Field phrasings come from the catalogue;
+// fields missing from the catalogue fall back to their reference text so
+// rendering never fails.
+func Render(p *Policy, cat *Catalogue) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transparency commitments of %q:\n", p.Name)
+	if len(p.Rules) == 0 {
+		b.WriteString("  (none — this policy discloses nothing)\n")
+		return b.String()
+	}
+	for i, r := range p.Rules {
+		fmt.Fprintf(&b, "  %d. %s\n", i+1, RenderRule(r, cat))
+	}
+	return b.String()
+}
+
+// RenderRule renders one rule as an English sentence.
+func RenderRule(r *Rule, cat *Catalogue) string {
+	noun := r.Field.String()
+	if cat != nil {
+		if e, err := cat.Lookup(r.Field); err == nil {
+			noun = e.Description
+		}
+	}
+	var b strings.Builder
+	switch r.To {
+	case AudienceWorkers:
+		b.WriteString("Workers can see ")
+	case AudienceRequesters:
+		b.WriteString("Requesters can see ")
+	case AudiencePublic:
+		b.WriteString("Everyone can see ")
+	}
+	b.WriteString(noun)
+	switch r.On {
+	case TriggerAlways:
+		b.WriteString(" at all times")
+	case TriggerTaskView:
+		b.WriteString(" when viewing a task")
+	case TriggerSubmission:
+		b.WriteString(" when a contribution is submitted")
+	case TriggerRejection:
+		b.WriteString(" when a contribution is rejected")
+	case TriggerPayment:
+		b.WriteString(" when a payment is issued")
+	case TriggerSignup:
+		b.WriteString(" when signing up")
+	}
+	if r.When != nil {
+		b.WriteString(", provided that ")
+		b.WriteString(renderExpr(r.When, cat))
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func renderExpr(e Expr, cat *Catalogue) string {
+	switch x := e.(type) {
+	case *NotExpr:
+		return "it is not the case that " + renderExpr(x.X, cat)
+	case *BinaryExpr:
+		switch x.Op {
+		case "and":
+			return renderExpr(x.Left, cat) + " and " + renderExpr(x.Right, cat)
+		case "or":
+			return renderExpr(x.Left, cat) + " or " + renderExpr(x.Right, cat)
+		default:
+			return renderOperand(x.Left, cat) + " " + renderOp(x.Op) + " " + renderOperand(x.Right, cat)
+		}
+	case *FieldExpr, *NumberExpr, *StringExpr:
+		return renderOperand(e, cat)
+	default:
+		return "?"
+	}
+}
+
+func renderOperand(e Expr, cat *Catalogue) string {
+	switch x := e.(type) {
+	case *FieldExpr:
+		if cat != nil {
+			if entry, err := cat.Lookup(x.Ref); err == nil {
+				return entry.Description
+			}
+		}
+		return x.Ref.String()
+	case *NumberExpr:
+		return x.exprString()
+	case *StringExpr:
+		return fmt.Sprintf("%q", x.Value)
+	default:
+		return "?"
+	}
+}
+
+func renderOp(op string) string {
+	switch op {
+	case "==":
+		return "is"
+	case "!=":
+		return "is not"
+	case "<":
+		return "is below"
+	case "<=":
+		return "is at most"
+	case ">":
+		return "is above"
+	case ">=":
+		return "is at least"
+	default:
+		return op
+	}
+}

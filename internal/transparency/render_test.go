@@ -1,0 +1,77 @@
+package transparency
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderUsesCatalogueDescriptions(t *testing.T) {
+	pol := MustParse(`policy "acme" {
+		disclose requester.hourly_wage to workers always;
+	}`)
+	out := Render(pol, StandardCatalogue())
+	if !strings.Contains(out, "acme") {
+		t.Errorf("missing policy name:\n%s", out)
+	}
+	if !strings.Contains(out, "expected hourly wage") {
+		t.Errorf("missing catalogue phrasing:\n%s", out)
+	}
+	if !strings.Contains(out, "at all times") {
+		t.Errorf("missing trigger phrasing:\n%s", out)
+	}
+}
+
+func TestRenderTriggersAndConditions(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.rejection_criteria to workers on rejection;
+		disclose worker.acceptance_ratio to workers when worker.completed >= 10;
+	}`)
+	out := Render(pol, StandardCatalogue())
+	if !strings.Contains(out, "when a contribution is rejected") {
+		t.Errorf("rejection trigger missing:\n%s", out)
+	}
+	if !strings.Contains(out, "provided that") || !strings.Contains(out, "is at least 10") {
+		t.Errorf("condition rendering missing:\n%s", out)
+	}
+}
+
+func TestRenderAudiences(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose worker.performance to requesters always;
+		disclose platform.requester_rating to public always;
+	}`)
+	out := Render(pol, StandardCatalogue())
+	if !strings.Contains(out, "Requesters can see") || !strings.Contains(out, "Everyone can see") {
+		t.Errorf("audience phrasing missing:\n%s", out)
+	}
+}
+
+func TestRenderEmptyPolicy(t *testing.T) {
+	out := Render(&Policy{Name: "void"}, StandardCatalogue())
+	if !strings.Contains(out, "discloses nothing") {
+		t.Errorf("empty policy rendering:\n%s", out)
+	}
+}
+
+func TestRenderFallsBackForUncataloguedFields(t *testing.T) {
+	pol := &Policy{Name: "x", Rules: []*Rule{{
+		Field: FieldRef{SubjectWorker, "mystery"},
+		To:    AudienceWorkers, On: TriggerAlways,
+	}}}
+	out := Render(pol, StandardCatalogue())
+	if !strings.Contains(out, "worker.mystery") {
+		t.Errorf("fallback rendering missing:\n%s", out)
+	}
+}
+
+func TestRenderBooleanConditions(t *testing.T) {
+	pol := MustParse(`policy "x" {
+		disclose task.reward to workers when not (task.reward > 5) and worker.consent == "granted";
+	}`)
+	out := Render(pol, StandardCatalogue())
+	for _, phrase := range []string{"it is not the case that", "is above 5", `is "granted"`} {
+		if !strings.Contains(out, phrase) {
+			t.Errorf("missing %q in:\n%s", phrase, out)
+		}
+	}
+}

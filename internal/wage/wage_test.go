@@ -1,0 +1,150 @@
+package wage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// traceWith builds a minimal trace: post, start at t0, submit at t1, pay.
+func traceWith(events ...eventlog.Event) *eventlog.Log {
+	l := eventlog.New()
+	for _, e := range events {
+		l.MustAppend(e)
+	}
+	return l
+}
+
+func TestFromLogSingleEpisode(t *testing.T) {
+	l := traceWith(
+		eventlog.Event{Time: 0, Type: eventlog.TaskPosted, Task: "t1", Requester: "r1"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "t1", Worker: "w1"},
+		eventlog.Event{Time: 7, Type: eventlog.TaskSubmitted, Task: "t1", Worker: "w1", Contribution: "c1"},
+		eventlog.Event{Time: 8, Type: eventlog.PaymentIssued, Task: "t1", Worker: "w1", Contribution: "c1", Amount: 3},
+	)
+	rep := FromLog(l)
+	if len(rep.Episodes) != 1 {
+		t.Fatalf("episodes = %d", len(rep.Episodes))
+	}
+	ep := rep.Episodes[0]
+	if ep.Duration() != 6 || ep.Earned != 3 || ep.Requester != "r1" {
+		t.Fatalf("episode = %+v", ep)
+	}
+	// 3 earned over 6 ticks = 0.5/tick = 6/hour at 12 ticks/hour.
+	w, ok := rep.RequesterWage("r1")
+	if !ok || math.Abs(w-6) > 1e-9 {
+		t.Fatalf("requester wage = %v, %v", w, ok)
+	}
+	if est := rep.ByWorker["w1"]; est.HourlyWage() != w {
+		t.Fatalf("worker wage = %v", est.HourlyWage())
+	}
+}
+
+func TestFromLogUnpaidAndInterrupted(t *testing.T) {
+	l := traceWith(
+		eventlog.Event{Time: 0, Type: eventlog.TaskPosted, Task: "t1", Requester: "r1"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "t1", Worker: "paid"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "t1", Worker: "cut"},
+		eventlog.Event{Time: 5, Type: eventlog.TaskSubmitted, Task: "t1", Worker: "paid", Contribution: "c1"},
+		eventlog.Event{Time: 5, Type: eventlog.TaskInterrupted, Task: "t1", Worker: "cut"},
+		eventlog.Event{Time: 6, Type: eventlog.PaymentIssued, Task: "t1", Worker: "paid", Contribution: "c1", Amount: 2},
+	)
+	rep := FromLog(l)
+	if len(rep.Episodes) != 2 {
+		t.Fatalf("episodes = %d", len(rep.Episodes))
+	}
+	est := rep.ByRequester["r1"]
+	if est.Episodes != 2 || est.PaidEpisodes != 1 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	// The interrupted worker's time counts: 2 earned over 8 ticks total.
+	want := 2.0 / (8.0 / TicksPerHour)
+	if math.Abs(est.HourlyWage()-want) > 1e-9 {
+		t.Fatalf("wage = %v, want %v", est.HourlyWage(), want)
+	}
+	if est.PaidRate() != 0.5 {
+		t.Fatalf("paid rate = %v", est.PaidRate())
+	}
+	// The interruption must depress the wage vs the paid-only counterfactual.
+	paidOnly := 2.0 / (4.0 / TicksPerHour)
+	if est.HourlyWage() >= paidOnly {
+		t.Fatal("interrupted time did not depress the wage")
+	}
+}
+
+func TestFromLogIgnoresOpenEpisodes(t *testing.T) {
+	l := traceWith(
+		eventlog.Event{Time: 0, Type: eventlog.TaskPosted, Task: "t1", Requester: "r1"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "t1", Worker: "w1"},
+	)
+	rep := FromLog(l)
+	if len(rep.Episodes) != 0 {
+		t.Fatalf("open episode counted: %v", rep.Episodes)
+	}
+	if _, ok := rep.RequesterWage("r1"); ok {
+		t.Fatal("wage reported with no finished episodes")
+	}
+}
+
+func TestFromLogMinimumDuration(t *testing.T) {
+	l := traceWith(
+		eventlog.Event{Time: 0, Type: eventlog.TaskPosted, Task: "t1", Requester: "r1"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "t1", Worker: "w1"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskSubmitted, Task: "t1", Worker: "w1", Contribution: "c1"},
+	)
+	rep := FromLog(l)
+	if rep.Episodes[0].Duration() != 1 {
+		t.Fatalf("instant episode duration = %d, want clamped 1", rep.Episodes[0].Duration())
+	}
+}
+
+func TestRankRequesters(t *testing.T) {
+	l := traceWith(
+		eventlog.Event{Time: 0, Type: eventlog.TaskPosted, Task: "cheap", Requester: "stingy"},
+		eventlog.Event{Time: 0, Type: eventlog.TaskPosted, Task: "rich", Requester: "generous"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "cheap", Worker: "w1"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "rich", Worker: "w2"},
+		eventlog.Event{Time: 5, Type: eventlog.TaskSubmitted, Task: "cheap", Worker: "w1", Contribution: "c1"},
+		eventlog.Event{Time: 5, Type: eventlog.TaskSubmitted, Task: "rich", Worker: "w2", Contribution: "c2"},
+		eventlog.Event{Time: 6, Type: eventlog.PaymentIssued, Task: "cheap", Worker: "w1", Contribution: "c1", Amount: 1},
+		eventlog.Event{Time: 6, Type: eventlog.PaymentIssued, Task: "rich", Worker: "w2", Contribution: "c2", Amount: 5},
+	)
+	rep := FromLog(l)
+	rank := rep.RankRequesters()
+	if len(rank) != 2 || rank[0] != "generous" || rank[1] != "stingy" {
+		t.Fatalf("rank = %v", rank)
+	}
+}
+
+func TestFromLogOnSimulatedTrace(t *testing.T) {
+	rng := stats.NewRNG(21)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{Workers: 30}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{Tasks: 20, Quota: 2}, pop, rng.Split())
+	res, err := sim.Run(sim.Config{Population: pop, Batch: batch, Rounds: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := FromLog(res.Log)
+	if len(rep.Episodes) == 0 {
+		t.Fatal("no episodes from simulated trace")
+	}
+	// Totals must reconcile with the ledger: every payment belongs to an
+	// episode.
+	var earned float64
+	for _, ep := range rep.Episodes {
+		earned += ep.Earned
+	}
+	if diff := math.Abs(earned - res.Ledger.Total()); diff > 1e-9 {
+		t.Fatalf("episode earnings %v vs ledger %v", earned, res.Ledger.Total())
+	}
+	for _, id := range rep.RankRequesters() {
+		w, ok := rep.RequesterWage(id)
+		if !ok || w < 0 {
+			t.Fatalf("requester %s wage = %v, %v", id, w, ok)
+		}
+	}
+}

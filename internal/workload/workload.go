@@ -1,0 +1,399 @@
+// Package workload synthesises the controlled populations and task batches
+// the experiments run over.
+//
+// The paper's platforms (AMT, CrowdFlower) and their traces are
+// proprietary, and §4.1 explicitly proposes *controlled experiments* with
+// objective measures instead of observational studies. The generators here
+// produce worker populations with clustered skills and demographics (so
+// similar-worker pairs exist for Axiom 1 to quantify over), task batches
+// with comparable cross-requester pairs (for Axiom 2), answer matrices with
+// a controlled spammer fraction (for E4, calibrated to the ~40% spam figure
+// of Vuurens et al.), and contribution sets with controlled similarity
+// structure (for E3). Everything is driven by an explicit stats.RNG so runs
+// are reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// PopulationSpec parameterises worker-population generation.
+type PopulationSpec struct {
+	// Workers is the number of workers to generate.
+	Workers int
+	// Archetypes is the number of skill/demographic clusters; workers in
+	// the same archetype are similar in the Axiom-1 sense (default 4).
+	Archetypes int
+	// SkillsPerArchetype is how many skills each archetype sets (default 3).
+	SkillsPerArchetype int
+	// SkillNoise is the probability a worker flips one extra skill on
+	// (individual variation; default 0 keeps archetypes exactly similar).
+	SkillNoise float64
+	// AcceptanceMean/AcceptanceSpread bound the synthetic acceptance
+	// ratios (computed attributes); defaults 0.85 / 0.1.
+	AcceptanceMean   float64
+	AcceptanceSpread float64
+	// Countries is the pool of declared-location categories (default 3).
+	Countries int
+}
+
+func (s PopulationSpec) withDefaults() PopulationSpec {
+	if s.Archetypes == 0 {
+		s.Archetypes = 4
+	}
+	if s.SkillsPerArchetype == 0 {
+		s.SkillsPerArchetype = 3
+	}
+	if s.AcceptanceMean == 0 {
+		s.AcceptanceMean = 0.85
+	}
+	if s.AcceptanceSpread == 0 {
+		s.AcceptanceSpread = 0.1
+	}
+	if s.Countries == 0 {
+		s.Countries = 3
+	}
+	return s
+}
+
+// Population is a generated worker population with its universe.
+type Population struct {
+	Universe *model.Universe
+	Workers  []*model.Worker
+	// Archetype maps each worker to its cluster index; workers sharing an
+	// archetype are ground-truth "similar" for checker validation.
+	Archetype map[model.WorkerID]int
+}
+
+// GeneratePopulation builds a clustered worker population. The universe has
+// Archetypes*SkillsPerArchetype skills; archetype k sets the k-th block.
+func GeneratePopulation(spec PopulationSpec, rng *stats.RNG) *Population {
+	spec = spec.withDefaults()
+	m := spec.Archetypes * spec.SkillsPerArchetype
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("skill-%02d", i)
+	}
+	u := model.MustUniverse(names...)
+
+	pop := &Population{Universe: u, Archetype: make(map[model.WorkerID]int, spec.Workers)}
+	for i := 0; i < spec.Workers; i++ {
+		arch := i % spec.Archetypes
+		skills := model.NewSkillVector(m)
+		base := arch * spec.SkillsPerArchetype
+		for j := 0; j < spec.SkillsPerArchetype; j++ {
+			skills[base+j] = true
+		}
+		if spec.SkillNoise > 0 && rng.Bool(spec.SkillNoise) {
+			skills[rng.Intn(m)] = true
+		}
+		acceptance := clamp01(spec.AcceptanceMean + (rng.Float64()*2-1)*spec.AcceptanceSpread)
+		w := &model.Worker{
+			ID: model.WorkerID(fmt.Sprintf("w%04d", i)),
+			Declared: model.Attributes{
+				"country": model.Str(fmt.Sprintf("country-%d", arch%spec.Countries)),
+			},
+			Computed: model.Attributes{
+				model.AttrAcceptanceRatio: model.Num(acceptance),
+			},
+			Skills: skills,
+		}
+		pop.Workers = append(pop.Workers, w)
+		pop.Archetype[w.ID] = arch
+	}
+	return pop
+}
+
+// TaskSpec parameterises task-batch generation.
+type TaskSpec struct {
+	// Tasks is the number of tasks.
+	Tasks int
+	// Requesters is the number of distinct requesters tasks rotate over
+	// (default 4).
+	Requesters int
+	// RewardBase and RewardJitter control rewards: base + U(0,jitter)
+	// (defaults 1.0 / 0.05 — within Axiom 2's comparable-reward band).
+	RewardBase   float64
+	RewardJitter float64
+	// OverPublish is the ratio Published/Quota (default 1: no
+	// over-publication). E5 sweeps this.
+	OverPublish float64
+	// Quota is the per-task target number of acceptable contributions
+	// (default 3).
+	Quota int
+}
+
+func (s TaskSpec) withDefaults() TaskSpec {
+	if s.Requesters == 0 {
+		s.Requesters = 4
+	}
+	if s.RewardBase == 0 {
+		s.RewardBase = 1.0
+	}
+	if s.RewardJitter == 0 {
+		s.RewardJitter = 0.05
+	}
+	if s.OverPublish == 0 {
+		s.OverPublish = 1
+	}
+	if s.Quota == 0 {
+		s.Quota = 3
+	}
+	return s
+}
+
+// Batch is a generated set of tasks and their requesters.
+type Batch struct {
+	Requesters []*model.Requester
+	Tasks      []*model.Task
+}
+
+// GenerateTasks builds a task batch over the population's universe. Task i
+// requires the skill block of archetype i%Archetypes, so every archetype
+// has qualified work, and consecutive tasks from different requesters have
+// identical skill requirements — the comparable pairs Axiom 2 audits.
+func GenerateTasks(spec TaskSpec, pop *Population, rng *stats.RNG) *Batch {
+	spec = spec.withDefaults()
+	b := &Batch{}
+	for r := 0; r < spec.Requesters; r++ {
+		b.Requesters = append(b.Requesters, &model.Requester{
+			ID:   model.RequesterID(fmt.Sprintf("r%02d", r)),
+			Name: fmt.Sprintf("Requester %d", r),
+		})
+	}
+	m := pop.Universe.Size()
+	archetypes := len(distinctArchetypes(pop))
+	if archetypes == 0 {
+		archetypes = 1
+	}
+	skillsPer := m / archetypes
+	for i := 0; i < spec.Tasks; i++ {
+		arch := i % archetypes
+		skills := model.NewSkillVector(m)
+		for j := 0; j < skillsPer; j++ {
+			skills[arch*skillsPer+j] = true
+		}
+		quota := spec.Quota
+		published := int(float64(quota)*spec.OverPublish + 0.5)
+		if published < quota {
+			published = quota
+		}
+		b.Tasks = append(b.Tasks, &model.Task{
+			ID:        model.TaskID(fmt.Sprintf("t%04d", i)),
+			Requester: b.Requesters[i%spec.Requesters].ID,
+			Skills:    skills,
+			Reward:    spec.RewardBase + rng.Float64()*spec.RewardJitter,
+			Quota:     quota,
+			Published: published,
+			Title:     fmt.Sprintf("Task %d (archetype %d)", i, arch),
+		})
+	}
+	return b
+}
+
+func distinctArchetypes(pop *Population) map[int]bool {
+	out := make(map[int]bool)
+	for _, a := range pop.Archetype {
+		out[a] = true
+	}
+	return out
+}
+
+// AnswerSpec parameterises labelled-answer generation for E4.
+type AnswerSpec struct {
+	// Workers is the number of answering workers.
+	Workers int
+	// Questions is the number of questions; GoldFraction of them carry
+	// ground truth (default 0.2).
+	Questions    int
+	GoldFraction float64
+	// Labels is the number of categories (default 4).
+	Labels int
+	// SpamFraction is the share of workers who answer maliciously. Honest
+	// workers answer correctly with HonestAccuracy (default 0.9).
+	SpamFraction   float64
+	HonestAccuracy float64
+	// SpamModel selects the malicious behaviour, following the spammer
+	// taxonomy of Vuurens et al.: SpamRandom workers answer uniformly at
+	// random; SpamUniform workers always give the same label (label 0),
+	// which makes them *agree with each other* — the adversarial case for
+	// agreement-based detection. Default SpamRandom.
+	SpamModel SpamModel
+}
+
+// SpamModel enumerates malicious answering behaviours.
+type SpamModel uint8
+
+// Spam models.
+const (
+	// SpamRandom answers uniformly at random (random spammer).
+	SpamRandom SpamModel = iota
+	// SpamUniform always answers label 0 (uniform/repeated spammer).
+	SpamUniform
+)
+
+// String renders the model name.
+func (m SpamModel) String() string {
+	if m == SpamUniform {
+		return "uniform"
+	}
+	return "random"
+}
+
+func (s AnswerSpec) withDefaults() AnswerSpec {
+	if s.GoldFraction == 0 {
+		s.GoldFraction = 0.2
+	}
+	if s.Labels == 0 {
+		s.Labels = 4
+	}
+	if s.HonestAccuracy == 0 {
+		s.HonestAccuracy = 0.9
+	}
+	return s
+}
+
+// LabelledAnswers is a generated answer matrix with ground-truth spammers.
+type LabelledAnswers struct {
+	Set *detect.AnswerSet
+	// Spammers is the ground truth: true for workers generated as spammers.
+	Spammers map[model.WorkerID]bool
+}
+
+// GenerateAnswers builds a worker×question answer matrix with a controlled
+// spammer cohort. Every worker answers every question; the true label of
+// question q is q%Labels.
+func GenerateAnswers(spec AnswerSpec, rng *stats.RNG) *LabelledAnswers {
+	spec = spec.withDefaults()
+	set := &detect.AnswerSet{
+		Labels:    spec.Labels,
+		Questions: spec.Questions,
+		Gold:      make(map[int]int),
+	}
+	out := &LabelledAnswers{Set: set, Spammers: make(map[model.WorkerID]bool)}
+	truth := make([]int, spec.Questions)
+	for q := 0; q < spec.Questions; q++ {
+		truth[q] = q % spec.Labels
+		if rng.Bool(spec.GoldFraction) {
+			set.Gold[q] = truth[q]
+		}
+	}
+	nSpam := int(float64(spec.Workers)*spec.SpamFraction + 0.5)
+	for i := 0; i < spec.Workers; i++ {
+		id := model.WorkerID(fmt.Sprintf("w%04d", i))
+		spam := i < nSpam
+		out.Spammers[id] = spam
+		for q := 0; q < spec.Questions; q++ {
+			var label int
+			switch {
+			case spam && spec.SpamModel == SpamUniform:
+				label = 0
+			case spam:
+				label = rng.Intn(spec.Labels)
+			case rng.Bool(spec.HonestAccuracy):
+				label = truth[q]
+			default:
+				// Honest mistake: uniform over the wrong labels.
+				label = (truth[q] + 1 + rng.Intn(spec.Labels-1)) % spec.Labels
+			}
+			set.Answers = append(set.Answers, detect.Answer{Worker: id, Question: q, Label: label})
+		}
+	}
+	return out
+}
+
+// ContributionSpec parameterises controlled-similarity contribution sets
+// for E3.
+type ContributionSpec struct {
+	// Contributors is the number of workers contributing to the task.
+	Contributors int
+	// Clusters is the number of distinct answer texts; contributions in the
+	// same cluster are near-identical (ground-truth "similar" for Axiom 3).
+	Clusters int
+	// MutationRate is the per-cluster-member chance of a one-word mutation,
+	// keeping them similar-but-not-identical (default 0.5).
+	MutationRate float64
+	// QualityByCluster optionally assigns per-cluster quality; when nil,
+	// cluster k gets quality 1 - k*0.15 floored at 0.2.
+	QualityByCluster []float64
+	// QualityJitter adds uniform per-member noise of ±QualityJitter to the
+	// cluster quality (clamped to [0.2, 1]). Non-zero jitter makes members
+	// of a similarity cluster straddle accept thresholds — the §3.1.1
+	// asymmetry ("a requester may reject valid work") that E3 needs.
+	QualityJitter float64
+}
+
+// GenerateContributions builds contributions to task t from the first
+// Contributors workers of ids, grouped into similarity clusters. The
+// returned cluster map is the ground truth for checker validation.
+func GenerateContributions(spec ContributionSpec, t *model.Task, ids []model.WorkerID, rng *stats.RNG) ([]*model.Contribution, map[model.ContributionID]int) {
+	if spec.Clusters <= 0 {
+		spec.Clusters = 2
+	}
+	if spec.MutationRate == 0 {
+		spec.MutationRate = 0.5
+	}
+	// Cluster texts draw from disjoint vocabularies so that cross-cluster
+	// n-gram similarity is genuinely low while in-cluster similarity stays
+	// near 1 — the ground-truth structure Axiom 3 is tested against.
+	vocab := []string{
+		"alpha bravo charlie delta echo foxtrot golf hotel india juliett kilo lima",
+		"mango nectar orange papaya quince raisin squash tomato ugli vanilla walnut yam",
+		"zinc yttrium xenon tungsten silver rhodium platinum osmium nickel mercury lead iron",
+		"basalt chalk dolomite eclogite flint gypsum hornfels jasper kyanite limestone marble novaculite",
+		"accordion bassoon cello drums euphonium flute guitar harp organ piano quena sitar",
+	}
+	baseTexts := make([]string, spec.Clusters)
+	for k := range baseTexts {
+		words := vocab[k%len(vocab)]
+		baseTexts[k] = fmt.Sprintf("%s cluster %d of task %s", words, k, t.ID)
+	}
+	clusters := make(map[model.ContributionID]int)
+	var out []*model.Contribution
+	for i := 0; i < spec.Contributors && i < len(ids); i++ {
+		k := i % spec.Clusters
+		text := baseTexts[k]
+		if rng.Bool(spec.MutationRate) {
+			text += fmt.Sprintf(" noted %d", rng.Intn(10))
+		}
+		quality := 1 - float64(k)*0.15
+		if spec.QualityByCluster != nil && k < len(spec.QualityByCluster) {
+			quality = spec.QualityByCluster[k]
+		}
+		if spec.QualityJitter > 0 {
+			quality += (rng.Float64()*2 - 1) * spec.QualityJitter
+		}
+		if quality < 0.2 {
+			quality = 0.2
+		}
+		if quality > 1 {
+			quality = 1
+		}
+		c := &model.Contribution{
+			ID:          model.ContributionID(fmt.Sprintf("%s-c%03d", t.ID, i)),
+			Task:        t.ID,
+			Worker:      ids[i],
+			Text:        text,
+			Quality:     quality,
+			Accepted:    true,
+			SubmittedAt: int64(i),
+		}
+		out = append(out, c)
+		clusters[c.ID] = k
+	}
+	return out, clusters
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

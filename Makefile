@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test test-race vet fmt-check bench sweep clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Quick demonstration of the parallel sweep engine.
+sweep:
+	$(GO) run ./cmd/benchrunner -sweep all -seeds 1,2 -scales 0.25
+
+clean:
+	$(GO) clean ./...

@@ -1,37 +1,137 @@
-// Command benchrunner regenerates every experiment table of DESIGN.md
-// (E1–E8) and prints them in the format recorded in EXPERIMENTS.md.
+// Command benchrunner regenerates the experiment tables of DESIGN.md
+// (E1–E10), either one-shot in the format recorded in EXPERIMENTS.md or as
+// a parallel parameter sweep over a grid of experiments × scales × seeds.
 //
 // Usage:
 //
 //	benchrunner [-seed N] [-only E4]
+//	benchrunner -sweep E1,E4 [-seeds 1,2,3] [-scales 0.5,1,2] [-parallelism 8] [-json]
 //
-// With -only, a single experiment is run.
+// The default mode runs every experiment once at the given seed. Sweep
+// mode drives the same experiments through the internal/sweep worker pool:
+// -sweep selects experiments ("all" for E1–E10), -seeds and -scales span
+// the grid, -parallelism bounds the pool (default GOMAXPROCS), and -json
+// switches the report from human tables to machine-readable JSON. Sweep
+// results are deterministic for a given grid regardless of parallelism.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 42, "deterministic seed for all experiments")
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
-	flag.Parse()
-
-	tables := experiments.All(*seed)
-	found := false
-	for _, t := range tables {
-		if *only != "" && t.ID != *only {
-			continue
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit 0
 		}
-		found = true
-		fmt.Println(t)
-	}
-	if *only != "" && !found {
-		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (want E1..E8)\n", *only)
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(2)
 	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 42, "deterministic seed (one-shot mode, and the default sweep seed)")
+	only := fs.String("only", "", "run a single experiment (E1..E10)")
+	sweepSel := fs.String("sweep", "", "comma-separated experiments to sweep, or \"all\"")
+	seedList := fs.String("seeds", "", "comma-separated replicate seeds for the sweep grid")
+	scaleList := fs.String("scales", "", "comma-separated scale factors for the sweep grid")
+	parallelism := fs.Int("parallelism", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	asJSON := fs.Bool("json", false, "emit the sweep report as JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *sweepSel == "" && *seedList == "" && *scaleList == "" {
+		return runOneShot(*seed, *only, stdout)
+	}
+	if *only != "" {
+		// -only composes with the grid flags by narrowing the sweep to one
+		// experiment; naming experiments two ways at once is ambiguous.
+		if *sweepSel != "" {
+			return fmt.Errorf("use either -only or -sweep to select experiments, not both")
+		}
+		*sweepSel = *only
+	}
+	grid, err := buildGrid(*sweepSel, *seedList, *scaleList, *seed)
+	if err != nil {
+		return err
+	}
+	report, err := sweep.Run(grid, sweep.Options{Parallelism: *parallelism})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		raw, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(raw))
+		return nil
+	}
+	fmt.Fprint(stdout, report.String())
+	return nil
+}
+
+// runOneShot preserves the original benchrunner behaviour (and the exact
+// seeds of the tables recorded in EXPERIMENTS.md).
+func runOneShot(seed uint64, only string, stdout io.Writer) error {
+	if only != "" {
+		spec, ok := experiments.SpecByID(only)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want E1..E10)", only)
+		}
+		fmt.Fprintln(stdout, spec.Run(experiments.Params{Seed: seed, Scale: 1}))
+		return nil
+	}
+	for _, t := range experiments.All(seed) {
+		fmt.Fprintln(stdout, t)
+	}
+	return nil
+}
+
+func buildGrid(sweepSel, seedList, scaleList string, defaultSeed uint64) (sweep.Grid, error) {
+	var g sweep.Grid
+	switch sweepSel {
+	case "", "all":
+		// empty Experiments means all
+	default:
+		for _, id := range strings.Split(sweepSel, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				g.Experiments = append(g.Experiments, id)
+			}
+		}
+	}
+	if seedList != "" {
+		for _, s := range strings.Split(seedList, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return g, fmt.Errorf("bad -seeds entry %q: %w", s, err)
+			}
+			g.Seeds = append(g.Seeds, v)
+		}
+	} else {
+		g.Seeds = []uint64{defaultSeed}
+	}
+	if scaleList != "" {
+		for _, s := range strings.Split(scaleList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return g, fmt.Errorf("bad -scales entry %q: %w", s, err)
+			}
+			g.Scales = append(g.Scales, v)
+		}
+	}
+	return g, nil
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestRunOnlySingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E3", "-seed", "7"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== E3") {
+		t.Fatalf("missing E3 table header in output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "=== E1") {
+		t.Fatal("-only E3 also printed E1")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E42"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown -only experiment accepted")
+	}
+	if err := run([]string{"-sweep", "E42"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown -sweep experiment accepted")
+	}
+	if err := run([]string{"-seeds", "notanumber"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("bad -seeds entry accepted")
+	}
+	if err := run([]string{"-scales", "0"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("zero -scales entry accepted")
+	}
+}
+
+func TestRunSweepHuman(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "E1,E3", "-seeds", "1,2", "-scales", "0.1", "-parallelism", "2"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"--- job 0: E1", "seed=1", "seed=2", "=== E3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSweepJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "E4", "-seeds", "3", "-scales", "0.2", "-json"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sweep.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("sweep -json output is not valid JSON: %v", err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Experiment != "E4" {
+		t.Fatalf("unexpected JSON report: %+v", rep)
+	}
+	if len(rep.Results[0].Table.Rows) == 0 {
+		t.Fatal("JSON report has an empty table")
+	}
+}
+
+func TestRunOnlyComposesWithGridFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E3", "-seeds", "1,2", "-scales", "0.2"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "--- job"); got != 2 {
+		t.Fatalf("-only with -seeds swept %d jobs, want 2 (E3 × 2 seeds)", got)
+	}
+	if strings.Contains(out.String(), "=== E1") {
+		t.Fatal("-only E3 sweep also ran E1")
+	}
+	if err := run([]string{"-only", "E3", "-sweep", "E4"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-only combined with -sweep accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main() end-to-end with os.Stdout redirected to a pipe
+// and returns everything it printed.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	main()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestFairauditSmoke(t *testing.T) {
+	out := captureMain(t)
+	for _, want := range []string{
+		"== discriminatory stack ==",
+		"== fair stack ==",
+		"fairness audit:",
+		"transparency audit:",
+		"VIOLATED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fairaudit output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main() end-to-end with os.Stdout redirected to a pipe
+// and returns everything it printed.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	main()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestMarketplaceSmoke(t *testing.T) {
+	out := captureMain(t)
+	for _, want := range []string{
+		"assigner", "retention", "income-gini",
+		"self-appointment", "requester-centric", "fair-round-robin",
+		"opaque", "full",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("marketplace output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 7 {
+		t.Errorf("marketplace printed %d lines, want header + 6 sweep rows", lines)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main() end-to-end with os.Stdout redirected to a pipe
+// and returns everything it printed.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	main()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestTransparencydslSmoke(t *testing.T) {
+	out := captureMain(t)
+	for _, want := range []string{
+		"== human-readable commitments ==",
+		"open-platform", "cautious-platform",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transparencydsl output missing %q", want)
+		}
+	}
+}

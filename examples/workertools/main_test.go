@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main() end-to-end with os.Stdout redirected to a pipe
+// and returns everything it printed.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	main()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestWorkertoolsSmoke(t *testing.T) {
+	out := captureMain(t)
+	for _, want := range []string{
+		"== Turkbench: estimated hourly wages per requester ==",
+		"== Turkopticon: review board synthesised from worker experience ==",
+		"fairco", "grinder",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workertools output missing %q", want)
+		}
+	}
+}

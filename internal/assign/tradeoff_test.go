@@ -96,7 +96,6 @@ func TestTradeoffLambdaZeroBalancesLoad(t *testing.T) {
 }
 
 func TestTradeoffUtilityMonotoneInLambda(t *testing.T) {
-	p := testProblem()
 	var prev float64 = -1
 	for _, lambda := range []float64{0, 0.25, 0.5, 0.75, 1} {
 		res, err := (Tradeoff{Lambda: lambda}).Assign(testProblemWithCapacity(2))
@@ -108,7 +107,6 @@ func TestTradeoffUtilityMonotoneInLambda(t *testing.T) {
 		}
 		prev = res.Utility
 	}
-	_ = p
 }
 
 func testProblemWithCapacity(c int) *Problem {

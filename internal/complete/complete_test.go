@@ -209,14 +209,13 @@ func TestRejectedSubmissionsDoNotCount(t *testing.T) {
 	if err := e.Post(task("t1", 2, 4)); err != nil {
 		t.Fatal(err)
 	}
-	for i, w := range []model.WorkerID{"w1", "w2", "w3"} {
+	for _, w := range []model.WorkerID{"w1", "w2", "w3"} {
 		if err := e.Offer("t1", w); err != nil {
 			t.Fatal(err)
 		}
 		if err := e.Start("t1", w); err != nil {
 			t.Fatal(err)
 		}
-		_ = i
 	}
 	// Two rejected submissions must not close the task.
 	if err := e.Submit("t1", "w1", "c1", false); err != nil {

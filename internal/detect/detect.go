@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/par"
 )
 
 // Answer is one worker's label for one question of a labelling task.
@@ -66,6 +67,25 @@ func (s *AnswerSet) Workers() []model.WorkerID {
 	return out
 }
 
+// scoreWorkers fans per-worker scoring across the bounded pool: each worker
+// row of the answer matrix is independent, so every detector whose signal
+// is a function of one worker's answers (given shared read-only context)
+// parallelises here. Results land in per-worker slots indexed by the sorted
+// worker list, so the returned map is identical to the serial loop's.
+func (s *AnswerSet) scoreWorkers(score func(w model.WorkerID, answers []Answer) float64) map[model.WorkerID]float64 {
+	byW := s.byWorker()
+	workers := s.Workers()
+	scores := make([]float64, len(workers))
+	par.For(len(workers), 0, func(i int) {
+		scores[i] = score(workers[i], byW[workers[i]])
+	})
+	out := make(map[model.WorkerID]float64, len(workers))
+	for i, w := range workers {
+		out[w] = scores[i]
+	}
+	return out
+}
+
 // Detector scores workers for maliciousness over an answer set.
 type Detector interface {
 	// Name identifies the detector in reports.
@@ -85,8 +105,7 @@ func (GoldQuestion) Name() string { return "gold-question" }
 
 // Score implements Detector.
 func (GoldQuestion) Score(s *AnswerSet) map[model.WorkerID]float64 {
-	out := make(map[model.WorkerID]float64)
-	for w, answers := range s.byWorker() {
+	return s.scoreWorkers(func(_ model.WorkerID, answers []Answer) float64 {
 		golds, errs := 0, 0
 		for _, a := range answers {
 			truth, ok := s.Gold[a.Question]
@@ -99,12 +118,10 @@ func (GoldQuestion) Score(s *AnswerSet) map[model.WorkerID]float64 {
 			}
 		}
 		if golds == 0 {
-			out[w] = 0.5
-			continue
+			return 0.5
 		}
-		out[w] = float64(errs) / float64(golds)
-	}
-	return out
+		return float64(errs) / float64(golds)
+	})
 }
 
 // MajorityDeviation scores workers by how often they disagree with the
@@ -118,20 +135,15 @@ func (MajorityDeviation) Name() string { return "majority-deviation" }
 // Score implements Detector.
 func (MajorityDeviation) Score(s *AnswerSet) map[model.WorkerID]float64 {
 	majority := majorityLabels(s)
-	out := make(map[model.WorkerID]float64)
-	for w, answers := range s.byWorker() {
-		if len(answers) == 0 {
-			continue
-		}
+	return s.scoreWorkers(func(_ model.WorkerID, answers []Answer) float64 {
 		dev := 0
 		for _, a := range answers {
 			if m, ok := majority[a.Question]; ok && a.Label != m {
 				dev++
 			}
 		}
-		out[w] = float64(dev) / float64(len(answers))
-	}
-	return out
+		return float64(dev) / float64(len(answers))
+	})
 }
 
 // Agreement scores workers by one minus their mean pairwise agreement with
@@ -146,7 +158,13 @@ func (Agreement) Name() string { return "agreement" }
 
 // Score implements Detector.
 func (Agreement) Score(s *AnswerSet) map[model.WorkerID]float64 {
-	// Build question -> (worker -> label).
+	// Build question -> (worker -> label), deduplicating repeated answers
+	// (last answer wins) so a worker cannot dilute their own suspicion
+	// score by answering a question twice, then fold each question's
+	// labels into multiplicity counts. Both maps are read-only by the time
+	// the per-worker fan-out shares them: a worker's agreements with the
+	// others on a question are (count of their label - 1) out of
+	// (answering workers - 1).
 	perQ := make(map[int]map[model.WorkerID]int)
 	for _, a := range s.Answers {
 		m, ok := perQ[a.Question]
@@ -156,33 +174,38 @@ func (Agreement) Score(s *AnswerSet) map[model.WorkerID]float64 {
 		}
 		m[a.Worker] = a.Label
 	}
-	agree := make(map[model.WorkerID]int)
-	total := make(map[model.WorkerID]int)
-	for _, labels := range perQ {
-		// Count label multiplicities once, then each worker's agreements
-		// with the others are (count of their label - 1).
-		counts := make(map[int]int)
+	type qStats struct {
+		counts map[int]int
+		n      int
+	}
+	statsQ := make(map[int]*qStats, len(perQ))
+	for q, labels := range perQ {
+		st := &qStats{counts: make(map[int]int), n: len(labels)}
 		for _, l := range labels {
-			counts[l]++
+			st.counts[l]++
 		}
-		n := len(labels)
-		if n < 2 {
-			continue
-		}
-		for w, l := range labels {
-			agree[w] += counts[l] - 1
-			total[w] += n - 1
-		}
+		statsQ[q] = st
 	}
-	out := make(map[model.WorkerID]float64)
-	for _, w := range s.Workers() {
-		if total[w] == 0 {
-			out[w] = 0.5
-			continue
+	return s.scoreWorkers(func(w model.WorkerID, answers []Answer) float64 {
+		agree, total := 0, 0
+		lastQ := -1 // answers arrive sorted by question; skip duplicates
+		for _, a := range answers {
+			if a.Question == lastQ {
+				continue
+			}
+			lastQ = a.Question
+			st := statsQ[a.Question]
+			if st.n < 2 {
+				continue
+			}
+			agree += st.counts[perQ[a.Question][w]] - 1
+			total += st.n - 1
 		}
-		out[w] = 1 - float64(agree[w])/float64(total[w])
-	}
-	return out
+		if total == 0 {
+			return 0.5
+		}
+		return 1 - float64(agree)/float64(total)
+	})
 }
 
 // majorityLabels computes the plurality label per question (ties broken by
@@ -232,16 +255,14 @@ func (LabelEntropy) Name() string { return "label-entropy" }
 
 // Score implements Detector.
 func (LabelEntropy) Score(s *AnswerSet) map[model.WorkerID]float64 {
-	out := make(map[model.WorkerID]float64)
 	labels := s.Labels
 	if labels < 2 {
 		labels = 2
 	}
 	maxEntropy := math.Log2(float64(labels))
-	for w, answers := range s.byWorker() {
+	return s.scoreWorkers(func(_ model.WorkerID, answers []Answer) float64 {
 		if len(answers) < 2 {
-			out[w] = 0.5
-			continue
+			return 0.5
 		}
 		counts := make(map[int]int)
 		for _, a := range answers {
@@ -256,9 +277,8 @@ func (LabelEntropy) Score(s *AnswerSet) map[model.WorkerID]float64 {
 		if score < 0 {
 			score = 0
 		}
-		out[w] = score
-	}
-	return out
+		return score
+	})
 }
 
 // Detectors returns one instance of every detector, in report order.

@@ -124,3 +124,18 @@ func TestMajorityTieBreaksDeterministically(t *testing.T) {
 		t.Fatalf("tie-break scores = %v", scores)
 	}
 }
+
+func TestAgreementDeduplicatesRepeatedAnswers(t *testing.T) {
+	// w1 answers question 0 twice; the duplicate must not count as w1
+	// agreeing with itself (which would dilute its suspicion score).
+	s := &AnswerSet{Labels: 3, Questions: 1}
+	s.Answers = []Answer{
+		{Worker: "w1", Question: 0, Label: 1},
+		{Worker: "w1", Question: 0, Label: 1},
+		{Worker: "w2", Question: 0, Label: 2},
+	}
+	scores := Agreement{}.Score(s)
+	if scores["w1"] != 1 || scores["w2"] != 1 {
+		t.Fatalf("duplicate answers diluted agreement scores: %v", scores)
+	}
+}

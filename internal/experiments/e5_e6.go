@@ -33,6 +33,25 @@ func DefaultE5Params(seed uint64) E5Params {
 	}
 }
 
+// e5Spec exposes E5 to the sweep engine.
+func e5Spec() Spec {
+	return Spec{ID: "E5", Name: "worker fairness in task completion", Run: func(p Params) *Table {
+		q := DefaultE5Params(p.Seed)
+		q.Tasks = p.ScaleInt(q.Tasks)
+		return E5Completion(q)
+	}}
+}
+
+// e6Spec exposes E6 to the sweep engine.
+func e6Spec() Spec {
+	return Spec{ID: "E6", Name: "transparency vs retention and quality", Run: func(p Params) *Table {
+		q := DefaultE6Params(p.Seed)
+		q.Workers = p.ScaleInt(q.Workers)
+		q.Tasks = p.ScaleInt(q.Tasks)
+		return E6Retention(q)
+	}}
+}
+
 // E5Completion reproduces the §3.1.1 survey scenario: requesters publish
 // more assignments than they need; once the quota of acceptable responses
 // arrives, the cancellation policy decides the fate of in-flight work. The
@@ -83,7 +102,7 @@ func E5Completion(p E5Params) *Table {
 				}
 				engine.Advance(1)
 				order := rng.Perm(len(workers))
-				for k, wi := range order {
+				for _, wi := range order {
 					w := workers[wi]
 					if !engine.CanSubmitLate(task.ID, w) {
 						continue
@@ -91,7 +110,6 @@ func E5Completion(p E5Params) *Table {
 					cid := model.ContributionID(fmt.Sprintf("%s-%s", task.ID, w))
 					mustDo(engine.Submit(task.ID, w, cid, true))
 					engine.Advance(1)
-					_ = k
 				}
 			}
 			m := engine.Metrics()

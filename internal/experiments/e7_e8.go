@@ -24,6 +24,26 @@ func DefaultE7Params(seed uint64) E7Params {
 	return E7Params{Sizes: []int{100, 300, 1000, 3000}, Seed: seed}
 }
 
+// e7Spec exposes E7 to the sweep engine.
+func e7Spec() Spec {
+	return Spec{ID: "E7", Name: "axiom-1 checker scalability", Run: func(p Params) *Table {
+		q := DefaultE7Params(p.Seed)
+		for i, n := range q.Sizes {
+			q.Sizes[i] = p.ScaleInt(n)
+		}
+		return E7CheckScale(q)
+	}}
+}
+
+// e8Spec exposes E8 to the sweep engine.
+func e8Spec() Spec {
+	return Spec{ID: "E8", Name: "transparency rule-engine throughput", Run: func(p Params) *Table {
+		q := DefaultE8Params(p.Seed)
+		q.Evaluations = p.ScaleInt(q.Evaluations)
+		return E8RuleEngine(q)
+	}}
+}
+
 // e7Trace builds a store + offer log at a given worker scale with an
 // assignment that produces some Axiom-1 violations (archetype-biased
 // offers).

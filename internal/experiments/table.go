@@ -58,19 +58,13 @@ func (t *Table) String() string {
 }
 
 // All runs every experiment at its default scale with the given seed and
-// returns the tables in order. It is the single entry point for
-// cmd/benchrunner.
+// returns the tables in order, driving the same Spec registry the sweep
+// engine uses.
 func All(seed uint64) []*Table {
-	return []*Table{
-		E1Assignment(DefaultE1Params(seed)),
-		E2Visibility(DefaultE2Params(seed)),
-		E3Compensation(DefaultE3Params(seed)),
-		E4Detection(DefaultE4Params(seed)),
-		E5Completion(DefaultE5Params(seed)),
-		E6Retention(DefaultE6Params(seed)),
-		E7CheckScale(DefaultE7Params(seed)),
-		E8RuleEngine(DefaultE8Params(seed)),
-		E9Ablations(DefaultE9Params(seed)),
-		E10Bonus(DefaultE10Params(seed)),
+	specs := Specs()
+	out := make([]*Table, len(specs))
+	for i, s := range specs {
+		out[i] = s.Run(Params{Seed: seed, Scale: 1})
 	}
+	return out
 }

@@ -25,36 +25,39 @@ func CheckAxiom3(st *store.Store, cfg Config) *Report {
 
 	for _, t := range st.Tasks() {
 		contribs := st.ContributionsByTask(t.ID)
-		for i := 0; i < len(contribs); i++ {
-			for j := i + 1; j < len(contribs); j++ {
-				a, b := contribs[i], contribs[j]
-				if a.Worker == b.Worker {
-					continue // the axiom quantifies over distinct workers
-				}
-				rep.Checked++
-				sim := similarity.ContributionSimilarity(a, b)
-				if sim < simThr {
-					continue
-				}
-				if equalPay(a.Paid, b.Paid, payTol) {
-					continue
-				}
-				gap := math.Abs(a.Paid - b.Paid)
-				hi := math.Max(a.Paid, b.Paid)
-				var sev float64
-				if hi > 0 {
-					sev = gap / hi
-				} else {
-					sev = 1
-				}
-				rep.Violations = append(rep.Violations, Violation{
-					Axiom:    Axiom3Compensation,
-					Subjects: []string{string(a.ID), string(b.ID)},
-					Detail: fmt.Sprintf("task %s: contributions %.0f%% similar but paid %.4f vs %.4f",
-						t.ID, sim*100, a.Paid, b.Paid),
-					Severity: sev,
-				})
+		// Score every pair up front on the parallel kernel — profile
+		// construction dominates audit cost on text-heavy tasks — then walk
+		// the scores in the kernel's serial pair order so the report is
+		// identical to the old nested loop.
+		sims := similarity.ContributionPairScores(contribs)
+		for k, sim := range sims {
+			i, j := similarity.PairAt(len(contribs), k)
+			a, b := contribs[i], contribs[j]
+			if a.Worker == b.Worker {
+				continue // the axiom quantifies over distinct workers
 			}
+			rep.Checked++
+			if sim < simThr {
+				continue
+			}
+			if equalPay(a.Paid, b.Paid, payTol) {
+				continue
+			}
+			gap := math.Abs(a.Paid - b.Paid)
+			hi := math.Max(a.Paid, b.Paid)
+			var sev float64
+			if hi > 0 {
+				sev = gap / hi
+			} else {
+				sev = 1
+			}
+			rep.Violations = append(rep.Violations, Violation{
+				Axiom:    Axiom3Compensation,
+				Subjects: []string{string(a.ID), string(b.ID)},
+				Detail: fmt.Sprintf("task %s: contributions %.0f%% similar but paid %.4f vs %.4f",
+					t.ID, sim*100, a.Paid, b.Paid),
+				Severity: sev,
+			})
 		}
 	}
 	sortViolations(rep.Violations)

@@ -1,0 +1,109 @@
+// Package par provides the bounded parallel-for primitive behind every
+// fan-out in this repository: similarity pair scoring, detector
+// answer-matrix scoring, and the sweep engine's job pool all shard their
+// index space over a GOMAXPROCS-sized goroutine pool through For.
+//
+// Determinism is preserved by construction: workers claim indices from a
+// shared atomic counter but write results only to caller-owned, disjoint
+// slots (slice element i for index i), so the output of a parallel run is
+// byte-identical to the serial one regardless of scheduling order.
+//
+// Nested fan-outs compose through a global token budget. The process owns
+// GOMAXPROCS-1 extra-worker tokens; every For acquires tokens (without
+// blocking) for each worker beyond the caller's own goroutine and releases
+// them as those workers drain. When the sweep engine's outer job pool
+// holds the whole budget, the inner kernels it calls find no tokens and
+// run inline on their job's goroutine — total runnable goroutines stay at
+// GOMAXPROCS instead of multiplying per nesting level.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// serialThreshold is the problem size below which For runs inline; spawning
+// goroutines for a handful of cheap iterations costs more than it saves.
+const serialThreshold = 16
+
+// extraTokens budgets the extra worker goroutines the whole process may
+// have in flight: GOMAXPROCS minus the caller's own goroutine.
+var extraTokens = make(chan struct{}, Workers()-1)
+
+// Workers returns the maximum pool size used by For: GOMAXPROCS, the
+// number of OS threads the runtime will actually schedule.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) on the caller's goroutine plus up
+// to workers-1 extra pool workers (workers <= 0 means Workers()), subject
+// to the process-wide token budget. fn must be safe to call concurrently
+// and must confine its writes to per-index state; For returns when every
+// index has been processed.
+//
+// For is meant for fine-grained kernels and runs small iteration counts
+// inline; use Do for coarse jobs (whole experiments) where even two
+// iterations are worth a goroutine.
+func For(n, workers int, fn func(i int)) {
+	if n < serialThreshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	Do(n, workers, fn)
+}
+
+// Do is For without the small-n inline shortcut: it parallelises any n > 1
+// (budget permitting). Use it when each iteration is expensive enough —
+// a sweep job, a whole experiment — that pool overhead never dominates.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	extra := 0
+acquire:
+	for extra < workers-1 {
+		select {
+		case extraTokens <- struct{}{}:
+			extra++
+		default:
+			break acquire // budget exhausted
+		}
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() { <-extraTokens }()
+			work()
+		}()
+	}
+	work() // the caller's goroutine is the pool's first worker
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 16, 1000} {
+		for _, workers := range []int{0, 1, 4, 32} {
+			hits := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d hit %d times, want 1", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForDeterministicOutputSlots(t *testing.T) {
+	const n = 500
+	serial := make([]int, n)
+	For(n, 1, func(i int) { serial[i] = i * i })
+	parallel := make([]int, n)
+	For(n, 8, func(i int) { parallel[i] = i * i })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+}
+
+func TestDoParallelisesSmallN(t *testing.T) {
+	// Do must cover tiny iteration counts too (sweep grids can be 2 jobs).
+	for _, n := range []int{1, 2, 4} {
+		hits := make([]atomic.Int32, n)
+		Do(n, 4, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("Do n=%d: index %d hit %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestNestedForStaysBounded(t *testing.T) {
+	// A nested fan-out must complete and cover everything even when the
+	// outer level holds the entire token budget.
+	const outer, inner = 8, 100
+	sums := make([]int64, outer)
+	Do(outer, 0, func(o int) {
+		var s atomic.Int64
+		For(inner, 0, func(i int) { s.Add(int64(i)) })
+		sums[o] = s.Load()
+	})
+	for o, s := range sums {
+		if s != inner*(inner-1)/2 {
+			t.Fatalf("outer %d: inner sum %d, want %d", o, s, inner*(inner-1)/2)
+		}
+	}
+}

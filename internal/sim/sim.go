@@ -490,9 +490,14 @@ func (r *runner) settle(byTask map[model.TaskID]*model.Task, contribs []pendingC
 				}
 			}
 			if c.Paid > 0 {
-				_ = r.ledger.Record(pay.Payment{
+				// Panic like the surrounding MustAppend calls: a payment
+				// that reaches the event log but not the ledger would
+				// silently diverge the two records.
+				if err := r.ledger.Record(pay.Payment{
 					Worker: c.Worker, Task: tid, Contribution: c.ID, Amount: c.Paid, Time: r.now,
-				})
+				}); err != nil {
+					panic(fmt.Sprintf("sim: record payment: %v", err))
+				}
 				r.log.MustAppend(eventlog.Event{
 					Time: r.now, Type: eventlog.PaymentIssued,
 					Worker: c.Worker, Task: tid, Contribution: c.ID, Amount: c.Paid,

@@ -1,0 +1,62 @@
+package similarity
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPairAtEnumeratesSerialOrder(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 20, 137, 1000} {
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				gi, gj := PairAt(n, k)
+				if gi != i || gj != j {
+					t.Fatalf("n=%d: PairAt(%d) = (%d,%d), want (%d,%d)", n, k, gi, gj, i, j)
+				}
+				k++
+			}
+		}
+		if k != PairCount(n) {
+			t.Fatalf("n=%d: enumerated %d pairs, PairCount says %d", n, k, PairCount(n))
+		}
+	}
+}
+
+func TestScorePairsMatchesSerialLoop(t *testing.T) {
+	const n = 40
+	score := func(i, j int) float64 { return float64(i*1000 + j) }
+	got := ScorePairs(n, score)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if got[k] != score(i, j) {
+				t.Fatalf("pair %d (%d,%d): got %v want %v", k, i, j, got[k], score(i, j))
+			}
+			k++
+		}
+	}
+}
+
+func TestContributionPairScoresMatchesDirectCalls(t *testing.T) {
+	var contribs []*model.Contribution
+	for i := 0; i < 12; i++ {
+		contribs = append(contribs, &model.Contribution{
+			ID:   model.ContributionID(fmt.Sprintf("c%d", i)),
+			Text: fmt.Sprintf("the quick brown fox number %d jumps", i%3),
+		})
+	}
+	got := ContributionPairScores(contribs)
+	k := 0
+	for i := 0; i < len(contribs); i++ {
+		for j := i + 1; j < len(contribs); j++ {
+			want := ContributionSimilarity(contribs[i], contribs[j])
+			if got[k] != want {
+				t.Fatalf("pair (%d,%d): got %v want %v", i, j, got[k], want)
+			}
+			k++
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/par"
 )
 
 // Snapshot captures the entire store as a serialisable model.Snapshot.
@@ -58,17 +59,24 @@ func FromSnapshot(snap *model.Snapshot) (*Store, error) {
 // This is the index-pruned candidate generation benchmarked against the
 // exhaustive scan in experiment E7. Deduplication is by ownership — a pair
 // is emitted only from the bucket of the pair's first shared skill — which
-// avoids a per-pair hash map on the hot path.
+// avoids a per-pair hash map on the hot path. Ownership also makes the
+// buckets independent, so generation fans out one goroutine per skill
+// bucket on a bounded pool; per-bucket outputs are concatenated in skill
+// order, keeping the result identical to the serial scan.
 func (s *Store) CandidateWorkerPairs() [][2]model.WorkerID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var out [][2]model.WorkerID
-	bucket := make([]*model.Worker, 0, 64)
-	for skill, ids := range s.workersBySkill {
-		bucket = bucket[:0]
-		for _, id := range ids {
-			bucket = append(bucket, s.workers[id])
+	perSkill := make([][][2]model.WorkerID, len(s.workersBySkill))
+	par.For(len(s.workersBySkill), 0, func(skill int) {
+		ids := s.workersBySkill[skill]
+		if len(ids) < 2 {
+			return
 		}
+		bucket := make([]*model.Worker, len(ids))
+		for i, id := range ids {
+			bucket[i] = s.workers[id]
+		}
+		var out [][2]model.WorkerID
 		for i := 0; i < len(bucket); i++ {
 			wi := bucket[i]
 			for j := i + 1; j < len(bucket); j++ {
@@ -83,6 +91,11 @@ func (s *Store) CandidateWorkerPairs() [][2]model.WorkerID {
 				out = append(out, [2]model.WorkerID{a, b})
 			}
 		}
+		perSkill[skill] = out
+	})
+	var out [][2]model.WorkerID
+	for _, pairs := range perSkill {
+		out = append(out, pairs...)
 	}
 	return out
 }

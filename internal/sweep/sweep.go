@@ -1,0 +1,179 @@
+// Package sweep is the concurrent experiment-sweep engine: it expands a
+// grid of experiments × scales × seeds into jobs, runs them on a bounded
+// worker pool, and collects the result tables in grid order.
+//
+// Determinism is the contract. Each job derives a private seed from the
+// grid's base seed and the job's coordinates via stats.DeriveSeed, so the
+// stream a shard consumes depends only on its position in the grid — never
+// on which pool worker ran it or in what order jobs finished. The same
+// grid at any parallelism therefore produces byte-identical reports
+// (excluding wall-clock fields), which TestSweepDeterministic pins down.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// Grid is the parameter space of one sweep: the cross product of
+// experiments, scale factors, and replicate seeds.
+type Grid struct {
+	// Experiments lists experiment IDs ("E1".."E10"); empty means all.
+	Experiments []string
+	// Scales multiplies each experiment's default sizes; empty means {1}.
+	Scales []float64
+	// Seeds are the replicate base seeds; empty means {42}.
+	Seeds []uint64
+}
+
+// Job is one cell of the grid.
+type Job struct {
+	// Index is the job's position in grid order (experiments outermost,
+	// then scales, then seeds).
+	Index int `json:"index"`
+	// Experiment is the experiment ID.
+	Experiment string `json:"experiment"`
+	// Scale is the size multiplier.
+	Scale float64 `json:"scale"`
+	// Seed is the replicate base seed from the grid.
+	Seed uint64 `json:"seed"`
+	// ShardSeed is the derived per-shard seed actually fed to the
+	// experiment's RNG streams.
+	ShardSeed uint64 `json:"shard_seed"`
+}
+
+// Result is one finished job.
+type Result struct {
+	Job
+	// Table is the experiment's result grid.
+	Table *experiments.Table `json:"table"`
+	// Elapsed is the job's wall time. It is excluded from determinism
+	// comparisons.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Report is a completed sweep in grid order.
+type Report struct {
+	// Parallelism is the pool size the sweep ran with.
+	Parallelism int `json:"parallelism"`
+	// Results holds one entry per job, ordered by Job.Index.
+	Results []Result `json:"results"`
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Parallelism bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Jobs expands the grid into jobs in deterministic grid order, resolving
+// defaults and validating experiment IDs.
+func (g Grid) Jobs() ([]Job, error) {
+	exps := g.Experiments
+	if len(exps) == 0 {
+		exps = experiments.IDs()
+	}
+	specIdx := make(map[string]int, len(exps))
+	for i, id := range experiments.IDs() {
+		specIdx[id] = i
+	}
+	for _, id := range exps {
+		if _, ok := specIdx[id]; !ok {
+			return nil, fmt.Errorf("sweep: unknown experiment %q (want one of %v)", id, experiments.IDs())
+		}
+	}
+	scales := g.Scales
+	if len(scales) == 0 {
+		scales = []float64{1}
+	}
+	for _, s := range scales {
+		if s <= 0 {
+			return nil, fmt.Errorf("sweep: non-positive scale %v", s)
+		}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{42}
+	}
+	jobs := make([]Job, 0, len(exps)*len(scales)*len(seeds))
+	for _, id := range exps {
+		for si, scale := range scales {
+			for _, seed := range seeds {
+				jobs = append(jobs, Job{
+					Index:      len(jobs),
+					Experiment: id,
+					Scale:      scale,
+					Seed:       seed,
+					// The shard seed mixes the grid coordinates, not the
+					// job index, so adding experiments or scales to a grid
+					// never perturbs the streams of the cells it already
+					// had.
+					ShardSeed: stats.DeriveSeed(seed, uint64(specIdx[id]), uint64(si)),
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Run executes the grid on a bounded worker pool and returns the report in
+// grid order.
+func Run(g Grid, opt Options) (*Report, error) {
+	jobs, err := g.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	results := make([]Result, len(jobs))
+	// Do, not For: jobs are whole experiments, so even a two-job grid is
+	// worth the pool. While the job pool holds the process's worker-token
+	// budget, the experiments' inner kernels (pair generation, answer
+	// scoring) find no spare tokens and run inline — parallelism stays at
+	// the job level instead of multiplying.
+	par.Do(len(jobs), workers, func(i int) {
+		job := jobs[i]
+		spec, _ := experiments.SpecByID(job.Experiment) // validated by Jobs
+		start := time.Now()
+		table := spec.Run(experiments.Params{Seed: job.ShardSeed, Scale: job.Scale})
+		results[i] = Result{Job: job, Table: table, Elapsed: time.Since(start)}
+	})
+	return &Report{Parallelism: workers, Results: results}, nil
+}
+
+// String renders every result as a human-readable table preceded by its
+// grid coordinates.
+func (r *Report) String() string {
+	var b []byte
+	for _, res := range r.Results {
+		b = append(b, fmt.Sprintf("--- job %d: %s scale=%g seed=%d (shard seed %d)\n",
+			res.Index, res.Experiment, res.Scale, res.Seed, res.ShardSeed)...)
+		b = append(b, res.Table.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// JSON renders the report machine-readable, indented for diffing.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Fingerprint summarises the sweep's tables (IDs, columns, rows) without
+// any wall-clock field — the byte-identical payload determinism tests and
+// cache keys compare.
+func (r *Report) Fingerprint() string {
+	var b []byte
+	for _, res := range r.Results {
+		b = append(b, fmt.Sprintf("%d|%s|%g|%d|%d\n", res.Index, res.Experiment, res.Scale, res.Seed, res.ShardSeed)...)
+		b = append(b, res.Table.String()...)
+	}
+	return string(b)
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// deterministicGrid covers experiments whose tables carry no wall-clock
+// cells (E7/E8 embed timings in their rows, so their bytes legitimately
+// vary run to run even though their measured quantities do not).
+func deterministicGrid() Grid {
+	return Grid{
+		Experiments: []string{"E1", "E3", "E4"},
+		Scales:      []float64{0.1, 0.2},
+		Seeds:       []uint64{1, 2},
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	grid := deterministicGrid()
+	serial, err := Run(grid, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(grid, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(grid, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Fingerprint() != parallel.Fingerprint() {
+		t.Fatal("parallel sweep diverged from the serial run on the same grid")
+	}
+	if parallel.Fingerprint() != again.Fingerprint() {
+		t.Fatal("two identical parallel sweeps diverged")
+	}
+}
+
+func TestSweepSeedChangesResults(t *testing.T) {
+	a, err := Run(Grid{Experiments: []string{"E1"}, Scales: []float64{0.1}, Seeds: []uint64{1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Grid{Experiments: []string{"E1"}, Scales: []float64{0.1}, Seeds: []uint64{2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Results[0].Table.String() == b.Results[0].Table.String() {
+		t.Fatal("different seeds produced identical E1 tables")
+	}
+}
+
+func TestGridJobsOrderAndDefaults(t *testing.T) {
+	jobs, err := Grid{}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 10 {
+		t.Fatalf("default grid expanded to %d jobs, want 10 (all experiments × {1} × {42})", len(jobs))
+	}
+	if jobs[0].Experiment != "E1" || jobs[9].Experiment != "E10" {
+		t.Fatalf("default grid order wrong: first %s last %s", jobs[0].Experiment, jobs[9].Experiment)
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Fatalf("job %d has Index %d", i, j.Index)
+		}
+		if j.Seed != 42 || j.Scale != 1 {
+			t.Fatalf("job %d defaults wrong: %+v", i, j)
+		}
+	}
+}
+
+func TestGridShardSeedsStableUnderGridGrowth(t *testing.T) {
+	small, err := Grid{Experiments: []string{"E2"}, Seeds: []uint64{7}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Grid{Experiments: []string{"E1", "E2", "E3"}, Seeds: []uint64{7}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small[0].ShardSeed != big[1].ShardSeed {
+		t.Fatal("adding experiments to the grid perturbed an existing cell's shard seed")
+	}
+	if big[0].ShardSeed == big[1].ShardSeed || big[1].ShardSeed == big[2].ShardSeed {
+		t.Fatal("distinct grid cells share a shard seed")
+	}
+}
+
+func TestGridRejectsInvalid(t *testing.T) {
+	if _, err := (Grid{Experiments: []string{"E99"}}).Jobs(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := (Grid{Scales: []float64{0}}).Jobs(); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := Run(Grid{Experiments: []string{"nope"}}, Options{}); err == nil {
+		t.Fatal("Run accepted an invalid grid")
+	}
+}
+
+func TestReportJSONRoundTrips(t *testing.T) {
+	rep, err := Run(Grid{Experiments: []string{"E3"}, Scales: []float64{0.2}, Seeds: []uint64{5}}, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Results) != 1 || decoded.Results[0].Experiment != "E3" {
+		t.Fatalf("decoded report wrong: %+v", decoded)
+	}
+	if decoded.Results[0].Table == nil || len(decoded.Results[0].Table.Rows) == 0 {
+		t.Fatal("decoded table empty")
+	}
+	if !strings.Contains(rep.String(), "=== E3") {
+		t.Fatal("human rendering missing table header")
+	}
+}

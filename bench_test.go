@@ -1,7 +1,8 @@
 // Package repro's root benchmark suite regenerates every experiment of
-// DESIGN.md (E1–E8) under testing.B, plus micro-benchmarks for the hot
+// DESIGN.md (E1–E9) under testing.B, plus micro-benchmarks for the hot
 // primitives (similarity measures, candidate-pair generation, assignment,
-// rule evaluation). Run with:
+// rule evaluation) and the incremental-audit comparison
+// (BenchmarkAuditFullRescan vs BenchmarkAuditIncremental). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -15,6 +16,8 @@ import (
 	"testing"
 
 	"repro/internal/assign"
+	"repro/internal/audit"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/fairness"
 	"repro/internal/model"
@@ -153,6 +156,95 @@ func BenchmarkRepairAxiom1(b *testing.B) {
 		fairness.RepairAxiom1(st, res.Offers, cfg)
 	}
 }
+
+// --- Incremental audit engine: mutate-then-audit, full rescan vs delta ---
+
+// auditBenchTrace builds the E11-style monitoring workload: a clustered
+// population with biased offers, i.e. standing Axiom 1 material.
+func auditBenchTrace(b *testing.B, workers int) (*store.Store, *eventlog.Log, *workload.Population, *workload.Batch, *stats.RNG) {
+	b.Helper()
+	rng := stats.NewRNG(benchSeed)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers: workers, Archetypes: 8,
+	}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{Tasks: workers / 4, Quota: 2}, pop, rng.Split())
+	st := store.New(pop.Universe)
+	for _, r := range batch.Requesters {
+		if err := st.PutRequester(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, w := range pop.Workers {
+		if err := st.PutWorker(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, t := range batch.Tasks {
+		if err := st.PutTask(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	log := eventlog.New()
+	for wi, w := range pop.Workers {
+		if wi%53 == 0 {
+			continue
+		}
+		for _, t := range batch.Tasks {
+			if w.Skills.Covers(t.Skills) {
+				log.MustAppend(eventlog.Event{Type: eventlog.TaskOffered, Worker: w.ID, Task: t.ID})
+			}
+		}
+	}
+	return st, log, pop, batch, rng
+}
+
+// benchmarkMutateThenAudit dirties ~1% of the workers (attribute updates
+// plus fresh offers) per iteration, then audits all five axioms — either
+// with the from-scratch full rescan or through the incremental engine. The
+// two must report identical violations; the incremental mode is the
+// tentpole's headline number (≥5× at 1k workers / 1% dirty).
+func benchmarkMutateThenAudit(b *testing.B, workers int, incremental bool) {
+	st, log, pop, batch, rng := auditBenchTrace(b, workers)
+	cfg := fairness.DefaultConfig()
+	var eng *audit.Engine
+	if incremental {
+		eng = audit.New(st, log, cfg)
+		eng.Audit() // cold start outside the timed loop
+	}
+	nDirty := workers / 100
+	if nDirty < 1 {
+		nDirty = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < nDirty; j++ {
+			w, err := st.Worker(pop.Workers[rng.Intn(len(pop.Workers))].ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Computed[model.AttrAcceptanceRatio] = model.Num(rng.Float64())
+			if err := st.UpdateWorker(w); err != nil {
+				b.Fatal(err)
+			}
+			log.MustAppend(eventlog.Event{
+				Type:   eventlog.TaskOffered,
+				Worker: pop.Workers[rng.Intn(len(pop.Workers))].ID,
+				Task:   batch.Tasks[rng.Intn(len(batch.Tasks))].ID,
+			})
+		}
+		if incremental {
+			eng.Audit()
+		} else {
+			fairness.CheckAll(st, log, cfg)
+		}
+	}
+}
+
+func BenchmarkAuditFullRescan(b *testing.B)     { benchmarkMutateThenAudit(b, 1000, false) }
+func BenchmarkAuditIncremental(b *testing.B)    { benchmarkMutateThenAudit(b, 1000, true) }
+func BenchmarkAuditFullRescan300(b *testing.B)  { benchmarkMutateThenAudit(b, 300, false) }
+func BenchmarkAuditIncremental300(b *testing.B) { benchmarkMutateThenAudit(b, 300, true) }
 
 // --- Kernel micro-benchmarks ---
 

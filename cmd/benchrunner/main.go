@@ -1,5 +1,5 @@
 // Command benchrunner regenerates the experiment tables of DESIGN.md
-// (E1–E10), either one-shot in the format recorded in EXPERIMENTS.md or as
+// (E1–E11), either one-shot in the format recorded in EXPERIMENTS.md or as
 // a parallel parameter sweep over a grid of experiments × scales × seeds.
 //
 // Usage:
@@ -9,7 +9,7 @@
 //
 // The default mode runs every experiment once at the given seed. Sweep
 // mode drives the same experiments through the internal/sweep worker pool:
-// -sweep selects experiments ("all" for E1–E10), -seeds and -scales span
+// -sweep selects experiments ("all" for E1–E11), -seeds and -scales span
 // the grid, -parallelism bounds the pool (default GOMAXPROCS), and -json
 // switches the report from human tables to machine-readable JSON. Sweep
 // results are deterministic for a given grid regardless of parallelism.
@@ -42,7 +42,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Uint64("seed", 42, "deterministic seed (one-shot mode, and the default sweep seed)")
-	only := fs.String("only", "", "run a single experiment (E1..E10)")
+	only := fs.String("only", "", "run a single experiment (E1..E11)")
 	sweepSel := fs.String("sweep", "", "comma-separated experiments to sweep, or \"all\"")
 	seedList := fs.String("seeds", "", "comma-separated replicate seeds for the sweep grid")
 	scaleList := fs.String("scales", "", "comma-separated scale factors for the sweep grid")
@@ -89,7 +89,7 @@ func runOneShot(seed uint64, only string, stdout io.Writer) error {
 	if only != "" {
 		spec, ok := experiments.SpecByID(only)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E10)", only)
+			return fmt.Errorf("unknown experiment %q (want E1..E11)", only)
 		}
 		fmt.Fprintln(stdout, spec.Run(experiments.Params{Seed: seed, Scale: 1}))
 		return nil

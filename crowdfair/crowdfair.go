@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/audit"
 	"repro/internal/eventlog"
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/similarity"
 	"repro/internal/store"
 	"repro/internal/transparency"
 )
@@ -94,6 +96,12 @@ func DefaultAuditConfig() AuditConfig { return fairness.DefaultConfig() }
 type Platform struct {
 	st  *store.Store
 	log *eventlog.Log
+
+	// auditor is the lazily-created incremental audit engine; it is pinned
+	// to the config of the first AuditIncremental call and discarded when
+	// the trace is replaced (LoadTrace) or the config changes.
+	auditor    *audit.Engine
+	auditorCfg AuditConfig
 }
 
 // NewPlatform returns an empty platform over the universe.
@@ -176,6 +184,52 @@ func (p *Platform) AuditFairness(cfg AuditConfig) []*FairnessReport {
 	return fairness.CheckAll(p.st, p.log, cfg)
 }
 
+// AuditIncremental audits the trace through the incremental engine
+// (internal/audit): the first call runs the full cold-start scan, later
+// calls re-check only the pairs the store changelog and event log mark as
+// dirty — an order-of-magnitude win for continuous monitoring. Reported
+// violations are guaranteed identical to AuditFairness over the same trace;
+// for Axioms 1–2 Report.Checked counts only the delta work performed.
+// Changing cfg between calls resets the engine (a cold start under the new
+// thresholds).
+func (p *Platform) AuditIncremental(cfg AuditConfig) []*FairnessReport {
+	if p.auditor == nil || !sameAuditConfig(p.auditorCfg, cfg) {
+		p.auditor = audit.New(p.st, p.log, cfg)
+		p.auditorCfg = cfg
+	}
+	return p.auditor.Audit()
+}
+
+// sameAuditConfig compares the checker-relevant fields of two configs.
+// Measure functions are compared by name; the Memo field is ignored — the
+// incremental engine installs its own cache either way. A config judged
+// different only costs a cold start, never correctness, so attribute
+// policies with custom per-field maps compare conservatively unequal.
+func sameAuditConfig(a, b AuditConfig) bool {
+	return a.SkillMeasure.Name == b.SkillMeasure.Name &&
+		a.SkillThreshold == b.SkillThreshold &&
+		sameAttrPolicy(a.AttrPolicy, b.AttrPolicy) &&
+		a.AttrThreshold == b.AttrThreshold &&
+		a.AccessThreshold == b.AccessThreshold &&
+		a.RewardTolerance == b.RewardTolerance &&
+		a.ContributionThreshold == b.ContributionThreshold &&
+		a.PayTolerance == b.PayTolerance &&
+		a.Exhaustive == b.Exhaustive
+}
+
+func sameAttrPolicy(a, b *similarity.AttrPolicy) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.NumTolerance == b.NumTolerance &&
+		a.MissingPenalty == b.MissingPenalty &&
+		len(a.FieldTolerance) == 0 && len(b.FieldTolerance) == 0 &&
+		len(a.IgnoreFields) == 0 && len(b.IgnoreFields) == 0
+}
+
 // AuditTransparency runs the Axiom 6 and 7 checkers against the trace,
 // using the standard catalogue when cat is nil.
 func (p *Platform) AuditTransparency(cat *Catalogue) (axiom6, axiom7 *TransparencyReport) {
@@ -199,6 +253,7 @@ func (p *Platform) LoadTrace(r io.Reader) error {
 		return err
 	}
 	p.log = l
+	p.auditor = nil // the engine's cursor points into the old log
 	return nil
 }
 

@@ -246,3 +246,50 @@ func TestPolicyJSONFacade(t *testing.T) {
 		t.Fatal("uncatalogued JSON policy accepted")
 	}
 }
+
+func TestAuditIncrementalTracksAuditFairness(t *testing.T) {
+	p := demoPlatform(t)
+	if err := p.Offer("t1", "w1"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultAuditConfig()
+	sameViolations := func(round string) {
+		t.Helper()
+		inc := p.AuditIncremental(cfg)
+		full := p.AuditFairness(cfg)
+		if len(inc) != 5 || len(full) != 5 {
+			t.Fatalf("%s: report counts %d/%d", round, len(inc), len(full))
+		}
+		for i := range inc {
+			if len(inc[i].Violations) != len(full[i].Violations) {
+				t.Fatalf("%s, %s: %d violations (incremental) vs %d (full)",
+					round, inc[i].Axiom, len(inc[i].Violations), len(full[i].Violations))
+			}
+			for j := range inc[i].Violations {
+				if inc[i].Violations[j].String() != full[i].Violations[j].String() {
+					t.Fatalf("%s, %s: %s vs %s", round, inc[i].Axiom,
+						inc[i].Violations[j], full[i].Violations[j])
+				}
+			}
+		}
+	}
+	sameViolations("cold start (unequal access)")
+	if rep := p.AuditIncremental(cfg); rep[0].Satisfied() {
+		t.Fatal("incremental audit missed the Axiom 1 violation")
+	}
+	// Equalising access must clear the violation incrementally.
+	if err := p.Offer("t1", "w2"); err != nil {
+		t.Fatal(err)
+	}
+	sameViolations("after equalising access")
+	if rep := p.AuditIncremental(cfg); !rep[0].Satisfied() {
+		t.Fatalf("incremental audit kept a stale violation: %v", rep[0].Violations)
+	}
+	// A changed config takes effect (engine cold-starts under it).
+	loose := DefaultAuditConfig()
+	loose.AccessThreshold = -1 // explicit zero: nothing is ever a violation
+	if rep := p.AuditIncremental(loose); !rep[0].Satisfied() {
+		t.Fatalf("config change ignored: %v", rep[0].Violations)
+	}
+	sameViolations("back on the default config")
+}

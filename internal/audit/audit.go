@@ -1,0 +1,307 @@
+// Package audit is the incremental fairness-audit engine: the subsystem
+// that turns the paper's batch audits into the continuous monitoring loop a
+// long-lived platform needs. A full AuditFairness pass re-scans every
+// candidate pair on every call — quadratic per tick, untenable alongside
+// live traffic. Engine instead subscribes to the store's changelog
+// (store.ChangesSince) and the event log's cursor, computes per-axiom dirty
+// sets — workers whose attributes or offer sets moved, tasks whose
+// audiences or contribution sets moved — and re-checks only pairs with at
+// least one dirty endpoint, maintaining the violation set across passes.
+//
+// Guarantee: after any sequence of mutations, Audit reports exactly the
+// violations a full fairness.CheckAll over the same trace reports (the
+// determinism tests pin this down pair by pair). Report.Checked is exact
+// for Axioms 3–5; for Axioms 1–2 it counts the pairs the delta pass
+// actually examined — the engine's work, not the full scan's.
+//
+// A revision-keyed similarity cache (Cache) is shared across Axioms 1–3,
+// so even the pairs a dirty entity drags back into scope only recompute the
+// similarity legs that actually moved. When the engine falls behind the
+// changelog's retention window it falls back to a full rebuild — the cold
+// start and the catch-up path are the same code.
+package audit
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// Engine maintains incremental audit state over one store + event log.
+// Construct with New. Audit is safe to call concurrently with store and log
+// mutation (each pass sees some consistent recent state, and a pass issued
+// after mutation stops reflects every mutation); concurrent Audit calls
+// serialise on an internal mutex.
+type Engine struct {
+	mu    sync.Mutex
+	st    *store.Store
+	log   *eventlog.Log
+	cfg   fairness.Config
+	cache *Cache
+
+	primed  bool
+	version uint64 // store version through which changes are folded in
+	cursor  *eventlog.Cursor
+	access  *fairness.AccessIndex
+	flagged map[model.WorkerID]bool
+	ax5     *fairness.Axiom5Stream
+
+	// Maintained verdicts. Axioms 1/2 key violations by subject pair;
+	// Axiom 3 stores per-task results; Axiom 4 per-worker results plus the
+	// eligibility set that makes its Checked count exact.
+	ax1         map[subjectPair]fairness.Violation
+	ax2         map[subjectPair]fairness.Violation
+	ax3         map[model.TaskID][]fairness.Violation
+	ax3Checked  map[model.TaskID]int
+	ax4         map[model.WorkerID]fairness.Violation
+	ax4Eligible map[model.WorkerID]bool
+}
+
+type subjectPair struct{ a, b string }
+
+// New returns an engine over the given trace. cfg parameterises the
+// checkers exactly as in fairness.CheckAll; the engine attaches its own
+// similarity cache (any caller-provided cfg.Memo is replaced).
+func New(st *store.Store, log *eventlog.Log, cfg fairness.Config) *Engine {
+	e := &Engine{st: st, log: log, cache: NewCache(st)}
+	cfg.Memo = e.cache
+	e.cfg = cfg
+	e.reset()
+	return e
+}
+
+// Cache exposes the engine's similarity cache (for stats and cap tuning).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+func (e *Engine) reset() {
+	e.primed = false
+	e.version = 0
+	e.cursor = eventlog.NewCursor(e.log)
+	e.access = fairness.NewAccessIndex()
+	e.flagged = make(map[model.WorkerID]bool)
+	e.ax5 = fairness.NewAxiom5Stream()
+	e.ax1 = make(map[subjectPair]fairness.Violation)
+	e.ax2 = make(map[subjectPair]fairness.Violation)
+	e.ax3 = make(map[model.TaskID][]fairness.Violation)
+	e.ax3Checked = make(map[model.TaskID]int)
+	e.ax4 = make(map[model.WorkerID]fairness.Violation)
+	e.ax4Eligible = make(map[model.WorkerID]bool)
+}
+
+// Audit brings the engine up to date with the trace and returns the five
+// axiom reports in axiom order. The first call (and any call that finds the
+// changelog truncated past the engine's position) runs the full cold-start
+// scan; subsequent calls re-check only dirty pairs.
+func (e *Engine) Audit() []*fairness.Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// The version bracket must be read before any entity snapshot so the
+	// cache never stores a score under a revision newer than the data it
+	// was computed from (see Cache).
+	passVer := e.st.Version()
+	e.cache.BeginPass(passVer)
+
+	if !e.primed {
+		return e.rebuild(passVer)
+	}
+	changes, ok := e.st.ChangesSince(e.version)
+	if !ok {
+		// Fell behind the changelog's retention window: mutations were
+		// lost, dirty sets would be incomplete. Start over.
+		e.reset()
+		return e.rebuild(passVer)
+	}
+	if len(changes) > 0 {
+		e.version = changes[len(changes)-1].Version
+	}
+
+	dirtyW1 := make(map[model.WorkerID]bool) // attrs/skills/offers moved
+	dirtyT2 := make(map[model.TaskID]bool)   // new task or audience moved
+	dirtyT3 := make(map[model.TaskID]bool)   // contribution set moved
+	dirtyW4 := make(map[model.WorkerID]bool) // attrs moved or newly flagged
+	for _, c := range changes {
+		switch c.Entity {
+		case store.EntityWorker:
+			dirtyW1[c.Worker] = true
+			dirtyW4[c.Worker] = true
+		case store.EntityTask:
+			dirtyT2[c.Task] = true
+		case store.EntityContribution:
+			dirtyT3[c.Task] = true
+		}
+	}
+	for _, ev := range e.cursor.Next() {
+		if e.access.Observe(ev) {
+			dirtyW1[ev.Worker] = true
+			dirtyT2[ev.Task] = true
+		}
+		if ev.Type == eventlog.WorkerFlagged && !e.flagged[ev.Worker] {
+			e.flagged[ev.Worker] = true
+			dirtyW4[ev.Worker] = true
+		}
+		e.ax5.Observe(ev)
+	}
+
+	rep1 := fairness.CheckAxiom1DeltaIndexed(e.st, e.access, e.cfg, dirtyW1)
+	rep2 := fairness.CheckAxiom2DeltaIndexed(e.st, e.access, e.cfg, dirtyT2)
+	e.foldTasks(dirtyT3)
+	e.foldWorkers(dirtyW4)
+	return []*fairness.Report{
+		e.mergePairs(e.ax1, stringKeys(dirtyW1), rep1),
+		e.mergePairs(e.ax2, stringKeys(dirtyT2), rep2),
+		e.report3(),
+		e.report4(),
+		e.ax5.Report(),
+	}
+}
+
+// rebuild is the cold-start/catch-up path: consume the whole trace, run the
+// full-scan checkers over the maintained access index, and seed the
+// per-task and per-worker state for Axioms 3–4.
+func (e *Engine) rebuild(passVer uint64) []*fairness.Report {
+	for _, ev := range e.cursor.Next() {
+		e.access.Observe(ev)
+		if ev.Type == eventlog.WorkerFlagged {
+			e.flagged[ev.Worker] = true
+		}
+		e.ax5.Observe(ev)
+	}
+	e.version = passVer
+	e.primed = true
+
+	rep1 := fairness.CheckAxiom1Indexed(e.st, e.access, e.cfg)
+	for _, v := range rep1.Violations {
+		e.ax1[subjectPair{v.Subjects[0], v.Subjects[1]}] = v
+	}
+	rep2 := fairness.CheckAxiom2Indexed(e.st, e.access, e.cfg)
+	for _, v := range rep2.Violations {
+		e.ax2[subjectPair{v.Subjects[0], v.Subjects[1]}] = v
+	}
+	allTasks := make(map[model.TaskID]bool)
+	allWorkers := make(map[model.WorkerID]bool)
+	for _, t := range e.st.Tasks() {
+		allTasks[t.ID] = true
+	}
+	for _, w := range e.st.Workers() {
+		allWorkers[w.ID] = true
+	}
+	e.foldTasks(allTasks)
+	e.foldWorkers(allWorkers)
+	return []*fairness.Report{rep1, rep2, e.report3(), e.report4(), e.ax5.Report()}
+}
+
+// mergePairs drops every stored pair violation touching a dirty subject,
+// folds in the delta pass's findings, and renders the merged report.
+func (e *Engine) mergePairs(state map[subjectPair]fairness.Violation, dirty map[string]bool, rep *fairness.Report) *fairness.Report {
+	for k := range state {
+		if dirty[k.a] || dirty[k.b] {
+			delete(state, k)
+		}
+	}
+	for _, v := range rep.Violations {
+		state[subjectPair{v.Subjects[0], v.Subjects[1]}] = v
+	}
+	out := &fairness.Report{Axiom: rep.Axiom, Checked: rep.Checked}
+	for _, v := range state {
+		out.Violations = append(out.Violations, v)
+	}
+	fairness.SortViolations(out.Violations)
+	return out
+}
+
+// stringKeys projects a dirty-id set onto the violation subjects' string
+// domain.
+func stringKeys[T ~string](m map[T]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for id := range m {
+		out[string(id)] = true
+	}
+	return out
+}
+
+// foldTasks replaces the stored Axiom 3 verdict of every dirty task.
+func (e *Engine) foldTasks(dirty map[model.TaskID]bool) {
+	ids := make([]model.TaskID, 0, len(dirty))
+	for id := range dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rep := fairness.CheckAxiom3Delta(e.st, e.cfg, map[model.TaskID]bool{id: true})
+		e.ax3Checked[id] = rep.Checked
+		if len(rep.Violations) > 0 {
+			e.ax3[id] = rep.Violations
+		} else {
+			delete(e.ax3, id)
+		}
+	}
+}
+
+// foldWorkers replaces the stored Axiom 4 verdict of every dirty worker.
+func (e *Engine) foldWorkers(dirty map[model.WorkerID]bool) {
+	ids := make([]model.WorkerID, 0, len(dirty))
+	for id := range dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rep := fairness.CheckAxiom4Flagged(e.st, e.flagged, map[model.WorkerID]bool{id: true})
+		if rep.Checked > 0 {
+			e.ax4Eligible[id] = true
+		} else {
+			delete(e.ax4Eligible, id)
+		}
+		if len(rep.Violations) > 0 {
+			e.ax4[id] = rep.Violations[0]
+		} else {
+			delete(e.ax4, id)
+		}
+	}
+}
+
+func (e *Engine) report3() *fairness.Report {
+	rep := &fairness.Report{Axiom: fairness.Axiom3Compensation}
+	for _, n := range e.ax3Checked {
+		rep.Checked += n
+	}
+	for _, vs := range e.ax3 {
+		rep.Violations = append(rep.Violations, vs...)
+	}
+	fairness.SortViolations(rep.Violations)
+	return rep
+}
+
+func (e *Engine) report4() *fairness.Report {
+	rep := &fairness.Report{Axiom: fairness.Axiom4MaliciousDetection, Checked: len(e.ax4Eligible)}
+	for _, v := range e.ax4 {
+		rep.Violations = append(rep.Violations, v)
+	}
+	fairness.SortViolations(rep.Violations)
+	return rep
+}
+
+// ViolationsEqual reports whether two report sets agree axiom by axiom on
+// their rendered violations — the equivalence the engine guarantees against
+// fairness.CheckAll. Checked counts are not compared (the engine's Checked
+// is delta work for Axioms 1–2).
+func ViolationsEqual(a, b []*fairness.Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Axiom != b[i].Axiom || len(a[i].Violations) != len(b[i].Violations) {
+			return false
+		}
+		for j := range a[i].Violations {
+			if a[i].Violations[j].String() != b[i].Violations[j].String() {
+				return false
+			}
+		}
+	}
+	return true
+}

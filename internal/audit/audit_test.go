@@ -1,0 +1,334 @@
+package audit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// scenario drives a deterministic random mutation stream over a store +
+// log, shaped so every axiom has live material: few skill patterns (many
+// similar workers), few reward buckets (comparable tasks), few text
+// variants (similar contributions), biased offers, occasional flags.
+type scenario struct {
+	tb   testing.TB
+	st   *store.Store
+	log  *eventlog.Log
+	rng  *stats.RNG
+	u    *model.Universe
+	wn   int
+	tn   int
+	cn   int
+	reqs []model.RequesterID
+}
+
+func newScenario(tb testing.TB, seed uint64) *scenario {
+	u := model.MustUniverse("go", "nlp", "vision", "audio")
+	s := &scenario{
+		tb: tb, st: store.New(u), log: eventlog.New(),
+		rng: stats.NewRNG(seed), u: u,
+	}
+	for _, r := range []model.RequesterID{"r1", "r2", "r3"} {
+		if err := s.st.PutRequester(&model.Requester{ID: r}); err != nil {
+			tb.Fatal(err)
+		}
+		s.reqs = append(s.reqs, r)
+	}
+	return s
+}
+
+var skillPatterns = [][]string{{"go"}, {"nlp"}, {"go", "nlp"}, {"vision"}}
+
+func (s *scenario) addWorker() model.WorkerID {
+	s.wn++
+	id := model.WorkerID(fmt.Sprintf("w%05d", s.wn))
+	pat := skillPatterns[s.rng.Intn(len(skillPatterns))]
+	w := &model.Worker{
+		ID:       id,
+		Declared: model.Attributes{"country": model.Str([]string{"jp", "fr"}[s.rng.Intn(2)])},
+		Computed: model.Attributes{model.AttrAcceptanceRatio: model.Num([]float64{0.3, 0.8}[s.rng.Intn(2)])},
+		Skills:   s.u.MustVector(pat...),
+	}
+	if err := s.st.PutWorker(w); err != nil {
+		s.tb.Fatal(err)
+	}
+	return id
+}
+
+func (s *scenario) addTask() model.TaskID {
+	s.tn++
+	id := model.TaskID(fmt.Sprintf("t%05d", s.tn))
+	pat := skillPatterns[s.rng.Intn(len(skillPatterns))]
+	t := &model.Task{
+		ID:        id,
+		Requester: s.reqs[s.rng.Intn(len(s.reqs))],
+		Skills:    s.u.MustVector(pat...),
+		Reward:    []float64{1.0, 1.02, 3.0}[s.rng.Intn(3)],
+	}
+	if err := s.st.PutTask(t); err != nil {
+		s.tb.Fatal(err)
+	}
+	return id
+}
+
+func (s *scenario) randomWorker() model.WorkerID {
+	return model.WorkerID(fmt.Sprintf("w%05d", 1+s.rng.Intn(s.wn)))
+}
+
+func (s *scenario) randomTask() model.TaskID {
+	return model.TaskID(fmt.Sprintf("t%05d", 1+s.rng.Intn(s.tn)))
+}
+
+func (s *scenario) offer() {
+	s.log.MustAppend(eventlog.Event{
+		Type: eventlog.TaskOffered, Worker: s.randomWorker(), Task: s.randomTask(),
+	})
+}
+
+func (s *scenario) addContribution() {
+	s.cn++
+	c := &model.Contribution{
+		ID:     model.ContributionID(fmt.Sprintf("c%05d", s.cn)),
+		Task:   s.randomTask(),
+		Worker: s.randomWorker(),
+		Text:   []string{"the canonical answer", "the canonical answer", "something else entirely"}[s.rng.Intn(3)],
+		Paid:   []float64{0.5, 0.5, 2.0}[s.rng.Intn(3)],
+	}
+	c.Quality = 0.7
+	if err := s.st.PutContribution(c); err != nil {
+		s.tb.Fatal(err)
+	}
+}
+
+func (s *scenario) updateWorker() {
+	w, err := s.st.Worker(s.randomWorker())
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	w.Computed[model.AttrAcceptanceRatio] = model.Num([]float64{0.3, 0.8}[s.rng.Intn(2)])
+	if err := s.st.UpdateWorker(w); err != nil {
+		s.tb.Fatal(err)
+	}
+}
+
+func (s *scenario) updateContribution() {
+	if s.cn == 0 {
+		return
+	}
+	id := model.ContributionID(fmt.Sprintf("c%05d", 1+s.rng.Intn(s.cn)))
+	c, err := s.st.Contribution(id)
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	c.Paid = []float64{0.5, 2.0}[s.rng.Intn(2)]
+	if err := s.st.UpdateContribution(c); err != nil {
+		s.tb.Fatal(err)
+	}
+}
+
+func (s *scenario) flagWorker() {
+	s.log.MustAppend(eventlog.Event{Type: eventlog.WorkerFlagged, Worker: s.randomWorker()})
+}
+
+func (s *scenario) startInterrupt() {
+	w, t := s.randomWorker(), s.randomTask()
+	s.log.MustAppend(eventlog.Event{Type: eventlog.TaskStarted, Worker: w, Task: t})
+	if s.rng.Bool(0.5) {
+		s.log.MustAppend(eventlog.Event{Type: eventlog.TaskInterrupted, Worker: w, Task: t})
+	} else {
+		s.log.MustAppend(eventlog.Event{Type: eventlog.TaskSubmitted, Worker: w, Task: t})
+	}
+}
+
+// seed populates the initial platform.
+func (s *scenario) seed(workers, tasks, offers, contribs int) {
+	for i := 0; i < workers; i++ {
+		s.addWorker()
+	}
+	for i := 0; i < tasks; i++ {
+		s.addTask()
+	}
+	for i := 0; i < offers; i++ {
+		s.offer()
+	}
+	for i := 0; i < contribs; i++ {
+		s.addContribution()
+	}
+}
+
+// mutate applies one random mutation of any supported kind.
+func (s *scenario) mutate() {
+	switch s.rng.Intn(8) {
+	case 0:
+		s.addWorker()
+	case 1:
+		s.addTask()
+	case 2, 3:
+		s.offer()
+	case 4:
+		s.addContribution()
+	case 5:
+		s.updateWorker()
+	case 6:
+		s.updateContribution()
+	case 7:
+		if s.rng.Bool(0.3) {
+			s.flagWorker()
+		} else {
+			s.startInterrupt()
+		}
+	}
+}
+
+func requireEquivalent(t *testing.T, round int, inc, full []*fairness.Report) {
+	t.Helper()
+	if ViolationsEqual(inc, full) {
+		return
+	}
+	for i := range inc {
+		if len(inc[i].Violations) != len(full[i].Violations) {
+			t.Fatalf("round %d, %s: %d violations (incremental) vs %d (full)",
+				round, inc[i].Axiom, len(inc[i].Violations), len(full[i].Violations))
+		}
+		for j := range inc[i].Violations {
+			if inc[i].Violations[j].String() != full[i].Violations[j].String() {
+				t.Fatalf("round %d, %s, violation %d:\nincremental: %s\nfull:        %s",
+					round, inc[i].Axiom, j, inc[i].Violations[j], full[i].Violations[j])
+			}
+		}
+	}
+	t.Fatalf("round %d: reports differ in shape", round)
+}
+
+// The cold-start audit must match fairness.CheckAll exactly, including the
+// Checked counts (the full-scan paths are shared).
+func TestColdStartMatchesCheckAll(t *testing.T) {
+	s := newScenario(t, 11)
+	s.seed(60, 25, 300, 40)
+	cfg := fairness.DefaultConfig()
+	eng := New(s.st, s.log, cfg)
+	inc := eng.Audit()
+	full := fairness.CheckAll(s.st, s.log, cfg)
+	requireEquivalent(t, 0, inc, full)
+	for i := range inc {
+		if inc[i].Checked != full[i].Checked {
+			t.Errorf("%s: cold-start checked %d, full %d", inc[i].Axiom, inc[i].Checked, full[i].Checked)
+		}
+	}
+}
+
+// The determinism contract of the tentpole: across seeds and arbitrary
+// interleavings of mutations and audits, the incremental engine reports
+// exactly the violations a from-scratch full audit reports.
+func TestIncrementalMatchesFullAcrossMutations(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 17, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := newScenario(t, seed)
+			s.seed(50, 20, 250, 30)
+			cfg := fairness.DefaultConfig()
+			eng := New(s.st, s.log, cfg)
+			for round := 0; round < 12; round++ {
+				for i := 0; i < 15; i++ {
+					s.mutate()
+				}
+				inc := eng.Audit()
+				full := fairness.CheckAll(s.st, s.log, cfg)
+				requireEquivalent(t, round, inc, full)
+				// Axioms 3–5 keep exact Checked counts incrementally.
+				for _, i := range []int{2, 3, 4} {
+					if inc[i].Checked != full[i].Checked {
+						t.Fatalf("round %d, %s: checked %d (incremental) vs %d (full)",
+							round, inc[i].Axiom, inc[i].Checked, full[i].Checked)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Falling behind the changelog's retention window must trigger a rebuild,
+// not a wrong report.
+func TestChangelogTruncationFallsBackToRebuild(t *testing.T) {
+	s := newScenario(t, 5)
+	s.seed(40, 15, 150, 20)
+	s.st.SetChangelogCap(8)
+	cfg := fairness.DefaultConfig()
+	eng := New(s.st, s.log, cfg)
+	eng.Audit()
+	// Far more mutations than the changelog retains.
+	for i := 0; i < 100; i++ {
+		s.mutate()
+	}
+	if _, ok := s.st.ChangesSince(0); ok {
+		t.Fatal("test setup: changelog should be truncated")
+	}
+	inc := eng.Audit()
+	full := fairness.CheckAll(s.st, s.log, cfg)
+	requireEquivalent(t, 0, inc, full)
+	// And the engine keeps working incrementally afterwards.
+	for i := 0; i < 5; i++ {
+		s.mutate()
+	}
+	requireEquivalent(t, 1, eng.Audit(), fairness.CheckAll(s.st, s.log, cfg))
+}
+
+// Offer churn re-examines pairs whose entities did not change; those pair
+// similarities must come out of the cache, and an entity mutation must
+// invalidate exactly its own pairs (correctness of the result is pinned by
+// the equivalence tests; this pins that the cache is actually consulted).
+func TestCacheHitsOnOfferChurn(t *testing.T) {
+	s := newScenario(t, 23)
+	s.seed(60, 20, 300, 0)
+	eng := New(s.st, s.log, fairness.DefaultConfig())
+	eng.Audit()
+	_, missesAfterCold := eng.Cache().Stats()
+	if missesAfterCold == 0 {
+		t.Fatal("cold start should have populated the cache")
+	}
+	hits0, _ := eng.Cache().Stats()
+	// New offers only: no store mutation, so every re-examined pair has
+	// unchanged revisions and must hit.
+	for i := 0; i < 10; i++ {
+		s.offer()
+	}
+	eng.Audit()
+	hits1, misses1 := eng.Cache().Stats()
+	if hits1 <= hits0 {
+		t.Fatalf("offer churn produced no cache hits (hits %d -> %d)", hits0, hits1)
+	}
+	if misses1 != missesAfterCold {
+		t.Fatalf("offer churn missed the cache: misses %d -> %d", missesAfterCold, misses1)
+	}
+	// A worker mutation must force recomputation for its pairs.
+	s.updateWorker()
+	eng.Audit()
+	_, misses2 := eng.Cache().Stats()
+	if misses2 <= misses1 {
+		t.Fatal("worker mutation did not invalidate any cached pair")
+	}
+}
+
+// An audit pass between mutations must not disturb later equivalence even
+// when nothing changed (empty delta).
+func TestEmptyDeltaIsStable(t *testing.T) {
+	s := newScenario(t, 31)
+	s.seed(30, 12, 100, 15)
+	cfg := fairness.DefaultConfig()
+	eng := New(s.st, s.log, cfg)
+	first := eng.Audit()
+	second := eng.Audit()
+	if !ViolationsEqual(first, second) {
+		t.Fatal("back-to-back audits disagree")
+	}
+	for _, i := range []int{0, 1} {
+		if second[i].Checked != 0 {
+			t.Errorf("%s: empty delta checked %d pairs", second[i].Axiom, second[i].Checked)
+		}
+	}
+}

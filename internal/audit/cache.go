@@ -1,0 +1,184 @@
+package audit
+
+import (
+	"sync"
+
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// DefaultCacheCap bounds each of the cache's three tables. One entry is a
+// few dozen bytes, so the default keeps the whole cache under ~100 MB even
+// when every table fills; overflowing tables are dropped wholesale (the
+// next pass re-warms them) rather than tracked with an eviction policy the
+// audit workload would never exercise.
+const DefaultCacheCap = 1 << 20
+
+// Cache memoizes the pairwise similarity scores of Axioms 1–3 across audit
+// passes. Entries are keyed by the canonical id pair and validated against
+// the store's entity revisions: a hit requires the stored revisions to
+// equal the entities' current revisions, so any mutation — attribute
+// update, pay change — silently invalidates every pair the entity takes
+// part in. Invalidation therefore costs nothing at mutation time; the
+// changelog-driven dirty sets decide which pairs get looked up again.
+//
+// To stay sound under audits racing store mutations, entries are only
+// written when both revisions are at or below the version bracket the
+// current pass declared via BeginPass: scores are computed from entity
+// values read after the bracket was taken, so a revision above the bracket
+// means the value used may not correspond to the revision observed, and the
+// score is returned uncached. Safe for concurrent use.
+type Cache struct {
+	st *store.Store
+
+	mu       sync.Mutex
+	cap      int
+	pass     uint64
+	workers  map[workerKey]workerEntry
+	tasks    map[taskKey]taskEntry
+	contribs map[contribKey]contribEntry
+	hits     uint64
+	misses   uint64
+}
+
+type workerKey struct{ a, b model.WorkerID }
+type taskKey struct{ a, b model.TaskID }
+type contribKey struct{ a, b model.ContributionID }
+
+type workerEntry struct {
+	ra, rb uint64
+	scores fairness.WorkerPairScores
+}
+type taskEntry struct {
+	ra, rb uint64
+	score  float64
+}
+type contribEntry struct {
+	ra, rb uint64
+	score  float64
+}
+
+// NewCache returns an empty cache over the store's revision counters.
+func NewCache(st *store.Store) *Cache {
+	return &Cache{
+		st:       st,
+		cap:      DefaultCacheCap,
+		workers:  make(map[workerKey]workerEntry),
+		tasks:    make(map[taskKey]taskEntry),
+		contribs: make(map[contribKey]contribEntry),
+	}
+}
+
+// SetCap bounds each table to at most n entries (n < 1 disables caching).
+func (c *Cache) SetCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+}
+
+// BeginPass declares the store version the next audit pass read before
+// taking its entity snapshots. Scores computed during the pass are cached
+// only for entities whose revisions do not exceed this bracket.
+func (c *Cache) BeginPass(version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pass = version
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// WorkerPair implements fairness.PairMemo.
+func (c *Cache) WorkerPair(a, b model.WorkerID, compute func() fairness.WorkerPairScores) fairness.WorkerPairScores {
+	if b < a {
+		a, b = b, a // scores are symmetric; keys are canonical
+	}
+	ra, rb := c.st.WorkerRevision(a), c.st.WorkerRevision(b)
+	k := workerKey{a, b}
+	c.mu.Lock()
+	pass := c.pass
+	if e, ok := c.workers[k]; ok && e.ra == ra && e.rb == rb {
+		c.hits++
+		c.mu.Unlock()
+		return e.scores
+	}
+	c.misses++
+	c.mu.Unlock()
+	sc := compute()
+	if ra <= pass && rb <= pass {
+		c.mu.Lock()
+		if c.cap > 0 {
+			if len(c.workers) >= c.cap {
+				c.workers = make(map[workerKey]workerEntry)
+			}
+			c.workers[k] = workerEntry{ra, rb, sc}
+		}
+		c.mu.Unlock()
+	}
+	return sc
+}
+
+// TaskPair implements fairness.PairMemo.
+func (c *Cache) TaskPair(a, b model.TaskID, compute func() float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	ra, rb := c.st.TaskRevision(a), c.st.TaskRevision(b)
+	k := taskKey{a, b}
+	c.mu.Lock()
+	pass := c.pass
+	if e, ok := c.tasks[k]; ok && e.ra == ra && e.rb == rb {
+		c.hits++
+		c.mu.Unlock()
+		return e.score
+	}
+	c.misses++
+	c.mu.Unlock()
+	s := compute()
+	if ra <= pass && rb <= pass {
+		c.mu.Lock()
+		if c.cap > 0 {
+			if len(c.tasks) >= c.cap {
+				c.tasks = make(map[taskKey]taskEntry)
+			}
+			c.tasks[k] = taskEntry{ra, rb, s}
+		}
+		c.mu.Unlock()
+	}
+	return s
+}
+
+// ContribPair implements fairness.PairMemo.
+func (c *Cache) ContribPair(a, b model.ContributionID, compute func() float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	ra, rb := c.st.ContributionRevision(a), c.st.ContributionRevision(b)
+	k := contribKey{a, b}
+	c.mu.Lock()
+	pass := c.pass
+	if e, ok := c.contribs[k]; ok && e.ra == ra && e.rb == rb {
+		c.hits++
+		c.mu.Unlock()
+		return e.score
+	}
+	c.misses++
+	c.mu.Unlock()
+	s := compute()
+	if ra <= pass && rb <= pass {
+		c.mu.Lock()
+		if c.cap > 0 {
+			if len(c.contribs) >= c.cap {
+				c.contribs = make(map[contribKey]contribEntry)
+			}
+			c.contribs[k] = contribEntry{ra, rb, s}
+		}
+		c.mu.Unlock()
+	}
+	return s
+}

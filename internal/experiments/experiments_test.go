@@ -269,12 +269,12 @@ func TestE10Shape(t *testing.T) {
 	}
 }
 
-func TestAllProducesTenTables(t *testing.T) {
+func TestAllProducesElevenTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")
 	}
 	tables := All(1)
-	if len(tables) != 10 {
+	if len(tables) != 11 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	for i, tab := range tables {
@@ -309,5 +309,17 @@ func TestSyntheticPolicyWellFormed(t *testing.T) {
 		if len(pol.Rules) != n {
 			t.Fatalf("rules = %d, want %d", len(pol.Rules), n)
 		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tab := E11IncrementalAudit(E11Params{Sizes: []int{80}, Rounds: 3, DirtyFrac: 0.05, Seed: 1})
+	if tab.ID != "E11" || len(tab.Rows) != 1 {
+		t.Fatalf("table = %+v", tab)
+	}
+	// The engine's contract: violations identical to the full rescan in
+	// every round.
+	if got := tab.Rows[0][len(tab.Rows[0])-1]; got != "true" {
+		t.Fatalf("identical-violations = %q", got)
 	}
 }

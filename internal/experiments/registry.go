@@ -5,7 +5,7 @@ import "math"
 // Params is the uniform knob set every experiment accepts through its Spec:
 // a seed for the deterministic RNG streams and a scale factor applied to
 // the experiment's default population/task sizes. It is what lets the sweep
-// engine drive E1–E10 over a grid without knowing any per-experiment
+// engine drive E1–E11 over a grid without knowing any per-experiment
 // parameter struct.
 type Params struct {
 	// Seed feeds every RNG stream of the experiment.
@@ -33,7 +33,7 @@ func (p Params) ScaleInt(n int) int {
 // short name for reports, and a Run hook the sweep engine can drive with
 // nothing but Params.
 type Spec struct {
-	// ID is the experiment identifier ("E1".."E10").
+	// ID is the experiment identifier ("E1".."E11").
 	ID string
 	// Name is a short human description.
 	Name string
@@ -41,11 +41,11 @@ type Spec struct {
 	Run func(p Params) *Table
 }
 
-// Specs returns every experiment in report order, E1 through E10.
+// Specs returns every experiment in report order, E1 through E11.
 func Specs() []Spec {
 	return []Spec{
 		e1Spec(), e2Spec(), e3Spec(), e4Spec(), e5Spec(),
-		e6Spec(), e7Spec(), e8Spec(), e9Spec(), e10Spec(),
+		e6Spec(), e7Spec(), e8Spec(), e9Spec(), e10Spec(), e11Spec(),
 	}
 }
 

@@ -2,6 +2,7 @@ package fairness
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/eventlog"
 	"repro/internal/model"
@@ -18,13 +19,45 @@ import (
 // pair of similar workers (all three similarity conditions at their
 // thresholds), the checker compares offer sets by Jaccard overlap and
 // reports a violation when the overlap falls below cfg.AccessThreshold.
+// Offer sets are deduplicated: repeating the same offer neither changes the
+// overlap nor the reported set sizes.
 //
 // Candidate pairs come from the store's skill inverted index unless
 // cfg.Exhaustive is set; pairs of workers with empty skill vectors are
 // always compared exhaustively since the index cannot see them.
 func CheckAxiom1(st *store.Store, log *eventlog.Log, cfg Config) *Report {
+	return checkAxiom1(st, AccessIndexFromLog(log), cfg, nil, true)
+}
+
+// CheckAxiom1Delta audits only the candidate pairs with at least one
+// endpoint in dirty, under exactly the same similarity and access
+// predicates as CheckAxiom1. It is the incremental entry point: given the
+// set of workers whose attributes, skills, or offer sets changed since the
+// last audit, re-checking these pairs (and dropping previously recorded
+// violations that touch a dirty worker) reproduces the full audit's
+// violation set — pairs of two clean workers cannot have changed status.
+// Report.Checked counts only the pairs this delta pass examined.
+func CheckAxiom1Delta(st *store.Store, log *eventlog.Log, cfg Config, dirty map[model.WorkerID]bool) *Report {
+	return checkAxiom1(st, AccessIndexFromLog(log), cfg, dirty, false)
+}
+
+// CheckAxiom1DeltaIndexed is CheckAxiom1Delta over a caller-maintained
+// AccessIndex, so long-lived auditors (internal/audit) never replay the
+// whole event log per pass.
+func CheckAxiom1DeltaIndexed(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.WorkerID]bool) *Report {
+	return checkAxiom1(st, ix, cfg, dirty, false)
+}
+
+// CheckAxiom1Indexed is the full scan over a caller-maintained AccessIndex
+// — the incremental engine's cold-start path.
+func CheckAxiom1Indexed(st *store.Store, ix *AccessIndex, cfg Config) *Report {
+	return checkAxiom1(st, ix, cfg, nil, true)
+}
+
+// checkAxiom1 is the shared core. full selects the complete pair scan;
+// otherwise only pairs touching dirty are examined.
+func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.WorkerID]bool, full bool) *Report {
 	rep := &Report{Axiom: Axiom1WorkerAssignment}
-	offers := offersFromLog(log)
 	workers := st.Workers()
 	byID := make(map[model.WorkerID]*model.Worker, len(workers))
 	for _, w := range workers {
@@ -37,31 +70,35 @@ func CheckAxiom1(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 	measure := cfg.skillMeasure()
 	policy := cfg.attrPolicy()
 
-	// Precompute offer sets once; the pairwise loop only does lookups.
-	offerSets := make(map[model.WorkerID]idSet[model.TaskID], len(offers))
-	for id, ts := range offers {
-		offerSets[id] = newIDSet(ts)
-	}
-	emptySet := newIDSet[model.TaskID](nil)
-	setOf := func(id model.WorkerID) idSet[model.TaskID] {
-		if s, ok := offerSets[id]; ok {
-			return s
-		}
-		return emptySet
-	}
-
+	// check examines one pair; callers pass a.ID < b.ID so memo keys and
+	// violation subjects are canonical.
 	check := func(a, b *model.Worker) {
 		rep.Checked++
-		if measure.Func(a.Skills, b.Skills) < skillThr {
-			return
+		var sc WorkerPairScores
+		if cfg.Memo != nil {
+			sc = cfg.Memo.WorkerPair(a.ID, b.ID, func() WorkerPairScores {
+				return WorkerPairScores{
+					Skill:    measure.Func(a.Skills, b.Skills),
+					Declared: policy.Similarity(a.Declared, b.Declared),
+					Computed: policy.Similarity(a.Computed, b.Computed),
+				}
+			})
+			if sc.Skill < skillThr || sc.Declared < attrThr || sc.Computed < attrThr {
+				return
+			}
+		} else {
+			if measure.Func(a.Skills, b.Skills) < skillThr {
+				return
+			}
+			if policy.Similarity(a.Declared, b.Declared) < attrThr {
+				return
+			}
+			if policy.Similarity(a.Computed, b.Computed) < attrThr {
+				return
+			}
 		}
-		if policy.Similarity(a.Declared, b.Declared) < attrThr {
-			return
-		}
-		if policy.Similarity(a.Computed, b.Computed) < attrThr {
-			return
-		}
-		overlap := setOf(a.ID).jaccard(setOf(b.ID))
+		aSet, bSet := ix.offerSet(a.ID), ix.offerSet(b.ID)
+		overlap := aSet.jaccard(bSet)
 		if overlap >= accessThr {
 			return
 		}
@@ -69,32 +106,89 @@ func CheckAxiom1(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 			Axiom:    Axiom1WorkerAssignment,
 			Subjects: []string{string(a.ID), string(b.ID)},
 			Detail: fmt.Sprintf("similar workers saw different tasks: offer overlap %.2f < %.2f (|offers| %d vs %d)",
-				overlap, accessThr, len(offers[a.ID]), len(offers[b.ID])),
+				overlap, accessThr, aSet.size(), bSet.size()),
 			Severity: accessThr - overlap,
 		})
 	}
 
-	if cfg.Exhaustive {
+	var skillless []*model.Worker
+	for _, w := range workers {
+		if w.Skills.Count() == 0 {
+			skillless = append(skillless, w)
+		}
+	}
+
+	switch {
+	case full && cfg.Exhaustive:
 		for i := 0; i < len(workers); i++ {
 			for j := i + 1; j < len(workers); j++ {
 				check(workers[i], workers[j])
 			}
 		}
-	} else {
+	case full:
 		for _, pair := range st.CandidateWorkerPairs() {
-			check(byID[pair[0]], byID[pair[1]])
+			a, b := byID[pair[0]], byID[pair[1]]
+			if a == nil || b == nil {
+				// Inserted after the worker snapshot was taken (audit racing
+				// mutation); the insert is still pending for the next pass.
+				continue
+			}
+			check(a, b)
 		}
 		// Workers with no skills share no index entry; compare them among
 		// themselves (they are trivially skill-similar to each other).
-		var skillless []*model.Worker
-		for _, w := range workers {
-			if w.Skills.Count() == 0 {
-				skillless = append(skillless, w)
+		for i := 0; i < len(skillless); i++ {
+			for j := i + 1; j < len(skillless); j++ {
+				check(skillless[i], skillless[j])
+			}
+		}
+	case cfg.Exhaustive:
+		for i := 0; i < len(workers); i++ {
+			for j := i + 1; j < len(workers); j++ {
+				if dirty[workers[i].ID] || dirty[workers[j].ID] {
+					check(workers[i], workers[j])
+				}
+			}
+		}
+	default:
+		dirtyIDs := make([]model.WorkerID, 0, len(dirty))
+		for id := range dirty {
+			if byID[id] != nil {
+				dirtyIDs = append(dirtyIDs, id)
+			}
+		}
+		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
+		for _, did := range dirtyIDs {
+			d := byID[did]
+			seen := map[model.WorkerID]bool{did: true}
+			for _, skill := range d.Skills.Indices() {
+				for _, pid := range st.WorkersWithSkill(skill) {
+					if seen[pid] {
+						continue
+					}
+					seen[pid] = true
+					p := byID[pid]
+					if p == nil {
+						// Inserted after the worker snapshot (audit racing
+						// mutation); pending for the next pass.
+						continue
+					}
+					if dirty[pid] && pid < did {
+						continue // the partner's own delta pass owns this pair
+					}
+					a, b := d, p
+					if b.ID < a.ID {
+						a, b = b, a
+					}
+					check(a, b)
+				}
 			}
 		}
 		for i := 0; i < len(skillless); i++ {
 			for j := i + 1; j < len(skillless); j++ {
-				check(skillless[i], skillless[j])
+				if dirty[skillless[i].ID] || dirty[skillless[j].ID] {
+					check(skillless[i], skillless[j])
+				}
 			}
 		}
 	}

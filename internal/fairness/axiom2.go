@@ -3,6 +3,7 @@ package fairness
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/eventlog"
 	"repro/internal/model"
@@ -22,8 +23,31 @@ import (
 // comparable tasks whose audiences overlap (Jaccard) below
 // cfg.AccessThreshold is a violation.
 func CheckAxiom2(st *store.Store, log *eventlog.Log, cfg Config) *Report {
+	return checkAxiom2(st, AccessIndexFromLog(log), cfg, nil, true)
+}
+
+// CheckAxiom2Delta audits only cross-requester candidate pairs with at
+// least one endpoint in dirty — the tasks whose audiences changed or that
+// were newly posted since the last audit. Same predicates as CheckAxiom2;
+// Report.Checked counts only the pairs this delta pass examined.
+func CheckAxiom2Delta(st *store.Store, log *eventlog.Log, cfg Config, dirty map[model.TaskID]bool) *Report {
+	return checkAxiom2(st, AccessIndexFromLog(log), cfg, dirty, false)
+}
+
+// CheckAxiom2DeltaIndexed is CheckAxiom2Delta over a caller-maintained
+// AccessIndex.
+func CheckAxiom2DeltaIndexed(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.TaskID]bool) *Report {
+	return checkAxiom2(st, ix, cfg, dirty, false)
+}
+
+// CheckAxiom2Indexed is the full scan over a caller-maintained AccessIndex
+// — the incremental engine's cold-start path.
+func CheckAxiom2Indexed(st *store.Store, ix *AccessIndex, cfg Config) *Report {
+	return checkAxiom2(st, ix, cfg, nil, true)
+}
+
+func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.TaskID]bool, full bool) *Report {
 	rep := &Report{Axiom: Axiom2RequesterAssignment}
-	audience := audienceFromLog(log)
 	tasks := st.Tasks()
 	byID := make(map[model.TaskID]*model.Task, len(tasks))
 	for _, t := range tasks {
@@ -35,27 +59,25 @@ func CheckAxiom2(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 	accessThr := orDefault(cfg.AccessThreshold, 1.0)
 	measure := cfg.skillMeasure()
 
-	audienceSets := make(map[model.TaskID]idSet[model.WorkerID], len(audience))
-	for id, ws := range audience {
-		audienceSets[id] = newIDSet(ws)
-	}
-	emptySet := newIDSet[model.WorkerID](nil)
-	setOf := func(id model.TaskID) idSet[model.WorkerID] {
-		if s, ok := audienceSets[id]; ok {
-			return s
-		}
-		return emptySet
-	}
-
+	// check examines one pair; callers pass a.ID < b.ID and distinct
+	// requesters.
 	check := func(a, b *model.Task) {
 		rep.Checked++
-		if measure.Func(a.Skills, b.Skills) < skillThr {
+		var skillSim float64
+		if cfg.Memo != nil {
+			skillSim = cfg.Memo.TaskPair(a.ID, b.ID, func() float64 {
+				return measure.Func(a.Skills, b.Skills)
+			})
+		} else {
+			skillSim = measure.Func(a.Skills, b.Skills)
+		}
+		if skillSim < skillThr {
 			return
 		}
 		if !comparableRewards(a.Reward, b.Reward, rewardTol) {
 			return
 		}
-		overlap := setOf(a.ID).jaccard(setOf(b.ID))
+		overlap := ix.audienceSet(a.ID).jaccard(ix.audienceSet(b.ID))
 		if overlap >= accessThr {
 			return
 		}
@@ -68,7 +90,15 @@ func CheckAxiom2(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 		})
 	}
 
-	if cfg.Exhaustive {
+	var skillless []*model.Task
+	for _, t := range tasks {
+		if t.Skills.Count() == 0 {
+			skillless = append(skillless, t)
+		}
+	}
+
+	switch {
+	case full && cfg.Exhaustive:
 		for i := 0; i < len(tasks); i++ {
 			for j := i + 1; j < len(tasks); j++ {
 				if tasks[i].Requester == tasks[j].Requester {
@@ -77,15 +107,15 @@ func CheckAxiom2(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 				check(tasks[i], tasks[j])
 			}
 		}
-	} else {
+	case full:
 		for _, pair := range st.CandidateTaskPairs() {
-			check(byID[pair[0]], byID[pair[1]])
-		}
-		var skillless []*model.Task
-		for _, t := range tasks {
-			if t.Skills.Count() == 0 {
-				skillless = append(skillless, t)
+			a, b := byID[pair[0]], byID[pair[1]]
+			if a == nil || b == nil {
+				// Posted after the task snapshot was taken (audit racing
+				// mutation); the insert is still pending for the next pass.
+				continue
 			}
+			check(a, b)
 		}
 		for i := 0; i < len(skillless); i++ {
 			for j := i + 1; j < len(skillless); j++ {
@@ -93,6 +123,64 @@ func CheckAxiom2(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 					continue
 				}
 				check(skillless[i], skillless[j])
+			}
+		}
+	case cfg.Exhaustive:
+		for i := 0; i < len(tasks); i++ {
+			for j := i + 1; j < len(tasks); j++ {
+				if tasks[i].Requester == tasks[j].Requester {
+					continue
+				}
+				if dirty[tasks[i].ID] || dirty[tasks[j].ID] {
+					check(tasks[i], tasks[j])
+				}
+			}
+		}
+	default:
+		dirtyIDs := make([]model.TaskID, 0, len(dirty))
+		for id := range dirty {
+			if byID[id] != nil {
+				dirtyIDs = append(dirtyIDs, id)
+			}
+		}
+		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
+		for _, did := range dirtyIDs {
+			d := byID[did]
+			seen := map[model.TaskID]bool{did: true}
+			for _, skill := range d.Skills.Indices() {
+				for _, pid := range st.TasksWithSkill(skill) {
+					if seen[pid] {
+						continue
+					}
+					seen[pid] = true
+					p := byID[pid]
+					if p == nil {
+						// Posted after the task snapshot (audit racing
+						// mutation); pending for the next pass.
+						continue
+					}
+					if p.Requester == d.Requester {
+						continue
+					}
+					if dirty[pid] && pid < did {
+						continue // the partner's own delta pass owns this pair
+					}
+					a, b := d, p
+					if b.ID < a.ID {
+						a, b = b, a
+					}
+					check(a, b)
+				}
+			}
+		}
+		for i := 0; i < len(skillless); i++ {
+			for j := i + 1; j < len(skillless); j++ {
+				if skillless[i].Requester == skillless[j].Requester {
+					continue
+				}
+				if dirty[skillless[i].ID] || dirty[skillless[j].ID] {
+					check(skillless[i], skillless[j])
+				}
 			}
 		}
 	}

@@ -3,7 +3,9 @@ package fairness
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"repro/internal/model"
 	"repro/internal/similarity"
 	"repro/internal/store"
 )
@@ -20,48 +22,97 @@ import (
 // cfg.PayTolerance (relative) of each other.
 func CheckAxiom3(st *store.Store, cfg Config) *Report {
 	rep := &Report{Axiom: Axiom3Compensation}
-	simThr := orDefault(cfg.ContributionThreshold, 0.8)
-	payTol := orDefault(cfg.PayTolerance, 0.01)
-
 	for _, t := range st.Tasks() {
-		contribs := st.ContributionsByTask(t.ID)
-		// Score every pair up front on the parallel kernel — profile
-		// construction dominates audit cost on text-heavy tasks — then walk
-		// the scores in the kernel's serial pair order so the report is
-		// identical to the old nested loop.
-		sims := similarity.ContributionPairScores(contribs)
-		for k, sim := range sims {
-			i, j := similarity.PairAt(len(contribs), k)
-			a, b := contribs[i], contribs[j]
-			if a.Worker == b.Worker {
-				continue // the axiom quantifies over distinct workers
-			}
-			rep.Checked++
-			if sim < simThr {
-				continue
-			}
-			if equalPay(a.Paid, b.Paid, payTol) {
-				continue
-			}
-			gap := math.Abs(a.Paid - b.Paid)
-			hi := math.Max(a.Paid, b.Paid)
-			var sev float64
-			if hi > 0 {
-				sev = gap / hi
-			} else {
-				sev = 1
-			}
-			rep.Violations = append(rep.Violations, Violation{
-				Axiom:    Axiom3Compensation,
-				Subjects: []string{string(a.ID), string(b.ID)},
-				Detail: fmt.Sprintf("task %s: contributions %.0f%% similar but paid %.4f vs %.4f",
-					t.ID, sim*100, a.Paid, b.Paid),
-				Severity: sev,
-			})
-		}
+		checked, vs := checkAxiom3Task(st, cfg, t.ID)
+		rep.Checked += checked
+		rep.Violations = append(rep.Violations, vs...)
 	}
 	sortViolations(rep.Violations)
 	return rep
+}
+
+// CheckAxiom3Delta audits only the tasks in dirty — those whose
+// contribution sets gained members or payments since the last audit. The
+// per-task verdicts are exactly CheckAxiom3's, so replacing the stored
+// results for dirty tasks reproduces the full audit: contributions never
+// move between tasks, and a task with no changed contribution cannot change
+// status.
+func CheckAxiom3Delta(st *store.Store, cfg Config, dirty map[model.TaskID]bool) *Report {
+	rep := &Report{Axiom: Axiom3Compensation}
+	ids := make([]model.TaskID, 0, len(dirty))
+	for id := range dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		checked, vs := checkAxiom3Task(st, cfg, id)
+		rep.Checked += checked
+		rep.Violations = append(rep.Violations, vs...)
+	}
+	sortViolations(rep.Violations)
+	return rep
+}
+
+// checkAxiom3Task runs the pairwise compensation audit over one task's
+// contributions. Without a memo the pair scores come from the parallel
+// kernel; with one, each pair is routed through the cache (the memoized
+// path is the incremental engine's, where most pairs are warm).
+func checkAxiom3Task(st *store.Store, cfg Config, tid model.TaskID) (int, []Violation) {
+	simThr := orDefault(cfg.ContributionThreshold, 0.8)
+	payTol := orDefault(cfg.PayTolerance, 0.01)
+	contribs := st.ContributionsByTask(tid)
+
+	// Score every pair up front on the parallel kernel — profile
+	// construction dominates audit cost on text-heavy tasks — then walk the
+	// scores in the kernel's serial pair order so the report is identical
+	// to the old nested loop. With a memo attached each score routes
+	// through the (concurrency-safe) cache, so warm pairs are lookups and
+	// cold tasks still fan out.
+	var sims []float64
+	if cfg.Memo == nil {
+		sims = similarity.ContributionPairScores(contribs)
+	} else {
+		sims = similarity.ScorePairs(len(contribs), func(i, j int) float64 {
+			a, b := contribs[i], contribs[j]
+			return cfg.Memo.ContribPair(a.ID, b.ID, func() float64 {
+				return similarity.ContributionSimilarity(a, b)
+			})
+		})
+	}
+
+	checked := 0
+	var out []Violation
+	for k := 0; k < similarity.PairCount(len(contribs)); k++ {
+		i, j := similarity.PairAt(len(contribs), k)
+		a, b := contribs[i], contribs[j]
+		if a.Worker == b.Worker {
+			continue // the axiom quantifies over distinct workers
+		}
+		checked++
+		sim := sims[k]
+		if sim < simThr {
+			continue
+		}
+		if equalPay(a.Paid, b.Paid, payTol) {
+			continue
+		}
+		gap := math.Abs(a.Paid - b.Paid)
+		hi := math.Max(a.Paid, b.Paid)
+		var sev float64
+		if hi > 0 {
+			sev = gap / hi
+		} else {
+			sev = 1
+		}
+		out = append(out, Violation{
+			Axiom:    Axiom3Compensation,
+			Subjects: []string{string(a.ID), string(b.ID)},
+			Detail: fmt.Sprintf("task %s: contributions %.0f%% similar but paid %.4f vs %.4f",
+				tid, sim*100, a.Paid, b.Paid),
+			Severity: sev,
+		})
+	}
+	return checked, out
 }
 
 // equalPay reports whether two payments are within the relative tolerance

@@ -23,22 +23,45 @@ import (
 // left entirely to requesters. The quantitative quality of detectors is
 // evaluated separately in experiment E4 (package detect).
 func CheckAxiom4(st *store.Store, log *eventlog.Log) *Report {
-	rep := &Report{Axiom: Axiom4MaliciousDetection}
+	return checkAxiom4(st, FlaggedFromLog(log), nil, true)
+}
+
+// CheckAxiom4Delta re-judges only the workers in dirty — those whose
+// computed attributes changed or who were newly flagged since the last
+// audit. Per-worker verdicts are exactly CheckAxiom4's.
+func CheckAxiom4Delta(st *store.Store, log *eventlog.Log, dirty map[model.WorkerID]bool) *Report {
+	return checkAxiom4(st, FlaggedFromLog(log), dirty, false)
+}
+
+// CheckAxiom4Flagged is CheckAxiom4Delta over a caller-maintained flag set,
+// so long-lived auditors never replay the whole log. A nil dirty set with
+// full=false audits nothing.
+func CheckAxiom4Flagged(st *store.Store, flagged map[model.WorkerID]bool, dirty map[model.WorkerID]bool) *Report {
+	return checkAxiom4(st, flagged, dirty, false)
+}
+
+// FlaggedFromLog collects the workers the platform ever flagged.
+func FlaggedFromLog(log *eventlog.Log) map[model.WorkerID]bool {
 	flagged := make(map[model.WorkerID]bool)
 	for _, e := range log.ByType(eventlog.WorkerFlagged) {
 		flagged[e.Worker] = true
 	}
+	return flagged
+}
+
+func checkAxiom4(st *store.Store, flagged map[model.WorkerID]bool, dirty map[model.WorkerID]bool, full bool) *Report {
+	rep := &Report{Axiom: Axiom4MaliciousDetection}
 	const spamLine = 0.5
-	for _, w := range st.Workers() {
+	judge := func(w *model.Worker) {
 		v, ok := w.Computed[model.AttrAcceptanceRatio]
 		if !ok || v.Kind != model.AttrNum {
-			continue
+			return
 		}
 		// Only workers with some history are judged; a ratio on zero
 		// submissions is meaningless and is stored as absent by the sim.
 		rep.Checked++
 		if v.Num >= spamLine || flagged[w.ID] {
-			continue
+			return
 		}
 		rep.Violations = append(rep.Violations, Violation{
 			Axiom:    Axiom4MaliciousDetection,
@@ -47,6 +70,24 @@ func CheckAxiom4(st *store.Store, log *eventlog.Log) *Report {
 				v.Num, spamLine),
 			Severity: spamLine - v.Num,
 		})
+	}
+	if full {
+		for _, w := range st.Workers() {
+			judge(w)
+		}
+	} else {
+		ids := make([]model.WorkerID, 0, len(dirty))
+		for id := range dirty {
+			ids = append(ids, id)
+		}
+		sortWorkerIDs(ids)
+		for _, id := range ids {
+			w, err := st.Worker(id)
+			if err != nil {
+				continue
+			}
+			judge(w)
+		}
 	}
 	sortViolations(rep.Violations)
 	return rep
@@ -61,32 +102,65 @@ func CheckAxiom4(st *store.Store, log *eventlog.Log) *Report {
 // A start with neither outcome (the trace ended mid-flight) is not counted
 // as a violation but does count as checked work.
 func CheckAxiom5(log *eventlog.Log) *Report {
-	rep := &Report{Axiom: Axiom5NoInterruption}
-	type key struct {
-		w model.WorkerID
-		t model.TaskID
-	}
-	started := make(map[key]int64)
+	s := NewAxiom5Stream()
 	for _, e := range log.Events() {
-		k := key{e.Worker, e.Task}
-		switch e.Type {
-		case eventlog.TaskStarted:
-			started[k] = e.Time
-			rep.Checked++
-		case eventlog.TaskSubmitted:
-			delete(started, k)
-		case eventlog.TaskInterrupted:
-			if t0, ok := started[k]; ok {
-				rep.Violations = append(rep.Violations, Violation{
-					Axiom:    Axiom5NoInterruption,
-					Subjects: []string{string(e.Worker)},
-					Detail: fmt.Sprintf("task %s: started at t=%d, interrupted at t=%d after %d ticks of work",
-						e.Task, t0, e.Time, e.Time-t0),
-					Severity: 1,
-				})
-				delete(started, k)
-			}
+		s.Observe(e)
+	}
+	return s.Report()
+}
+
+// Axiom5Stream is the incremental form of CheckAxiom5: a streaming checker
+// that folds trace events in one at a time and can emit a report at any
+// point. Feeding it a whole log reproduces CheckAxiom5 exactly; a
+// long-lived auditor feeds it only the events appended since the last pass.
+type Axiom5Stream struct {
+	started    map[ax5Key]int64
+	checked    int
+	violations []Violation
+}
+
+type ax5Key struct {
+	w model.WorkerID
+	t model.TaskID
+}
+
+// NewAxiom5Stream returns a stream positioned at an empty trace.
+func NewAxiom5Stream() *Axiom5Stream {
+	return &Axiom5Stream{started: make(map[ax5Key]int64)}
+}
+
+// Observe folds one event into the stream.
+func (s *Axiom5Stream) Observe(e eventlog.Event) {
+	k := ax5Key{e.Worker, e.Task}
+	switch e.Type {
+	case eventlog.TaskStarted:
+		s.started[k] = e.Time
+		s.checked++
+	case eventlog.TaskSubmitted:
+		delete(s.started, k)
+	case eventlog.TaskInterrupted:
+		if t0, ok := s.started[k]; ok {
+			s.violations = append(s.violations, Violation{
+				Axiom:    Axiom5NoInterruption,
+				Subjects: []string{string(e.Worker)},
+				Detail: fmt.Sprintf("task %s: started at t=%d, interrupted at t=%d after %d ticks of work",
+					e.Task, t0, e.Time, e.Time-t0),
+				Severity: 1,
+			})
+			delete(s.started, k)
 		}
+	}
+}
+
+// Report renders the stream's current verdict. The returned report owns its
+// violation slice; further Observe calls do not mutate it.
+func (s *Axiom5Stream) Report() *Report {
+	rep := &Report{
+		Axiom:   Axiom5NoInterruption,
+		Checked: s.checked,
+	}
+	if len(s.violations) > 0 {
+		rep.Violations = append([]Violation(nil), s.violations...)
 	}
 	sortViolations(rep.Violations)
 	return rep

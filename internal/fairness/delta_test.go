@@ -1,0 +1,268 @@
+package fairness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// deltaTrace builds a store + biased offer log with genuine Axiom 1/2
+// violations (every 7th qualified worker is skipped).
+func deltaTrace(tb testing.TB, workers, tasks int, seed uint64) (*store.Store, *eventlog.Log) {
+	tb.Helper()
+	rng := stats.NewRNG(seed)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers: workers, Archetypes: 6,
+	}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{
+		Tasks: tasks, Requesters: 4, Quota: 2,
+	}, pop, rng.Split())
+	st := store.New(pop.Universe)
+	for _, r := range batch.Requesters {
+		if err := st.PutRequester(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, w := range pop.Workers {
+		if err := st.PutWorker(w); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, t := range batch.Tasks {
+		if err := st.PutTask(t); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	log := eventlog.New()
+	for wi, w := range pop.Workers {
+		if wi%7 == 0 {
+			continue
+		}
+		for _, t := range batch.Tasks {
+			if w.Skills.Covers(t.Skills) {
+				log.MustAppend(eventlog.Event{Type: eventlog.TaskOffered, Worker: w.ID, Task: t.ID})
+			}
+		}
+	}
+	// Contributions with uneven pay for Axiom 3 material.
+	seq := 0
+	for ti, t := range batch.Tasks {
+		if ti%3 != 0 {
+			continue
+		}
+		for wi, w := range pop.Workers {
+			if wi > 3 {
+				break
+			}
+			seq++
+			c := &model.Contribution{
+				ID: model.ContributionID(string(rune('a'+seq%26)) + string(t.ID) + string(w.ID)), Task: t.ID, Worker: w.ID,
+				Text: "identical answer text", Quality: 0.8, Accepted: true,
+				Paid: float64(wi) * 0.5,
+			}
+			if err := st.PutContribution(c); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return st, log
+}
+
+func requireSameReport(t *testing.T, name string, full, delta *Report) {
+	t.Helper()
+	if full.Checked != delta.Checked {
+		t.Errorf("%s: checked %d (full) vs %d (all-dirty delta)", name, full.Checked, delta.Checked)
+	}
+	if len(full.Violations) != len(delta.Violations) {
+		t.Fatalf("%s: %d violations (full) vs %d (delta)", name, len(full.Violations), len(delta.Violations))
+	}
+	for i := range full.Violations {
+		if full.Violations[i].String() != delta.Violations[i].String() {
+			t.Fatalf("%s: violation %d differs:\nfull:  %s\ndelta: %s",
+				name, i, full.Violations[i], delta.Violations[i])
+		}
+	}
+}
+
+// An all-dirty delta pass must reproduce the full scan byte for byte —
+// the cold-start contract the incremental audit engine relies on.
+func TestDeltaAllDirtyMatchesFull(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		st, log := deltaTrace(t, 120, 40, seed)
+		cfg := DefaultConfig()
+
+		allWorkers := make(map[model.WorkerID]bool)
+		for _, w := range st.Workers() {
+			allWorkers[w.ID] = true
+		}
+		allTasks := make(map[model.TaskID]bool)
+		for _, task := range st.Tasks() {
+			allTasks[task.ID] = true
+		}
+
+		requireSameReport(t, "axiom1",
+			CheckAxiom1(st, log, cfg), CheckAxiom1Delta(st, log, cfg, allWorkers))
+		requireSameReport(t, "axiom2",
+			CheckAxiom2(st, log, cfg), CheckAxiom2Delta(st, log, cfg, allTasks))
+		requireSameReport(t, "axiom3",
+			CheckAxiom3(st, cfg), CheckAxiom3Delta(st, cfg, allTasks))
+		requireSameReport(t, "axiom4",
+			CheckAxiom4(st, log), CheckAxiom4Delta(st, log, allWorkers))
+
+		exh := cfg
+		exh.Exhaustive = true
+		requireSameReport(t, "axiom1-exhaustive",
+			CheckAxiom1(st, log, exh), CheckAxiom1Delta(st, log, exh, allWorkers))
+		requireSameReport(t, "axiom2-exhaustive",
+			CheckAxiom2(st, log, exh), CheckAxiom2Delta(st, log, exh, allTasks))
+	}
+}
+
+// A violation found by the full scan must be found by a delta pass whose
+// dirty set contains either endpoint; an empty dirty set audits nothing.
+func TestDeltaDirtySubsets(t *testing.T) {
+	st, log := deltaTrace(t, 90, 30, 3)
+	cfg := DefaultConfig()
+	full := CheckAxiom1(st, log, cfg)
+	if len(full.Violations) == 0 {
+		t.Fatal("trace produced no Axiom 1 violations; test needs material")
+	}
+	empty := CheckAxiom1Delta(st, log, cfg, nil)
+	if empty.Checked != 0 || len(empty.Violations) != 0 {
+		t.Fatalf("empty dirty set still audited: %v", empty)
+	}
+	v := full.Violations[0]
+	dirty := map[model.WorkerID]bool{model.WorkerID(v.Subjects[0]): true}
+	delta := CheckAxiom1Delta(st, log, cfg, dirty)
+	found := false
+	for _, dv := range delta.Violations {
+		if dv.String() == v.String() {
+			found = true
+		}
+		// Every delta violation must touch the dirty worker.
+		if dv.Subjects[0] != v.Subjects[0] && dv.Subjects[1] != v.Subjects[0] {
+			t.Fatalf("delta reported a clean pair: %s", dv)
+		}
+	}
+	if !found {
+		t.Fatalf("delta with dirty %s missed violation %s", v.Subjects[0], v)
+	}
+	if delta.Checked >= full.Checked {
+		t.Fatalf("delta checked %d pairs, full %d — no pruning happened", delta.Checked, full.Checked)
+	}
+}
+
+// The streaming Axiom 5 checker must match the batch checker no matter how
+// the trace is sliced.
+func TestAxiom5StreamMatchesBatch(t *testing.T) {
+	log := eventlog.New()
+	ev := func(typ eventlog.Type, w, task string, tm int64) {
+		log.MustAppend(eventlog.Event{Type: typ, Worker: model.WorkerID(w), Task: model.TaskID(task), Time: tm})
+	}
+	ev(eventlog.TaskStarted, "w1", "t1", 1)
+	ev(eventlog.TaskStarted, "w2", "t1", 1)
+	ev(eventlog.TaskInterrupted, "w1", "t1", 3)
+	ev(eventlog.TaskSubmitted, "w2", "t1", 4)
+	ev(eventlog.TaskStarted, "w3", "t2", 5)
+	ev(eventlog.TaskInterrupted, "w3", "t2", 6)
+	ev(eventlog.TaskInterrupted, "w3", "t2", 7) // double interrupt: second is a no-op
+
+	batch := CheckAxiom5(log)
+	stream := NewAxiom5Stream()
+	events := log.Events()
+	mid := len(events) / 2
+	for _, e := range events[:mid] {
+		stream.Observe(e)
+	}
+	_ = stream.Report() // mid-trace report must not disturb the stream
+	for _, e := range events[mid:] {
+		stream.Observe(e)
+	}
+	requireSameReport(t, "axiom5", batch, stream.Report())
+	if batch.Checked != 3 || len(batch.Violations) != 2 {
+		t.Fatalf("unexpected batch report: %v", batch)
+	}
+}
+
+// AccessIndex.Observe must deduplicate repeated offers and report dirtiness
+// only on genuine change.
+func TestAccessIndexObserveDedup(t *testing.T) {
+	ix := NewAccessIndex()
+	e := eventlog.Event{Type: eventlog.TaskOffered, Worker: "w1", Task: "t1"}
+	if !ix.Observe(e) {
+		t.Fatal("first offer must dirty the index")
+	}
+	if ix.Observe(e) {
+		t.Fatal("repeated offer must be a no-op")
+	}
+	if ix.Observe(eventlog.Event{Type: eventlog.TaskSubmitted, Worker: "w1", Task: "t1"}) {
+		t.Fatal("non-offer events must be no-ops")
+	}
+	if got := ix.offerSet("w1").size(); got != 1 {
+		t.Fatalf("offer set size = %d, want 1", got)
+	}
+	if got := ix.audienceSet("t1").size(); got != 1 {
+		t.Fatalf("audience size = %d, want 1", got)
+	}
+}
+
+// Negative threshold fields are the explicit-zero sentinel: AccessThreshold
+// -1 must behave as 0 (no overlap demanded at all), not as the 1.0 default
+// that plain 0 selects.
+func TestConfigExplicitZeroSentinel(t *testing.T) {
+	s := twinStore(t)
+	log := offerLog(map[string][]string{
+		"w1": {"t1", "t2"},
+		"w2": {}, // twin of w1 with no access at all
+	})
+	def := DefaultConfig()
+	if rep := CheckAxiom1(s, log, def); len(rep.Violations) != 1 {
+		t.Fatalf("default config: violations = %v", rep.Violations)
+	}
+	zero := DefaultConfig()
+	zero.AccessThreshold = -1 // explicit 0: any overlap, even none, passes
+	if rep := CheckAxiom1(s, log, zero); len(rep.Violations) != 0 {
+		t.Fatalf("explicit-zero access threshold still violated: %v", rep.Violations)
+	}
+	// Explicit-zero pay tolerance demands exactly equal pay.
+	exact := DefaultConfig()
+	exact.PayTolerance = -1
+	for _, c := range []*model.Contribution{
+		{ID: "c1", Task: "t1", Worker: "w1", Text: "same answer", Quality: 0.9, Accepted: true, Paid: 1.0},
+		{ID: "c2", Task: "t1", Worker: "w2", Text: "same answer", Quality: 0.9, Accepted: true, Paid: 1.005},
+	} {
+		if err := s.PutContribution(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := CheckAxiom3(s, exact); len(rep.Violations) != 1 {
+		t.Fatalf("exact pay tolerance: violations = %v", rep.Violations)
+	}
+	// The 0.5% gap is inside the default 1% tolerance.
+	if rep := CheckAxiom3(s, def); len(rep.Violations) != 0 {
+		t.Fatalf("default pay tolerance: violations = %v", rep.Violations)
+	}
+}
+
+// Axiom 1 violation details must report deduplicated offer-set sizes:
+// repeating the same offer is not more access.
+func TestAxiom1DetailDeduplicatesOfferCounts(t *testing.T) {
+	s := twinStore(t)
+	log := offerLog(map[string][]string{
+		"w1": {"t1", "t2", "t1", "t1", "t2"}, // 2 distinct tasks offered 5 times
+		"w2": {"t1"},
+	})
+	rep := CheckAxiom1(s, log, DefaultConfig())
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	want := "(|offers| 2 vs 1)"
+	if !strings.Contains(rep.Violations[0].Detail, want) {
+		t.Fatalf("detail %q does not contain %q", rep.Violations[0].Detail, want)
+	}
+}

@@ -71,6 +71,12 @@ func (v Violation) String() string {
 }
 
 // Config parameterises all checkers.
+//
+// Zero-value defaulting: every float threshold/tolerance field treats 0 as
+// "use the documented default". An explicit zero is expressed with any
+// negative value — e.g. AccessThreshold: -1 demands no overlap at all and
+// PayTolerance: -1 demands exactly equal pay — so callers are never
+// silently upgraded from a deliberate 0 to the default.
 type Config struct {
 	// SkillMeasure compares skill vectors (Axioms 1 and 2).
 	// Default: cosine.
@@ -101,6 +107,34 @@ type Config struct {
 	// Exhaustive forces the O(n²) pair scan instead of the index-pruned
 	// candidate generation (the E7 ablation switch).
 	Exhaustive bool
+	// Memo, when non-nil, memoizes the pairwise similarity scores of Axioms
+	// 1–3 across audit passes (internal/audit supplies a revision-keyed
+	// cache). Implementations must be safe for concurrent use. With a memo
+	// attached, Axiom 1 computes all three similarity scores per pair up
+	// front instead of short-circuiting; reported violations are identical.
+	Memo PairMemo
+}
+
+// WorkerPairScores bundles the three similarity scores Axiom 1 compares for
+// a worker pair. All three measures are symmetric, so the scores are valid
+// for either pair orientation.
+type WorkerPairScores struct {
+	Skill    float64 // SkillMeasure over skill vectors
+	Declared float64 // AttrPolicy over declared attributes
+	Computed float64 // AttrPolicy over computed attributes
+}
+
+// PairMemo caches pairwise similarity scores across audit passes. Keys are
+// entity-id pairs; implementations decide validity (internal/audit keys by
+// store revision, so a mutated entity misses). compute is invoked on a miss
+// and must be idempotent.
+type PairMemo interface {
+	// WorkerPair returns the Axiom 1 scores for a worker pair.
+	WorkerPair(a, b model.WorkerID, compute func() WorkerPairScores) WorkerPairScores
+	// TaskPair returns the Axiom 2 skill similarity for a task pair.
+	TaskPair(a, b model.TaskID, compute func() float64) float64
+	// ContribPair returns the Axiom 3 contribution similarity for a pair.
+	ContribPair(a, b model.ContributionID, compute func() float64) float64
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -132,9 +166,15 @@ func (c *Config) attrPolicy() similarity.AttrPolicy {
 	return *c.AttrPolicy
 }
 
+// orDefault maps the zero value to the documented default and any negative
+// value to an explicit zero (see the Config doc), so a deliberate 0 is
+// expressible without colliding with Go's zero-value defaulting.
 func orDefault(v, def float64) float64 {
 	if v == 0 {
 		return def
+	}
+	if v < 0 {
+		return 0
 	}
 	return v
 }
@@ -201,21 +241,37 @@ type idSet[T ~string] struct {
 	hash uint64
 }
 
+// add inserts id, reporting whether the set changed. The XOR-combined
+// per-element FNV-1a fingerprint is order- and duplicate-independent, so
+// incremental insertion and batch construction agree.
+func (s *idSet[T]) add(id T) bool {
+	if s.set == nil {
+		s.set = make(map[T]bool)
+	}
+	if s.set[id] {
+		return false
+	}
+	s.set[id] = true
+	s.hash ^= fnv64a(string(id))
+	return true
+}
+
+// size returns the number of distinct ids in the set.
+func (s idSet[T]) size() int { return len(s.set) }
+
+func fnv64a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 func newIDSet[T ~string](ids []T) idSet[T] {
 	s := idSet[T]{set: make(map[T]bool, len(ids))}
 	for _, id := range ids {
-		if s.set[id] {
-			continue
-		}
-		s.set[id] = true
-		// FNV-1a per element, XOR-combined: order- and
-		// duplicate-independent.
-		var h uint64 = 14695981039346656037
-		for i := 0; i < len(id); i++ {
-			h ^= uint64(id[i])
-			h *= 1099511628211
-		}
-		s.hash ^= h
+		s.add(id)
 	}
 	return s
 }
@@ -246,25 +302,79 @@ func (a idSet[T]) jaccard(b idSet[T]) float64 {
 	return float64(shared) / float64(union)
 }
 
-// offersFromLog reconstructs each worker's offer set (task ids made visible
-// to them) from TaskOffered events.
-func offersFromLog(log *eventlog.Log) map[model.WorkerID][]model.TaskID {
-	out := make(map[model.WorkerID][]model.TaskID)
-	for _, e := range log.ByType(eventlog.TaskOffered) {
-		out[e.Worker] = append(out[e.Worker], e.Task)
-	}
-	return out
+// AccessIndex is the offer/audience evidence Axioms 1 and 2 audit: for
+// every worker the set of tasks made visible to them, and for every task
+// the set of workers it was shown to. The index is maintained incrementally
+// — Observe folds one trace event in — so a long-lived audit engine never
+// replays the whole log, and repeated offers of the same task to the same
+// worker are deduplicated exactly like the Jaccard computation requires.
+type AccessIndex struct {
+	offers   map[model.WorkerID]*idSet[model.TaskID]
+	audience map[model.TaskID]*idSet[model.WorkerID]
 }
 
-// audienceFromLog reconstructs each task's audience (worker ids it was
-// shown to) from TaskOffered events.
-func audienceFromLog(log *eventlog.Log) map[model.TaskID][]model.WorkerID {
-	out := make(map[model.TaskID][]model.WorkerID)
-	for _, e := range log.ByType(eventlog.TaskOffered) {
-		out[e.Task] = append(out[e.Task], e.Worker)
+// NewAccessIndex returns an empty index.
+func NewAccessIndex() *AccessIndex {
+	return &AccessIndex{
+		offers:   make(map[model.WorkerID]*idSet[model.TaskID]),
+		audience: make(map[model.TaskID]*idSet[model.WorkerID]),
 	}
-	return out
 }
+
+// AccessIndexFromLog builds the index from a complete trace.
+func AccessIndexFromLog(log *eventlog.Log) *AccessIndex {
+	ix := NewAccessIndex()
+	for _, e := range log.ByType(eventlog.TaskOffered) {
+		ix.Observe(e)
+	}
+	return ix
+}
+
+// Observe folds one event into the index. It reports whether the event
+// changed any access set — false for non-offer events and for repeated
+// offers of a task already visible to the worker — which is exactly the
+// signal an incremental auditor needs to mark the endpoints dirty.
+func (ix *AccessIndex) Observe(e eventlog.Event) bool {
+	if e.Type != eventlog.TaskOffered {
+		return false
+	}
+	o := ix.offers[e.Worker]
+	if o == nil {
+		o = &idSet[model.TaskID]{}
+		ix.offers[e.Worker] = o
+	}
+	if !o.add(e.Task) {
+		return false
+	}
+	a := ix.audience[e.Task]
+	if a == nil {
+		a = &idSet[model.WorkerID]{}
+		ix.audience[e.Task] = a
+	}
+	a.add(e.Worker)
+	return true
+}
+
+// offerSet returns the worker's deduplicated offer set (zero set if none).
+func (ix *AccessIndex) offerSet(id model.WorkerID) idSet[model.TaskID] {
+	if s, ok := ix.offers[id]; ok {
+		return *s
+	}
+	return idSet[model.TaskID]{}
+}
+
+// audienceSet returns the task's deduplicated audience (zero set if none).
+func (ix *AccessIndex) audienceSet(id model.TaskID) idSet[model.WorkerID] {
+	if s, ok := ix.audience[id]; ok {
+		return *s
+	}
+	return idSet[model.WorkerID]{}
+}
+
+// SortViolations orders violations by their subject ids — the deterministic
+// report order every checker uses. Exposed for consumers (internal/audit)
+// that merge incrementally maintained violation sets into reports.
+func SortViolations(vs []Violation) { sortViolations(vs) }
 
 func sortViolations(vs []Violation) {
 	sort.Slice(vs, func(i, j int) bool {

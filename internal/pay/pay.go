@@ -53,6 +53,10 @@ func (FixedReward) Pay(t *model.Task, contribs []*model.Contribution) []float64 
 // ("compensation that depends on the quality of a worker's contribution").
 // Quality below Floor earns nothing (the spam cutoff); above it the payment
 // interpolates linearly from MinFraction*Reward to Reward.
+//
+// Zero fields select the documented defaults; an explicit zero is expressed
+// with a negative value (Floor: -1 pays every accepted contribution,
+// MinFraction: -1 starts the interpolation at nothing).
 type QualityBased struct {
 	// Floor is the minimum quality that earns any payment (default 0.2).
 	Floor float64
@@ -64,16 +68,22 @@ type QualityBased struct {
 // Name implements Scheme.
 func (QualityBased) Name() string { return "quality-based" }
 
+// orDefault maps 0 to the documented default and any negative value to an
+// explicit 0.
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // Pay implements Scheme.
 func (q QualityBased) Pay(t *model.Task, contribs []*model.Contribution) []float64 {
-	floor := q.Floor
-	if floor == 0 {
-		floor = 0.2
-	}
-	minFrac := q.MinFraction
-	if minFrac == 0 {
-		minFrac = 0.25
-	}
+	floor := orDefault(q.Floor, 0.2)
+	minFrac := orDefault(q.MinFraction, 0.25)
 	out := make([]float64, len(contribs))
 	for i, c := range contribs {
 		if !c.Accepted || c.Quality < floor {
@@ -99,8 +109,15 @@ type SimilarityFair struct {
 	// Base computes the pre-equalisation payments (default QualityBased{}).
 	Base Scheme
 	// Threshold is the similarity above which two contributions are "the
-	// same work" (default 0.8).
+	// same work" (default 0.8; a negative value means 0 — every pair
+	// clusters together).
 	Threshold float64
+	// PairScores overrides the pairwise similarity kernel (default
+	// similarity.ContributionPairScores, the parallel pair-scoring path the
+	// Axiom 3 checker uses). Incremental auditors inject their memoized
+	// scorer here so payment equalisation shares the cache. Results must be
+	// indexed in similarity.PairAt order.
+	PairScores func([]*model.Contribution) []float64
 }
 
 // Name implements Scheme.
@@ -112,17 +129,22 @@ func (s SimilarityFair) Pay(t *model.Task, contribs []*model.Contribution) []flo
 	if base == nil {
 		base = QualityBased{}
 	}
-	thr := s.Threshold
-	if thr == 0 {
-		thr = 0.8
-	}
+	thr := orDefault(s.Threshold, 0.8)
 	pays := base.Pay(t, contribs)
 	n := len(contribs)
 	if n == 0 {
 		return pays
 	}
 
-	// Single-link clustering via union-find over similar pairs.
+	// Single-link clustering via union-find over similar pairs. Pair
+	// similarities come from the shared parallel kernel instead of a serial
+	// nested loop — profile construction dominates on text-heavy tasks.
+	scorer := s.PairScores
+	if scorer == nil {
+		scorer = similarity.ContributionPairScores
+	}
+	sims := scorer(contribs)
+
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
@@ -141,11 +163,10 @@ func (s SimilarityFair) Pay(t *model.Task, contribs []*model.Contribution) []flo
 			parent[rb] = ra
 		}
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if similarity.ContributionSimilarity(contribs[i], contribs[j]) >= thr {
-				union(i, j)
-			}
+	for k, sim := range sims {
+		if sim >= thr {
+			i, j := similarity.PairAt(n, k)
+			union(i, j)
 		}
 	}
 

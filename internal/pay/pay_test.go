@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/model"
+	"repro/internal/similarity"
 )
 
 func payTask() *model.Task {
@@ -292,5 +293,61 @@ func TestBonusContractPanicsOnBadParams(t *testing.T) {
 			}()
 			build()
 		}()
+	}
+}
+
+// Negative fields are the explicit-zero sentinel; plain zero still selects
+// the documented default.
+func TestQualityBasedExplicitZeroSentinel(t *testing.T) {
+	task := &model.Task{ID: "t1", Requester: "r1", Reward: 1.0}
+	low := &model.Contribution{ID: "c1", Task: "t1", Worker: "w1", Quality: 0.1, Accepted: true}
+	// Default floor 0.2: quality 0.1 earns nothing.
+	if got := (QualityBased{}).Pay(task, []*model.Contribution{low})[0]; got != 0 {
+		t.Fatalf("default floor paid %v", got)
+	}
+	// Explicit-zero floor: every accepted contribution earns.
+	got := QualityBased{Floor: -1}.Pay(task, []*model.Contribution{low})[0]
+	if got <= 0 {
+		t.Fatalf("explicit-zero floor paid %v", got)
+	}
+	// Explicit-zero MinFraction: interpolation starts at nothing, so
+	// quality 1 still pays the full reward and floor-quality pays ~0.
+	qb := QualityBased{MinFraction: -1}
+	perfect := &model.Contribution{ID: "c2", Task: "t1", Worker: "w2", Quality: 1, Accepted: true}
+	if got := qb.Pay(task, []*model.Contribution{perfect})[0]; got != 1.0 {
+		t.Fatalf("perfect quality paid %v, want full reward", got)
+	}
+}
+
+// SimilarityFair must produce identical payments through the parallel
+// pair-scoring kernel and through an injected scorer (the memoized path the
+// incremental audit engine uses).
+func TestSimilarityFairInjectedScorerMatches(t *testing.T) {
+	task := &model.Task{ID: "t1", Requester: "r1", Reward: 2.0}
+	contribs := []*model.Contribution{
+		{ID: "c1", Task: "t1", Worker: "w1", Text: "the quick brown fox jumps", Quality: 0.9, Accepted: true},
+		{ID: "c2", Task: "t1", Worker: "w2", Text: "the quick brown fox jumps", Quality: 0.4, Accepted: true},
+		{ID: "c3", Task: "t1", Worker: "w3", Text: "entirely unrelated words here", Quality: 0.8, Accepted: true},
+	}
+	def := SimilarityFair{}.Pay(task, contribs)
+	calls := 0
+	injected := SimilarityFair{PairScores: func(cs []*model.Contribution) []float64 {
+		calls++
+		return similarity.ContributionPairScores(cs)
+	}}.Pay(task, contribs)
+	if calls != 1 {
+		t.Fatalf("injected scorer called %d times", calls)
+	}
+	for i := range def {
+		if def[i] != injected[i] {
+			t.Fatalf("payment %d: %v (default) vs %v (injected)", i, def[i], injected[i])
+		}
+	}
+	// The similar pair (c1, c2) must be equalised; the dissimilar c3 not.
+	if def[0] != def[1] {
+		t.Fatalf("similar contributions paid %v vs %v", def[0], def[1])
+	}
+	if def[2] == def[0] {
+		t.Fatal("dissimilar contribution was dragged into the cluster")
 	}
 }

@@ -24,7 +24,9 @@ import (
 )
 
 // Params sets the satisfaction dynamics. Zero values select documented
-// defaults via WithDefaults.
+// defaults via WithDefaults; an explicit zero is expressed with any
+// negative value (e.g. OpacityDrag: -1 means "no drag at all"), so a
+// deliberate 0 is never silently upgraded to the default.
 type Params struct {
 	// Baseline is initial satisfaction in [0,1] (default 0.7).
 	Baseline float64
@@ -60,36 +62,31 @@ type Params struct {
 	OpacityDrag float64
 }
 
-// WithDefaults fills zero fields with the documented defaults.
+// WithDefaults fills zero fields with the documented defaults and maps
+// negative fields (the explicit-zero sentinel) to 0.
 func (p Params) WithDefaults() Params {
-	if p.Baseline == 0 {
-		p.Baseline = 0.7
-	}
-	if p.ChurnPoint == 0 {
-		p.ChurnPoint = 0.3
-	}
-	if p.PaymentBoost == 0 {
-		p.PaymentBoost = 0.02
-	}
-	if p.RejectionShock == 0 {
-		p.RejectionShock = 0.15
-	}
-	if p.InterruptShock == 0 {
-		p.InterruptShock = 0.2
-	}
-	if p.RenegeShock == 0 {
-		p.RenegeShock = 0.25
-	}
-	if p.TransparencyRelief == 0 {
-		p.TransparencyRelief = 0.6
-	}
-	if p.QualityCoupling == 0 {
-		p.QualityCoupling = 0.3
-	}
-	if p.OpacityDrag == 0 {
-		p.OpacityDrag = 0.015
-	}
+	p.Baseline = orDefault(p.Baseline, 0.7)
+	p.ChurnPoint = orDefault(p.ChurnPoint, 0.3)
+	p.PaymentBoost = orDefault(p.PaymentBoost, 0.02)
+	p.RejectionShock = orDefault(p.RejectionShock, 0.15)
+	p.InterruptShock = orDefault(p.InterruptShock, 0.2)
+	p.RenegeShock = orDefault(p.RenegeShock, 0.25)
+	p.TransparencyRelief = orDefault(p.TransparencyRelief, 0.6)
+	p.QualityCoupling = orDefault(p.QualityCoupling, 0.3)
+	p.OpacityDrag = orDefault(p.OpacityDrag, 0.015)
 	return p
+}
+
+// orDefault maps 0 to the documented default and any negative value to an
+// explicit 0.
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Model tracks satisfaction for a worker population under a given

@@ -221,3 +221,35 @@ func TestTransparencyScoreClamped(t *testing.T) {
 		t.Fatalf("satisfaction = %v, want %v", got, want)
 	}
 }
+
+// Negative params are the explicit-zero sentinel; plain zero still selects
+// the documented default.
+func TestParamsExplicitZeroSentinel(t *testing.T) {
+	def := Params{}.WithDefaults()
+	if def.OpacityDrag != 0.015 || def.RejectionShock != 0.15 {
+		t.Fatalf("defaults changed: %+v", def)
+	}
+	p := Params{OpacityDrag: -1, RejectionShock: -1, ChurnPoint: -1}.WithDefaults()
+	if p.OpacityDrag != 0 || p.RejectionShock != 0 || p.ChurnPoint != 0 {
+		t.Fatalf("explicit zeros not honoured: %+v", p)
+	}
+	// Behavioural check: zero opacity drag on a fully opaque platform must
+	// leave satisfaction untouched at end of round.
+	m := NewModel(Params{OpacityDrag: -1}, 0, stats.NewRNG(1))
+	m.Join("w1")
+	before := m.Satisfaction("w1")
+	if churned := m.EndRound(); len(churned) != 0 {
+		t.Fatalf("churned = %v", churned)
+	}
+	if m.Satisfaction("w1") != before {
+		t.Fatalf("satisfaction moved from %v to %v with zero drag", before, m.Satisfaction("w1"))
+	}
+	// Zero rejection shock: rejections are free.
+	m2 := NewModel(Params{RejectionShock: -1}, 0, stats.NewRNG(1))
+	m2.Join("w1")
+	before = m2.Satisfaction("w1")
+	m2.OnRejection("w1", false)
+	if m2.Satisfaction("w1") != before {
+		t.Fatal("zero rejection shock still moved satisfaction")
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 
 	"repro/internal/assign"
+	"repro/internal/audit"
 	"repro/internal/complete"
 	"repro/internal/eventlog"
+	"repro/internal/fairness"
 	"repro/internal/model"
 	"repro/internal/pay"
 	"repro/internal/retention"
@@ -63,6 +65,15 @@ type Config struct {
 	BonusSeries     int
 	BonusAmount     float64
 	BonusHonourRate float64
+	// AuditEvery, when > 0, runs an incremental fairness audit
+	// (internal/audit) after every AuditEvery-th round — the continuous
+	// monitoring loop a live platform runs alongside traffic. The last
+	// audit's reports land in Result.AuditReports and the audit counters in
+	// Metrics.
+	AuditEvery int
+	// AuditConfig parameterises the in-loop audits (zero value: the
+	// DefaultConfig thresholds).
+	AuditConfig fairness.Config
 	// Seed drives all randomness in the run.
 	Seed uint64
 }
@@ -93,6 +104,11 @@ type Metrics struct {
 	// unless Config.BonusSeries was set).
 	BonusesPaid    int
 	BonusesReneged int
+	// AuditsRun counts the in-loop incremental audits (zero unless
+	// Config.AuditEvery was set); AuditViolations is the total violation
+	// count of the last audit.
+	AuditsRun       int
+	AuditViolations int
 }
 
 // Result bundles the artefacts of a run for auditing.
@@ -102,6 +118,9 @@ type Result struct {
 	Ledger    *pay.Ledger
 	Retention *retention.Model
 	Metrics   Metrics
+	// AuditReports holds the last in-loop audit's reports in axiom order
+	// (nil unless Config.AuditEvery was set).
+	AuditReports []*fairness.Report
 }
 
 // Run executes the simulation. It returns an error only for structurally
@@ -149,6 +168,9 @@ func Run(cfg Config) (*Result, error) {
 		baseSkill: make(map[model.WorkerID]float64),
 		contracts: make(map[model.WorkerID]*pay.BonusContract),
 	}
+	if cfg.AuditEvery > 0 {
+		r.auditor = audit.New(st, log, cfg.AuditConfig)
+	}
 	if err := r.setup(); err != nil {
 		return nil, err
 	}
@@ -170,6 +192,10 @@ type runner struct {
 	ret    *retention.Model
 	score  float64
 	now    int64
+
+	auditor      *audit.Engine
+	auditReports []*fairness.Report
+	auditsRun    int
 
 	contribSeq     int
 	submitted      map[model.WorkerID]int
@@ -273,6 +299,12 @@ func (r *runner) runRounds() error {
 		}
 		if err := r.runRound(tasks[lo:hi]); err != nil {
 			return err
+		}
+		// Continuous monitoring: audit the live trace on the configured
+		// cadence — incrementally, so only this round's churn is re-checked.
+		if r.auditor != nil && (round+1)%r.cfg.AuditEvery == 0 {
+			r.auditReports = r.auditor.Audit()
+			r.auditsRun++
 		}
 	}
 	return nil
@@ -593,7 +625,14 @@ func (r *runner) finish() *Result {
 		m.MeanQuality = r.totalQuality / float64(r.totalSubmitted)
 		m.AcceptedRate = float64(r.totalAccepted) / float64(r.totalSubmitted)
 	}
-	return &Result{Store: r.st, Log: r.log, Ledger: r.ledger, Retention: r.ret, Metrics: m}
+	m.AuditsRun = r.auditsRun
+	for _, rep := range r.auditReports {
+		m.AuditViolations += len(rep.Violations)
+	}
+	return &Result{
+		Store: r.st, Log: r.log, Ledger: r.ledger, Retention: r.ret, Metrics: m,
+		AuditReports: r.auditReports,
+	}
 }
 
 // contributionText synthesises a textual payload whose n-gram similarity

@@ -1,0 +1,165 @@
+package store
+
+import "repro/internal/model"
+
+// Op enumerates the mutation kinds recorded in the changelog.
+type Op uint8
+
+// Mutation kinds.
+const (
+	OpInsert Op = iota
+	OpUpdate
+)
+
+// String renders the op for logs.
+func (o Op) String() string {
+	if o == OpUpdate {
+		return "update"
+	}
+	return "insert"
+}
+
+// Entity enumerates the store's tables.
+type Entity uint8
+
+// Entity tables.
+const (
+	EntityWorker Entity = iota
+	EntityRequester
+	EntityTask
+	EntityContribution
+)
+
+// String renders the entity kind for logs.
+func (e Entity) String() string {
+	switch e {
+	case EntityWorker:
+		return "worker"
+	case EntityRequester:
+		return "requester"
+	case EntityTask:
+		return "task"
+	case EntityContribution:
+		return "contribution"
+	default:
+		return "unknown"
+	}
+}
+
+// Change is one mutation record in the store's changelog. Every successful
+// mutation appends exactly one Change whose Version equals the store version
+// after the mutation, so versions of consecutive changes are consecutive
+// integers — ChangesSince can tell a complete suffix from a truncated one by
+// counting. Id fields beyond the mutated entity's own are the touched
+// neighbours: a contribution change carries its task and worker, a task
+// change its requester. Incremental consumers (internal/audit) use them to
+// compute dirty sets without re-reading the entity.
+type Change struct {
+	Version uint64
+	Op      Op
+	Entity  Entity
+
+	Worker       model.WorkerID
+	Requester    model.RequesterID
+	Task         model.TaskID
+	Contribution model.ContributionID
+}
+
+// DefaultChangelogCap is the number of mutation records retained by a new
+// store. At ~100 bytes per record the default bounds changelog memory to a
+// few megabytes while covering far more history than any audit cadence
+// needs; readers that fall further behind get a truncation signal and must
+// fall back to a full scan.
+const DefaultChangelogCap = 1 << 16
+
+// SetChangelogCap resizes the changelog's retention window to at most n
+// records (n < 1 disables retention entirely: every ChangesSince for a past
+// version reports truncation). Existing records beyond the new cap are
+// dropped oldest-first.
+func (s *Store) SetChangelogCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	// Re-pack the retained suffix into a fresh ring.
+	keep := s.clogLen
+	if keep > n {
+		keep = n
+	}
+	buf := make([]Change, 0, keep)
+	for i := s.clogLen - keep; i < s.clogLen; i++ {
+		buf = append(buf, s.clog[(s.clogStart+i)%len(s.clog)])
+	}
+	s.clog = buf
+	s.clogStart = 0
+	s.clogLen = keep
+	s.clogCap = n
+}
+
+// record appends a change under the already-held write lock.
+func (s *Store) record(c Change) {
+	if s.clogCap < 1 {
+		return
+	}
+	if s.clogLen < s.clogCap {
+		if len(s.clog) < s.clogCap {
+			s.clog = append(s.clog, c)
+		} else {
+			s.clog[(s.clogStart+s.clogLen)%len(s.clog)] = c
+		}
+		s.clogLen++
+		return
+	}
+	// Full ring: overwrite the oldest record.
+	s.clog[s.clogStart] = c
+	s.clogStart = (s.clogStart + 1) % len(s.clog)
+}
+
+// ChangesSince returns every mutation recorded after version v, oldest
+// first. The boolean reports completeness: false means the changelog has
+// been truncated past v (the caller missed changes and must fall back to a
+// full scan). A v at or beyond the current version returns (nil, true).
+func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v >= s.version {
+		return nil, true
+	}
+	need := s.version - v
+	if uint64(s.clogLen) < need {
+		return nil, false
+	}
+	skip := s.clogLen - int(need)
+	out := make([]Change, 0, need)
+	for i := skip; i < s.clogLen; i++ {
+		out = append(out, s.clog[(s.clogStart+i)%len(s.clog)])
+	}
+	return out, true
+}
+
+// WorkerRevision returns the store version at which the worker last mutated
+// (0 for unknown ids). Revisions key memoized pairwise-similarity caches:
+// two audits seeing equal (id, revision) pairs are guaranteed to see equal
+// entity values.
+func (s *Store) WorkerRevision(id model.WorkerID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.workerRev[id]
+}
+
+// TaskRevision returns the store version at which the task was inserted
+// (0 for unknown ids).
+func (s *Store) TaskRevision(id model.TaskID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.taskRev[id]
+}
+
+// ContributionRevision returns the store version at which the contribution
+// last mutated (0 for unknown ids).
+func (s *Store) ContributionRevision(id model.ContributionID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.contribRev[id]
+}

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func changelogStore(t *testing.T) *Store {
+	t.Helper()
+	u := model.MustUniverse("a", "b")
+	s := New(u)
+	if err := s.PutRequester(&model.Requester{ID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestChangelogRecordsEveryMutation(t *testing.T) {
+	s := changelogStore(t)
+	w := &model.Worker{ID: "w1", Skills: s.Universe().MustVector("a")}
+	if err := s.PutWorker(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTask(&model.Task{ID: "t1", Requester: "r1", Skills: s.Universe().MustVector("a")}); err != nil {
+		t.Fatal(err)
+	}
+	c := &model.Contribution{ID: "c1", Task: "t1", Worker: "w1", Quality: 0.5}
+	if err := s.PutContribution(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Paid = 1.0
+	if err := s.UpdateContribution(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateWorker(w); err != nil {
+		t.Fatal(err)
+	}
+
+	changes, ok := s.ChangesSince(0)
+	if !ok {
+		t.Fatal("changelog reported truncation on a fresh store")
+	}
+	want := []struct {
+		op     Op
+		entity Entity
+	}{
+		{OpInsert, EntityRequester},
+		{OpInsert, EntityWorker},
+		{OpInsert, EntityTask},
+		{OpInsert, EntityContribution},
+		{OpUpdate, EntityContribution},
+		{OpUpdate, EntityWorker},
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %d, want %d: %v", len(changes), len(want), changes)
+	}
+	for i, c := range changes {
+		if c.Version != uint64(i+1) {
+			t.Errorf("change %d: version %d, want %d", i, c.Version, i+1)
+		}
+		if c.Op != want[i].op || c.Entity != want[i].entity {
+			t.Errorf("change %d: %v %v, want %v %v", i, c.Op, c.Entity, want[i].op, want[i].entity)
+		}
+	}
+	// Contribution changes carry their touched neighbours.
+	if changes[3].Task != "t1" || changes[3].Worker != "w1" || changes[3].Contribution != "c1" {
+		t.Errorf("contribution change ids = %+v", changes[3])
+	}
+	// Incremental read from the middle.
+	tail, ok := s.ChangesSince(4)
+	if !ok || len(tail) != 2 {
+		t.Fatalf("ChangesSince(4) = %v, %v", tail, ok)
+	}
+	if tail[0].Version != 5 {
+		t.Errorf("tail starts at version %d, want 5", tail[0].Version)
+	}
+	// At or beyond head: empty and complete.
+	if tail, ok = s.ChangesSince(s.Version()); !ok || tail != nil {
+		t.Fatalf("ChangesSince(head) = %v, %v", tail, ok)
+	}
+}
+
+func TestChangelogTruncationSignal(t *testing.T) {
+	s := changelogStore(t)
+	s.SetChangelogCap(4)
+	for i := 0; i < 10; i++ {
+		w := &model.Worker{
+			ID:     model.WorkerID(fmt.Sprintf("w%02d", i)),
+			Skills: s.Universe().MustVector("a"),
+		}
+		if err := s.PutWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 11 mutations total (requester + 10 workers); only 4 retained.
+	if _, ok := s.ChangesSince(0); ok {
+		t.Fatal("expected truncation for a version past the retention window")
+	}
+	if _, ok := s.ChangesSince(6); ok {
+		t.Fatal("expected truncation: change 7 was evicted")
+	}
+	changes, ok := s.ChangesSince(7)
+	if !ok || len(changes) != 4 {
+		t.Fatalf("ChangesSince(7) = %v, %v; want the 4 retained changes", changes, ok)
+	}
+	for i, c := range changes {
+		if c.Version != uint64(8+i) {
+			t.Errorf("retained change %d: version %d, want %d", i, c.Version, 8+i)
+		}
+	}
+	// Shrinking the cap drops oldest-first; growing keeps what is retained.
+	s.SetChangelogCap(2)
+	if cs, ok := s.ChangesSince(9); !ok || len(cs) != 2 {
+		t.Fatalf("after shrink: ChangesSince(9) = %v, %v", cs, ok)
+	}
+	s.SetChangelogCap(0)
+	if _, ok := s.ChangesSince(s.Version() - 1); ok {
+		t.Fatal("cap 0 must report truncation for any past version")
+	}
+}
+
+func TestRevisionsTrackLastMutation(t *testing.T) {
+	s := changelogStore(t)
+	w := &model.Worker{ID: "w1", Skills: s.Universe().MustVector("a")}
+	if err := s.PutWorker(w); err != nil {
+		t.Fatal(err)
+	}
+	rev1 := s.WorkerRevision("w1")
+	if rev1 == 0 {
+		t.Fatal("inserted worker has zero revision")
+	}
+	if err := s.PutTask(&model.Task{ID: "t1", Requester: "r1", Skills: s.Universe().MustVector("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if s.WorkerRevision("w1") != rev1 {
+		t.Fatal("unrelated mutation moved the worker revision")
+	}
+	if err := s.UpdateWorker(w); err != nil {
+		t.Fatal(err)
+	}
+	if s.WorkerRevision("w1") <= rev1 {
+		t.Fatal("update did not advance the worker revision")
+	}
+	if s.TaskRevision("t1") == 0 || s.TaskRevision("missing") != 0 {
+		t.Fatal("task revision bookkeeping wrong")
+	}
+	c := &model.Contribution{ID: "c1", Task: "t1", Worker: "w1", Quality: 0.5}
+	if err := s.PutContribution(c); err != nil {
+		t.Fatal(err)
+	}
+	crev := s.ContributionRevision("c1")
+	if err := s.UpdateContribution(c); err != nil {
+		t.Fatal(err)
+	}
+	if s.ContributionRevision("c1") <= crev {
+		t.Fatal("contribution update did not advance its revision")
+	}
+}

@@ -12,6 +12,12 @@
 // Store is safe for concurrent readers and writers via a single RWMutex —
 // audits are read-heavy scans, mutation is append-mostly, and the workload
 // sizes here never justify finer-grained latching.
+//
+// Every mutation also lands in a bounded changelog (see changelog.go) keyed
+// by the store's version counter, and bumps the touched entity's revision.
+// Incremental consumers — the delta-driven fairness audits of internal/audit
+// — read the changelog through ChangesSince to re-check only what moved, and
+// key memoized pair similarities by (id, revision).
 package store
 
 import (
@@ -48,6 +54,18 @@ type Store struct {
 	contribsByWorker map[model.WorkerID][]model.ContributionID
 
 	version uint64 // bumped on every mutation; used for optimistic scans
+
+	// Per-entity revisions: the version at which each entity last mutated.
+	// Read through WorkerRevision and friends in changelog.go.
+	workerRev  map[model.WorkerID]uint64
+	taskRev    map[model.TaskID]uint64
+	contribRev map[model.ContributionID]uint64
+
+	// Changelog ring buffer (see changelog.go).
+	clog      []Change
+	clogStart int
+	clogLen   int
+	clogCap   int
 }
 
 // New returns an empty store over the given skill universe.
@@ -63,6 +81,10 @@ func New(u *model.Universe) *Store {
 		tasksByReq:       make(map[model.RequesterID][]model.TaskID),
 		contribsByTask:   make(map[model.TaskID][]model.ContributionID),
 		contribsByWorker: make(map[model.WorkerID][]model.ContributionID),
+		workerRev:        make(map[model.WorkerID]uint64),
+		taskRev:          make(map[model.TaskID]uint64),
+		contribRev:       make(map[model.ContributionID]uint64),
+		clogCap:          DefaultChangelogCap,
 	}
 }
 
@@ -95,6 +117,8 @@ func (s *Store) PutWorker(w *model.Worker) error {
 		s.workersBySkill[i] = append(s.workersBySkill[i], c.ID)
 	}
 	s.version++
+	s.workerRev[c.ID] = s.version
+	s.record(Change{Version: s.version, Op: OpInsert, Entity: EntityWorker, Worker: c.ID})
 	return nil
 }
 
@@ -119,6 +143,8 @@ func (s *Store) UpdateWorker(w *model.Worker) error {
 	}
 	s.workers[w.ID] = w.Clone()
 	s.version++
+	s.workerRev[w.ID] = s.version
+	s.record(Change{Version: s.version, Op: OpUpdate, Entity: EntityWorker, Worker: w.ID})
 	return nil
 }
 
@@ -175,6 +201,7 @@ func (s *Store) PutRequester(r *model.Requester) error {
 	c := *r
 	s.requesters[r.ID] = &c
 	s.version++
+	s.record(Change{Version: s.version, Op: OpInsert, Entity: EntityRequester, Requester: r.ID})
 	return nil
 }
 
@@ -223,6 +250,8 @@ func (s *Store) PutTask(t *model.Task) error {
 	}
 	s.tasksByReq[c.Requester] = append(s.tasksByReq[c.Requester], c.ID)
 	s.version++
+	s.taskRev[c.ID] = s.version
+	s.record(Change{Version: s.version, Op: OpInsert, Entity: EntityTask, Task: c.ID, Requester: c.Requester})
 	return nil
 }
 
@@ -296,6 +325,11 @@ func (s *Store) PutContribution(c *model.Contribution) error {
 	s.contribsByTask[cc.Task] = append(s.contribsByTask[cc.Task], cc.ID)
 	s.contribsByWorker[cc.Worker] = append(s.contribsByWorker[cc.Worker], cc.ID)
 	s.version++
+	s.contribRev[cc.ID] = s.version
+	s.record(Change{
+		Version: s.version, Op: OpInsert, Entity: EntityContribution,
+		Contribution: cc.ID, Task: cc.Task, Worker: cc.Worker,
+	})
 	return nil
 }
 
@@ -316,6 +350,11 @@ func (s *Store) UpdateContribution(c *model.Contribution) error {
 	}
 	s.contribs[c.ID] = c.Clone()
 	s.version++
+	s.contribRev[c.ID] = s.version
+	s.record(Change{
+		Version: s.version, Op: OpUpdate, Entity: EntityContribution,
+		Contribution: c.ID, Task: c.Task, Worker: c.Worker,
+	})
 	return nil
 }
 

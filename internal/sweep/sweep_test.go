@@ -58,11 +58,11 @@ func TestGridJobsOrderAndDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(jobs) != 10 {
-		t.Fatalf("default grid expanded to %d jobs, want 10 (all experiments × {1} × {42})", len(jobs))
+	if len(jobs) != 11 {
+		t.Fatalf("default grid expanded to %d jobs, want 11 (all experiments × {1} × {42})", len(jobs))
 	}
-	if jobs[0].Experiment != "E1" || jobs[9].Experiment != "E10" {
-		t.Fatalf("default grid order wrong: first %s last %s", jobs[0].Experiment, jobs[9].Experiment)
+	if jobs[0].Experiment != "E1" || jobs[10].Experiment != "E11" {
+		t.Fatalf("default grid order wrong: first %s last %s", jobs[0].Experiment, jobs[10].Experiment)
 	}
 	for i, j := range jobs {
 		if j.Index != i {

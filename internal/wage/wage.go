@@ -118,7 +118,18 @@ func FromLog(log *eventlog.Log) *Report {
 		case eventlog.TaskPosted:
 			taskOwner[e.Task] = e.Requester
 		case eventlog.TaskStarted:
-			open[key{e.Worker, e.Task}] = &Episode{
+			k := key{e.Worker, e.Task}
+			if ep, ok := open[k]; ok {
+				// A second start for an already-open episode means the first
+				// attempt never concluded in the trace. Close it as
+				// interrupted at the restart time instead of silently
+				// overwriting its start — otherwise the time worked on the
+				// first attempt vanishes from every estimate.
+				ep.Ended = e.Time
+				ep.Interrupted = true
+				rep.Episodes = append(rep.Episodes, *ep)
+			}
+			open[k] = &Episode{
 				Worker: e.Worker, Task: e.Task,
 				Requester: taskOwner[e.Task], Started: e.Time,
 			}

@@ -148,3 +148,37 @@ func TestFromLogOnSimulatedTrace(t *testing.T) {
 		}
 	}
 }
+
+// A second TaskStarted for an already-open (worker, task) episode must not
+// silently discard the first attempt's worked time: the prior episode is
+// closed as interrupted at the restart time.
+func TestFromLogRestartClosesPriorEpisode(t *testing.T) {
+	l := traceWith(
+		eventlog.Event{Time: 0, Type: eventlog.TaskPosted, Task: "t1", Requester: "r1"},
+		eventlog.Event{Time: 1, Type: eventlog.TaskStarted, Task: "t1", Worker: "w1"},
+		eventlog.Event{Time: 5, Type: eventlog.TaskStarted, Task: "t1", Worker: "w1"}, // restart
+		eventlog.Event{Time: 8, Type: eventlog.TaskSubmitted, Task: "t1", Worker: "w1", Contribution: "c1"},
+		eventlog.Event{Time: 9, Type: eventlog.PaymentIssued, Task: "t1", Worker: "w1", Contribution: "c1", Amount: 6},
+	)
+	rep := FromLog(l)
+	if len(rep.Episodes) != 2 {
+		t.Fatalf("episodes = %d, want 2 (interrupted first attempt + paid second)", len(rep.Episodes))
+	}
+	first, second := rep.Episodes[0], rep.Episodes[1]
+	if !first.Interrupted || first.Started != 1 || first.Ended != 5 || first.Earned != 0 {
+		t.Fatalf("first attempt = %+v", first)
+	}
+	if second.Interrupted || second.Started != 5 || second.Ended != 8 || second.Earned != 6 {
+		t.Fatalf("second attempt = %+v", second)
+	}
+	// All 7 worked ticks count toward the requester's wage estimate:
+	// 6 earned over 7 ticks at 12 ticks/hour.
+	est := rep.ByRequester["r1"]
+	if est == nil || est.TotalTicks != 7 || est.Episodes != 2 || est.PaidEpisodes != 1 {
+		t.Fatalf("requester estimate = %+v", est)
+	}
+	w, ok := rep.RequesterWage("r1")
+	if !ok || math.Abs(w-6.0/(7.0/TicksPerHour)) > 1e-9 {
+		t.Fatalf("requester wage = %v, %v", w, ok)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench sweep clean
+.PHONY: all build test test-race test-shuffle vet fmt-check bench bench-store sweep clean
 
 all: build test
 
@@ -13,6 +13,9 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
 vet:
 	$(GO) vet ./...
 
@@ -24,6 +27,12 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Contended sharded-store benchmarks: single-RWMutex baseline vs hash
+# shards under 8 mutator goroutines (with and without a live auditor).
+bench-store:
+	$(GO) test -bench 'StoreContended' -benchmem -run '^$$' .
+	$(GO) run ./cmd/benchrunner -storebench
 
 # Quick demonstration of the parallel sweep engine.
 sweep:

@@ -13,6 +13,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/assign"
@@ -245,6 +246,93 @@ func BenchmarkAuditFullRescan(b *testing.B)     { benchmarkMutateThenAudit(b, 10
 func BenchmarkAuditIncremental(b *testing.B)    { benchmarkMutateThenAudit(b, 1000, true) }
 func BenchmarkAuditFullRescan300(b *testing.B)  { benchmarkMutateThenAudit(b, 300, false) }
 func BenchmarkAuditIncremental300(b *testing.B) { benchmarkMutateThenAudit(b, 300, true) }
+
+// --- Sharded store: contended mutation, single RWMutex vs hash shards ---
+
+// contendedStoreEnv builds a populated store at the given shard count plus
+// disjoint per-goroutine worker groups, so the benchmark contends on shard
+// locks rather than on individual entities.
+func contendedStoreEnv(b *testing.B, shards, goroutines int) (*store.Store, *eventlog.Log, [][]*model.Worker) {
+	b.Helper()
+	rng := stats.NewRNG(benchSeed)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers: 2048, Archetypes: 8,
+	}, rng.Split())
+	st := store.NewSharded(pop.Universe, shards)
+	if err := st.BulkPutWorkers(pop.Workers); err != nil {
+		b.Fatal(err)
+	}
+	groups := make([][]*model.Worker, goroutines)
+	for i, w := range pop.Workers {
+		groups[i%goroutines] = append(groups[i%goroutines], w)
+	}
+	return st, eventlog.New(), groups
+}
+
+// benchmarkStoreContendedMutate measures raw mutation throughput with 8
+// goroutines hammering UpdateWorker, optionally with a concurrent
+// incremental auditor sampling the changelog — the workload the tentpole
+// shards the store for. At shards=1 this is exactly the old single-RWMutex
+// layout; the sharded runs must beat it by ≥3× on a machine with 8+ cores
+// (on fewer cores the goroutines timeshare and the gap narrows to the
+// reduced lock-handoff overhead).
+func benchmarkStoreContendedMutate(b *testing.B, shards int, withAudit bool) {
+	const goroutines = 8
+	st, log, groups := contendedStoreEnv(b, shards, goroutines)
+	stop := make(chan struct{})
+	auditDone := make(chan struct{})
+	if withAudit {
+		eng := audit.New(st, log, fairness.DefaultConfig())
+		eng.Audit() // cold start outside the timed loop
+		go func() {
+			defer close(auditDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					eng.Audit()
+				}
+			}
+		}()
+	}
+	perG := b.N/goroutines + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := groups[g]
+			for i := 0; i < perG; i++ {
+				w := ws[i%len(ws)]
+				w.Computed[model.AttrAcceptanceRatio] = model.Num(float64(i%100) / 100)
+				if err := st.UpdateWorker(w); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if withAudit {
+		close(stop)
+		<-auditDone
+	}
+}
+
+func BenchmarkStoreContendedMutate1Shard(b *testing.B) { benchmarkStoreContendedMutate(b, 1, false) }
+func BenchmarkStoreContendedMutateSharded(b *testing.B) {
+	benchmarkStoreContendedMutate(b, store.DefaultShardCount, false)
+}
+func BenchmarkStoreContendedMutateAudit1Shard(b *testing.B) {
+	benchmarkStoreContendedMutate(b, 1, true)
+}
+func BenchmarkStoreContendedMutateAuditSharded(b *testing.B) {
+	benchmarkStoreContendedMutate(b, store.DefaultShardCount, true)
+}
 
 // --- Kernel micro-benchmarks ---
 

@@ -6,6 +6,7 @@
 //
 //	benchrunner [-seed N] [-only E4]
 //	benchrunner -sweep E1,E4 [-seeds 1,2,3] [-scales 0.5,1,2] [-parallelism 8] [-json]
+//	benchrunner -storebench [-goroutines 8] [-shards 1,2,4,8,16] [-ops 200000]
 //
 // The default mode runs every experiment once at the given seed. Sweep
 // mode drives the same experiments through the internal/sweep worker pool:
@@ -13,6 +14,12 @@
 // the grid, -parallelism bounds the pool (default GOMAXPROCS), and -json
 // switches the report from human tables to machine-readable JSON. Sweep
 // results are deterministic for a given grid regardless of parallelism.
+//
+// Store-bench mode measures contended mutation throughput against the
+// hash-sharded store at each shard count in -shards, with -goroutines
+// concurrent writers issuing -ops updates in total — the quickest way to
+// see the single-RWMutex baseline (shards=1) against the sharded layout on
+// the current machine.
 package main
 
 import (
@@ -21,11 +28,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -48,10 +62,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scaleList := fs.String("scales", "", "comma-separated scale factors for the sweep grid")
 	parallelism := fs.Int("parallelism", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	asJSON := fs.Bool("json", false, "emit the sweep report as JSON instead of tables")
+	storeBench := fs.Bool("storebench", false, "measure contended store mutation throughput per shard count")
+	goroutines := fs.Int("goroutines", 8, "concurrent writers for -storebench")
+	shardList := fs.String("shards", "1,2,4,8,16", "comma-separated shard counts for -storebench")
+	ops := fs.Int("ops", 200000, "total mutations per -storebench cell")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *storeBench {
+		return runStoreBench(*shardList, *goroutines, *ops, stdout)
+	}
 	if *sweepSel == "" && *seedList == "" && *scaleList == "" {
 		return runOneShot(*seed, *only, stdout)
 	}
@@ -96,6 +117,75 @@ func runOneShot(seed uint64, only string, stdout io.Writer) error {
 	}
 	for _, t := range experiments.All(seed) {
 		fmt.Fprintln(stdout, t)
+	}
+	return nil
+}
+
+// runStoreBench drives the contended-mutation comparison: goroutines
+// writers split ops UpdateWorker calls over disjoint worker sets, per shard
+// count, reporting throughput and the speedup over the single-RWMutex
+// baseline (shards=1). Wall-clock scaling needs real cores: with fewer
+// than `goroutines` CPUs the writers timeshare and speedups flatten.
+func runStoreBench(shardList string, goroutines, ops int, stdout io.Writer) error {
+	if goroutines < 1 {
+		return fmt.Errorf("-goroutines must be >= 1")
+	}
+	if ops < goroutines {
+		ops = goroutines
+	}
+	var shardCounts []int
+	for _, s := range strings.Split(shardList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad -shards entry %q", s)
+		}
+		shardCounts = append(shardCounts, v)
+	}
+	rng := stats.NewRNG(42)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers: 2048, Archetypes: 8,
+	}, rng.Split())
+	if goroutines > len(pop.Workers) {
+		// Every writer needs a non-empty disjoint worker set.
+		goroutines = len(pop.Workers)
+	}
+	groups := make([][]*model.Worker, goroutines)
+	for i, w := range pop.Workers {
+		groups[i%goroutines] = append(groups[i%goroutines], w)
+	}
+
+	fmt.Fprintf(stdout, "store contention: %d updates, %d goroutines, GOMAXPROCS=%d\n",
+		ops, goroutines, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(stdout, "%8s  %14s  %10s\n", "shards", "throughput", "speedup")
+	var base float64
+	for _, sc := range shardCounts {
+		st := store.NewSharded(pop.Universe, sc)
+		if err := st.BulkPutWorkers(pop.Workers); err != nil {
+			return err
+		}
+		perG := ops / goroutines
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ws := groups[g]
+				for i := 0; i < perG; i++ {
+					w := ws[i%len(ws)]
+					w.Computed[model.AttrAcceptanceRatio] = model.Num(float64(i%100) / 100)
+					if err := st.UpdateWorker(w); err != nil {
+						panic(err) // disjoint pre-inserted workers: cannot fail
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		thr := float64(perG*goroutines) / time.Since(start).Seconds()
+		if base == 0 {
+			base = thr
+		}
+		fmt.Fprintf(stdout, "%8d  %11.0f/s  %9.2fx\n", sc, thr, thr/base)
 	}
 	return nil
 }

@@ -2,23 +2,27 @@
 // that turns the paper's batch audits into the continuous monitoring loop a
 // long-lived platform needs. A full AuditFairness pass re-scans every
 // candidate pair on every call — quadratic per tick, untenable alongside
-// live traffic. Engine instead subscribes to the store's changelog
-// (store.ChangesSince) and the event log's cursor, computes per-axiom dirty
-// sets — workers whose attributes or offer sets moved, tasks whose
-// audiences or contribution sets moved — and re-checks only pairs with at
-// least one dirty endpoint, maintaining the violation set across passes.
+// live traffic. Engine instead subscribes to the store's per-shard
+// changelogs (store.ShardChangesSince, one cursor per shard so no
+// cross-shard merge is ever needed) and the event log's cursor, computes
+// per-axiom dirty sets — workers whose attributes or offer sets moved,
+// tasks whose audiences or contribution sets moved — and re-checks only
+// pairs with at least one dirty endpoint, maintaining the violation set
+// across passes.
 //
 // Guarantee: after any sequence of mutations, Audit reports exactly the
 // violations a full fairness.CheckAll over the same trace reports (the
 // determinism tests pin this down pair by pair). Report.Checked is exact
-// for Axioms 3–5; for Axioms 1–2 it counts the pairs the delta pass
-// actually examined — the engine's work, not the full scan's.
+// for every axiom: Axioms 3–5 maintain per-unit counts, and Axioms 1–2
+// maintain a candidate-pair census (fairness.Report.CheckedPairs feeds an
+// adjacency set) so delta passes report the same Checked a full scan would.
 //
 // A revision-keyed similarity cache (Cache) is shared across Axioms 1–3,
 // so even the pairs a dirty entity drags back into scope only recompute the
-// similarity legs that actually moved. When the engine falls behind the
-// changelog's retention window it falls back to a full rebuild — the cold
-// start and the catch-up path are the same code.
+// similarity legs that actually moved. When the engine falls behind any
+// shard's changelog retention window it falls back to a full rebuild — the
+// cold start and the catch-up path are the same code, and the rebuild's
+// per-task / per-worker folds fan out on the bounded worker pool.
 package audit
 
 import (
@@ -28,6 +32,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/store"
 )
 
@@ -44,31 +49,89 @@ type Engine struct {
 	cache *Cache
 
 	primed  bool
-	version uint64 // store version through which changes are folded in
+	cursors []uint64 // per-shard changelog positions
 	cursor  *eventlog.Cursor
 	access  *fairness.AccessIndex
 	flagged map[model.WorkerID]bool
 	ax5     *fairness.Axiom5Stream
 
-	// Maintained verdicts. Axioms 1/2 key violations by subject pair;
+	// Maintained verdicts. Axioms 1/2 keep their violations as a sorted
+	// slice — delta passes filter out entries touching dirty subjects and
+	// merge in the (already sorted, dirty-only) fresh findings, so no pass
+	// ever re-sorts the full set — plus the exact candidate-pair census
+	// (pairSet) that keeps their Checked counts equal to a full scan's.
 	// Axiom 3 stores per-task results; Axiom 4 per-worker results plus the
 	// eligibility set that makes its Checked count exact.
-	ax1         map[subjectPair]fairness.Violation
-	ax2         map[subjectPair]fairness.Violation
+	ax1Viol     []fairness.Violation
+	ax1Census   *pairSet
+	ax2Viol     []fairness.Violation
+	ax2Census   *pairSet
 	ax3         map[model.TaskID][]fairness.Violation
 	ax3Checked  map[model.TaskID]int
 	ax4         map[model.WorkerID]fairness.Violation
 	ax4Eligible map[model.WorkerID]bool
 }
 
-type subjectPair struct{ a, b string }
+// pairSet is an adjacency-set census of the candidate pairs currently in
+// scope for one pair axiom. A delta pass first evicts every pair touching a
+// dirty subject, then folds in the pairs the pass actually examined
+// (fairness.Report.CheckedPairs); pairs between two clean subjects cannot
+// have entered or left the candidate set, so the census count always equals
+// the Checked of a full scan over the current state.
+type pairSet struct {
+	adj   map[string]map[string]bool
+	count int
+}
+
+func newPairSet() *pairSet { return &pairSet{adj: make(map[string]map[string]bool)} }
+
+// dropDirty evicts every pair with at least one endpoint in dirty.
+func (p *pairSet) dropDirty(dirty map[string]bool) {
+	for d := range dirty {
+		partners := p.adj[d]
+		if partners == nil {
+			continue
+		}
+		for q := range partners {
+			p.count--
+			if qa := p.adj[q]; qa != nil {
+				delete(qa, d)
+				if len(qa) == 0 {
+					delete(p.adj, q)
+				}
+			}
+		}
+		delete(p.adj, d)
+	}
+}
+
+// add folds in examined pairs, ignoring ones already present.
+func (p *pairSet) add(pairs [][2]string) {
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if p.adj[a][b] {
+			continue
+		}
+		if p.adj[a] == nil {
+			p.adj[a] = make(map[string]bool)
+		}
+		if p.adj[b] == nil {
+			p.adj[b] = make(map[string]bool)
+		}
+		p.adj[a][b] = true
+		p.adj[b][a] = true
+		p.count++
+	}
+}
 
 // New returns an engine over the given trace. cfg parameterises the
 // checkers exactly as in fairness.CheckAll; the engine attaches its own
-// similarity cache (any caller-provided cfg.Memo is replaced).
+// similarity cache (any caller-provided cfg.Memo is replaced) and turns on
+// candidate-pair recording for the Checked census.
 func New(st *store.Store, log *eventlog.Log, cfg fairness.Config) *Engine {
 	e := &Engine{st: st, log: log, cache: NewCache(st)}
 	cfg.Memo = e.cache
+	cfg.RecordCheckedPairs = true
 	e.cfg = cfg
 	e.reset()
 	return e
@@ -79,13 +142,15 @@ func (e *Engine) Cache() *Cache { return e.cache }
 
 func (e *Engine) reset() {
 	e.primed = false
-	e.version = 0
+	e.cursors = make([]uint64, e.st.ShardCount())
 	e.cursor = eventlog.NewCursor(e.log)
 	e.access = fairness.NewAccessIndex()
 	e.flagged = make(map[model.WorkerID]bool)
 	e.ax5 = fairness.NewAxiom5Stream()
-	e.ax1 = make(map[subjectPair]fairness.Violation)
-	e.ax2 = make(map[subjectPair]fairness.Violation)
+	e.ax1Viol = nil
+	e.ax1Census = newPairSet()
+	e.ax2Viol = nil
+	e.ax2Census = newPairSet()
 	e.ax3 = make(map[model.TaskID][]fairness.Violation)
 	e.ax3Checked = make(map[model.TaskID]int)
 	e.ax4 = make(map[model.WorkerID]fairness.Violation)
@@ -93,9 +158,9 @@ func (e *Engine) reset() {
 }
 
 // Audit brings the engine up to date with the trace and returns the five
-// axiom reports in axiom order. The first call (and any call that finds the
-// changelog truncated past the engine's position) runs the full cold-start
-// scan; subsequent calls re-check only dirty pairs.
+// axiom reports in axiom order. The first call (and any call that finds a
+// shard's changelog truncated past the engine's cursor) runs the full
+// cold-start scan; subsequent calls re-check only dirty pairs.
 func (e *Engine) Audit() []*fairness.Report {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -107,17 +172,21 @@ func (e *Engine) Audit() []*fairness.Report {
 	e.cache.BeginPass(passVer)
 
 	if !e.primed {
-		return e.rebuild(passVer)
+		return e.rebuild()
 	}
-	changes, ok := e.st.ChangesSince(e.version)
-	if !ok {
-		// Fell behind the changelog's retention window: mutations were
-		// lost, dirty sets would be incomplete. Start over.
-		e.reset()
-		return e.rebuild(passVer)
-	}
-	if len(changes) > 0 {
-		e.version = changes[len(changes)-1].Version
+	var changes []store.Change
+	for i := range e.cursors {
+		ch, ok := e.st.ShardChangesSince(i, e.cursors[i])
+		if !ok {
+			// Fell behind this shard's retention window: mutations were
+			// lost, dirty sets would be incomplete. Start over.
+			e.reset()
+			return e.rebuild()
+		}
+		if len(ch) > 0 {
+			e.cursors[i] = ch[len(ch)-1].Version
+		}
+		changes = append(changes, ch...)
 	}
 
 	dirtyW1 := make(map[model.WorkerID]bool) // attrs/skills/offers moved
@@ -149,11 +218,20 @@ func (e *Engine) Audit() []*fairness.Report {
 
 	rep1 := fairness.CheckAxiom1DeltaIndexed(e.st, e.access, e.cfg, dirtyW1)
 	rep2 := fairness.CheckAxiom2DeltaIndexed(e.st, e.access, e.cfg, dirtyT2)
+	dirty1 := stringKeys(dirtyW1)
+	dirty2 := stringKeys(dirtyT2)
+	e.ax1Census.dropDirty(dirty1)
+	e.ax1Census.add(rep1.CheckedPairs)
+	e.ax2Census.dropDirty(dirty2)
+	e.ax2Census.add(rep2.CheckedPairs)
 	e.foldTasks(dirtyT3)
 	e.foldWorkers(dirtyW4)
+	var out1, out2 *fairness.Report
+	out1, e.ax1Viol = mergePairReport(e.ax1Viol, dirty1, rep1, e.ax1Census.count)
+	out2, e.ax2Viol = mergePairReport(e.ax2Viol, dirty2, rep2, e.ax2Census.count)
 	return []*fairness.Report{
-		e.mergePairs(e.ax1, stringKeys(dirtyW1), rep1),
-		e.mergePairs(e.ax2, stringKeys(dirtyT2), rep2),
+		out1,
+		out2,
 		e.report3(),
 		e.report4(),
 		e.ax5.Report(),
@@ -162,8 +240,15 @@ func (e *Engine) Audit() []*fairness.Report {
 
 // rebuild is the cold-start/catch-up path: consume the whole trace, run the
 // full-scan checkers over the maintained access index, and seed the
-// per-task and per-worker state for Axioms 3–4.
-func (e *Engine) rebuild(passVer uint64) []*fairness.Report {
+// per-task and per-worker state for Axioms 3–4 (folded shard-parallel on
+// the bounded pool).
+func (e *Engine) rebuild() []*fairness.Report {
+	// Per-shard cursors are seeded from the shard watermarks, read before
+	// any entity scan: a mutation not yet covered by its watermark is
+	// re-delivered on the next pass, never skipped.
+	for i := range e.cursors {
+		e.cursors[i] = e.st.ShardVersion(i)
+	}
 	for _, ev := range e.cursor.Next() {
 		e.access.Observe(ev)
 		if ev.Type == eventlog.WorkerFlagged {
@@ -171,17 +256,16 @@ func (e *Engine) rebuild(passVer uint64) []*fairness.Report {
 		}
 		e.ax5.Observe(ev)
 	}
-	e.version = passVer
 	e.primed = true
 
 	rep1 := fairness.CheckAxiom1Indexed(e.st, e.access, e.cfg)
-	for _, v := range rep1.Violations {
-		e.ax1[subjectPair{v.Subjects[0], v.Subjects[1]}] = v
-	}
+	e.ax1Viol = rep1.Violations
+	e.ax1Census.add(rep1.CheckedPairs)
+	rep1.CheckedPairs = nil
 	rep2 := fairness.CheckAxiom2Indexed(e.st, e.access, e.cfg)
-	for _, v := range rep2.Violations {
-		e.ax2[subjectPair{v.Subjects[0], v.Subjects[1]}] = v
-	}
+	e.ax2Viol = rep2.Violations
+	e.ax2Census.add(rep2.CheckedPairs)
+	rep2.CheckedPairs = nil
 	allTasks := make(map[model.TaskID]bool)
 	allWorkers := make(map[model.WorkerID]bool)
 	for _, t := range e.st.Tasks() {
@@ -195,23 +279,46 @@ func (e *Engine) rebuild(passVer uint64) []*fairness.Report {
 	return []*fairness.Report{rep1, rep2, e.report3(), e.report4(), e.ax5.Report()}
 }
 
-// mergePairs drops every stored pair violation touching a dirty subject,
-// folds in the delta pass's findings, and renders the merged report.
-func (e *Engine) mergePairs(state map[subjectPair]fairness.Violation, dirty map[string]bool, rep *fairness.Report) *fairness.Report {
-	for k := range state {
-		if dirty[k.a] || dirty[k.b] {
-			delete(state, k)
+// mergePairReport folds a delta pass into the maintained sorted violation
+// slice: stored violations touching a dirty subject are dropped (the delta
+// re-examined those pairs), the pass's findings — all dirty-touching, so
+// disjoint from what is kept — are merged in by order, and the report
+// carries the census count as its full-scan-equal Checked. Both the
+// returned report and the returned slice alias the merged storage; the
+// engine never mutates it afterwards, so handing it to the caller is safe.
+func mergePairReport(prev []fairness.Violation, dirty map[string]bool, rep *fairness.Report, checked int) (*fairness.Report, []fairness.Violation) {
+	kept := make([]fairness.Violation, 0, len(prev)+len(rep.Violations))
+	for _, v := range prev {
+		if dirty[v.Subjects[0]] || dirty[v.Subjects[1]] {
+			continue
+		}
+		kept = append(kept, v)
+	}
+	merged := mergeViolations(kept, rep.Violations)
+	return &fairness.Report{Axiom: rep.Axiom, Checked: checked, Violations: merged}, merged
+}
+
+// mergeViolations merges two violation runs already in ViolationLess order.
+func mergeViolations(a, b []fairness.Violation) []fairness.Violation {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]fairness.Violation, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if fairness.ViolationLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
 		}
 	}
-	for _, v := range rep.Violations {
-		state[subjectPair{v.Subjects[0], v.Subjects[1]}] = v
-	}
-	out := &fairness.Report{Axiom: rep.Axiom, Checked: rep.Checked}
-	for _, v := range state {
-		out.Violations = append(out.Violations, v)
-	}
-	fairness.SortViolations(out.Violations)
-	return out
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // stringKeys projects a dirty-id set onto the violation subjects' string
@@ -224,15 +331,22 @@ func stringKeys[T ~string](m map[T]bool) map[string]bool {
 	return out
 }
 
-// foldTasks replaces the stored Axiom 3 verdict of every dirty task.
+// foldTasks replaces the stored Axiom 3 verdict of every dirty task. The
+// per-task checks are independent (disjoint contribution sets, a
+// concurrency-safe memo), so they fan out on the bounded pool; the fold
+// into engine state stays sequential in sorted order.
 func (e *Engine) foldTasks(dirty map[model.TaskID]bool) {
 	ids := make([]model.TaskID, 0, len(dirty))
 	for id := range dirty {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		rep := fairness.CheckAxiom3Delta(e.st, e.cfg, map[model.TaskID]bool{id: true})
+	reps := make([]*fairness.Report, len(ids))
+	par.For(len(ids), 0, func(k int) {
+		reps[k] = fairness.CheckAxiom3Delta(e.st, e.cfg, map[model.TaskID]bool{ids[k]: true})
+	})
+	for k, id := range ids {
+		rep := reps[k]
 		e.ax3Checked[id] = rep.Checked
 		if len(rep.Violations) > 0 {
 			e.ax3[id] = rep.Violations
@@ -242,15 +356,20 @@ func (e *Engine) foldTasks(dirty map[model.TaskID]bool) {
 	}
 }
 
-// foldWorkers replaces the stored Axiom 4 verdict of every dirty worker.
+// foldWorkers replaces the stored Axiom 4 verdict of every dirty worker,
+// fanning the per-worker checks out like foldTasks.
 func (e *Engine) foldWorkers(dirty map[model.WorkerID]bool) {
 	ids := make([]model.WorkerID, 0, len(dirty))
 	for id := range dirty {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		rep := fairness.CheckAxiom4Flagged(e.st, e.flagged, map[model.WorkerID]bool{id: true})
+	reps := make([]*fairness.Report, len(ids))
+	par.For(len(ids), 0, func(k int) {
+		reps[k] = fairness.CheckAxiom4Flagged(e.st, e.flagged, map[model.WorkerID]bool{ids[k]: true})
+	})
+	for k, id := range ids {
+		rep := reps[k]
 		if rep.Checked > 0 {
 			e.ax4Eligible[id] = true
 		} else {
@@ -287,8 +406,8 @@ func (e *Engine) report4() *fairness.Report {
 
 // ViolationsEqual reports whether two report sets agree axiom by axiom on
 // their rendered violations — the equivalence the engine guarantees against
-// fairness.CheckAll. Checked counts are not compared (the engine's Checked
-// is delta work for Axioms 1–2).
+// fairness.CheckAll. Checked counts are not compared here (the engine's
+// Checked parity with the full scan is asserted separately in the tests).
 func ViolationsEqual(a, b []*fairness.Report) bool {
 	if len(a) != len(b) {
 		return false

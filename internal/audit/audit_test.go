@@ -28,9 +28,19 @@ type scenario struct {
 }
 
 func newScenario(tb testing.TB, seed uint64) *scenario {
+	return newScenarioSharded(tb, seed, 0)
+}
+
+// newScenarioSharded builds the scenario over a store with the given shard
+// count (0: the default sharding).
+func newScenarioSharded(tb testing.TB, seed uint64, shards int) *scenario {
 	u := model.MustUniverse("go", "nlp", "vision", "audio")
+	st := store.New(u)
+	if shards > 0 {
+		st = store.NewSharded(u, shards)
+	}
 	s := &scenario{
-		tb: tb, st: store.New(u), log: eventlog.New(),
+		tb: tb, st: st, log: eventlog.New(),
 		rng: stats.NewRNG(seed), u: u,
 	}
 	for _, r := range []model.RequesterID{"r1", "r2", "r3"} {
@@ -240,8 +250,9 @@ func TestIncrementalMatchesFullAcrossMutations(t *testing.T) {
 				inc := eng.Audit()
 				full := fairness.CheckAll(s.st, s.log, cfg)
 				requireEquivalent(t, round, inc, full)
-				// Axioms 3–5 keep exact Checked counts incrementally.
-				for _, i := range []int{2, 3, 4} {
+				// All five axioms keep exact Checked counts incrementally:
+				// 3–5 via per-unit folds, 1–2 via the candidate-pair census.
+				for i := range inc {
 					if inc[i].Checked != full[i].Checked {
 						t.Fatalf("round %d, %s: checked %d (incremental) vs %d (full)",
 							round, inc[i].Axiom, inc[i].Checked, full[i].Checked)
@@ -249,6 +260,49 @@ func TestIncrementalMatchesFullAcrossMutations(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestShardCountInvariance is the tentpole's audit-level determinism
+// contract: the same trace driven into stores of different shard counts —
+// including the single-lock one-shard layout — must produce identical
+// incremental audit reports (violations and Checked counts) round after
+// round, against both each other and the full scan.
+func TestShardCountInvariance(t *testing.T) {
+	type lane struct {
+		s   *scenario
+		eng *Engine
+	}
+	cfg := fairness.DefaultConfig()
+	var lanes []lane
+	for _, shards := range []int{1, 4, 9} {
+		s := newScenarioSharded(t, 77, shards)
+		s.seed(50, 20, 250, 30)
+		lanes = append(lanes, lane{s, New(s.st, s.log, cfg)})
+	}
+	for round := 0; round < 6; round++ {
+		var reports [][]*fairness.Report
+		for _, l := range lanes {
+			// The same RNG seed drives every lane, so all stores see the
+			// same mutation stream.
+			for i := 0; i < 20; i++ {
+				l.s.mutate()
+			}
+			reports = append(reports, l.eng.Audit())
+		}
+		full := fairness.CheckAll(lanes[0].s.st, lanes[0].s.log, cfg)
+		requireEquivalent(t, round, reports[0], full)
+		for li := 1; li < len(reports); li++ {
+			if !ViolationsEqual(reports[0], reports[li]) {
+				t.Fatalf("round %d: lane %d (shards>1) disagrees with single-shard lane", round, li)
+			}
+			for ax := range reports[li] {
+				if reports[li][ax].Checked != reports[0][ax].Checked {
+					t.Fatalf("round %d, %s: lane %d checked %d, single-shard %d",
+						round, reports[li][ax].Axiom, li, reports[li][ax].Checked, reports[0][ax].Checked)
+				}
+			}
+		}
 	}
 }
 
@@ -326,9 +380,12 @@ func TestEmptyDeltaIsStable(t *testing.T) {
 	if !ViolationsEqual(first, second) {
 		t.Fatal("back-to-back audits disagree")
 	}
+	// An empty delta examines no pairs, yet the census keeps the reported
+	// Checked equal to the cold start's full scan.
 	for _, i := range []int{0, 1} {
-		if second[i].Checked != 0 {
-			t.Errorf("%s: empty delta checked %d pairs", second[i].Axiom, second[i].Checked)
+		if second[i].Checked != first[i].Checked {
+			t.Errorf("%s: empty delta reported checked %d, cold start %d",
+				second[i].Axiom, second[i].Checked, first[i].Checked)
 		}
 	}
 }

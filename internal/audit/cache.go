@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/similarity"
 	"repro/internal/store"
 )
 
@@ -153,15 +154,47 @@ func (c *Cache) TaskPair(a, b model.TaskID, compute func() float64) float64 {
 	return s
 }
 
+// PairScores scores every contribution pair through the revision-keyed
+// cache, in similarity.PairAt order — a drop-in replacement for
+// similarity.ContributionPairScores, and the hook pay.SimilarityFair's
+// PairScores field expects (internal/sim wires it up whenever in-loop
+// auditing is enabled). Unlike the PairMemo entry points, which bracket
+// cache writes at the audit pass's declared version, PairScores brackets
+// each call at the current store version; the caller must therefore pass
+// contribution values that are current at call time, with no concurrent
+// mutation of those contributions during the call — the natural contract
+// for a pay scheme holding the authoritative contribution set. Repeated
+// calls over unchanged contributions are then cache hits. Note the limit
+// of pay/audit sharing in the simulator's loop: recording the payment
+// bumps each contribution's revision, so the Axiom 3 audit that follows
+// settlement keys its own entries at the post-payment revisions rather
+// than reusing pay-time scores — the win here is the shared, memoizing
+// kernel, not cross-phase reuse.
+func (c *Cache) PairScores(contribs []*model.Contribution) []float64 {
+	bracket := c.st.Version() // read before any revision or value, like BeginPass
+	return similarity.ScorePairs(len(contribs), func(i, j int) float64 {
+		a, b := contribs[i], contribs[j]
+		return c.contribPair(a.ID, b.ID, bracket, func() float64 {
+			return similarity.ContributionSimilarity(a, b)
+		})
+	})
+}
+
 // ContribPair implements fairness.PairMemo.
 func (c *Cache) ContribPair(a, b model.ContributionID, compute func() float64) float64 {
+	c.mu.Lock()
+	pass := c.pass
+	c.mu.Unlock()
+	return c.contribPair(a, b, pass, compute)
+}
+
+func (c *Cache) contribPair(a, b model.ContributionID, pass uint64, compute func() float64) float64 {
 	if b < a {
 		a, b = b, a
 	}
 	ra, rb := c.st.ContributionRevision(a), c.st.ContributionRevision(b)
 	k := contribKey{a, b}
 	c.mu.Lock()
-	pass := c.pass
 	if e, ok := c.contribs[k]; ok && e.ra == ra && e.rb == rb {
 		c.hits++
 		c.mu.Unlock()

@@ -1,0 +1,84 @@
+package audit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/similarity"
+	"repro/internal/store"
+)
+
+// TestCachePairScoresMemoizes pins the PairScores kernel contract: results
+// equal the uncached similarity kernel, repeated calls over unchanged
+// contributions are pure cache hits (per-call version bracket, no
+// BeginPass needed), and mutating one contribution invalidates exactly its
+// own pairs.
+func TestCachePairScoresMemoizes(t *testing.T) {
+	u := model.MustUniverse("go")
+	st := store.NewSharded(u, 4)
+	if err := st.PutRequester(&model.Requester{ID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutWorker(&model.Worker{ID: "w1", Skills: u.MustVector("go")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutTask(&model.Task{ID: "t1", Requester: "r1", Skills: u.MustVector("go")}); err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{"the canonical answer", "the canonical answer", "something else", "yet another thing"}
+	contribs := make([]*model.Contribution, len(texts))
+	for i, txt := range texts {
+		contribs[i] = &model.Contribution{
+			ID: model.ContributionID(fmt.Sprintf("c%d", i)), Task: "t1", Worker: "w1",
+			Text: txt, Quality: 0.5,
+		}
+		if err := st.PutContribution(contribs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewCache(st)
+	got := c.PairScores(contribs)
+	want := similarity.ContributionPairScores(contribs)
+	if len(got) != len(want) {
+		t.Fatalf("scores: %d, want %d", len(got), len(want))
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("score %d: %v, want %v", k, got[k], want[k])
+		}
+	}
+	hits0, misses0 := c.Stats()
+	if hits0 != 0 || misses0 != uint64(len(want)) {
+		t.Fatalf("first call stats: hits %d, misses %d", hits0, misses0)
+	}
+
+	// Second call over unchanged contributions: all hits.
+	second := c.PairScores(contribs)
+	hits1, misses1 := c.Stats()
+	if misses1 != misses0 || hits1 != uint64(len(want)) {
+		t.Fatalf("second call stats: hits %d, misses %d", hits1, misses1)
+	}
+	for k := range second {
+		if second[k] != want[k] {
+			t.Fatalf("cached score %d: %v, want %v", k, second[k], want[k])
+		}
+	}
+
+	// Mutating one contribution invalidates exactly its pairs (n-1 of
+	// them); the rest stay hits.
+	mut := contribs[0]
+	mut.Paid = 1.5
+	if err := st.UpdateContribution(mut); err != nil {
+		t.Fatal(err)
+	}
+	c.PairScores(contribs)
+	hits2, misses2 := c.Stats()
+	if wantMiss := misses1 + uint64(len(contribs)-1); misses2 != wantMiss {
+		t.Fatalf("post-mutation misses = %d, want %d", misses2, wantMiss)
+	}
+	if wantHit := hits1 + uint64(len(want)-(len(contribs)-1)); hits2 != wantHit {
+		t.Fatalf("post-mutation hits = %d, want %d", hits2, wantHit)
+	}
+}

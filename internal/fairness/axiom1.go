@@ -74,6 +74,9 @@ func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.W
 	// violation subjects are canonical.
 	check := func(a, b *model.Worker) {
 		rep.Checked++
+		if cfg.RecordCheckedPairs {
+			rep.CheckedPairs = append(rep.CheckedPairs, [2]string{string(a.ID), string(b.ID)})
+		}
 		var sc WorkerPairScores
 		if cfg.Memo != nil {
 			sc = cfg.Memo.WorkerPair(a.ID, b.ID, func() WorkerPairScores {
@@ -158,21 +161,39 @@ func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.W
 			}
 		}
 		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
+		// Partner candidates come from an inverted index built over the
+		// pass's own worker snapshot (workers are id-sorted, so buckets
+		// are too), populated only for the skills dirty workers actually
+		// have: one O(set bits) build beats per-dirty-worker queries
+		// against the store's sharded index, and a snapshot-consistent
+		// bucket can never name a worker the snapshot lacks.
+		var bySkill [][]model.WorkerID
+		if len(dirtyIDs) > 0 {
+			needed := make([]bool, st.Universe().Size())
+			for _, did := range dirtyIDs {
+				for _, skill := range byID[did].Skills.Indices() {
+					needed[skill] = true
+				}
+			}
+			bySkill = make([][]model.WorkerID, len(needed))
+			for _, w := range workers {
+				for _, skill := range w.Skills.Indices() {
+					if needed[skill] {
+						bySkill[skill] = append(bySkill[skill], w.ID)
+					}
+				}
+			}
+		}
 		for _, did := range dirtyIDs {
 			d := byID[did]
 			seen := map[model.WorkerID]bool{did: true}
 			for _, skill := range d.Skills.Indices() {
-				for _, pid := range st.WorkersWithSkill(skill) {
+				for _, pid := range bySkill[skill] {
 					if seen[pid] {
 						continue
 					}
 					seen[pid] = true
 					p := byID[pid]
-					if p == nil {
-						// Inserted after the worker snapshot (audit racing
-						// mutation); pending for the next pass.
-						continue
-					}
 					if dirty[pid] && pid < did {
 						continue // the partner's own delta pass owns this pair
 					}

@@ -63,6 +63,9 @@ func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.T
 	// requesters.
 	check := func(a, b *model.Task) {
 		rep.Checked++
+		if cfg.RecordCheckedPairs {
+			rep.CheckedPairs = append(rep.CheckedPairs, [2]string{string(a.ID), string(b.ID)})
+		}
 		var skillSim float64
 		if cfg.Memo != nil {
 			skillSim = cfg.Memo.TaskPair(a.ID, b.ID, func() float64 {
@@ -144,21 +147,36 @@ func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.T
 			}
 		}
 		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
+		// As in checkAxiom1: snapshot-derived skill buckets for just the
+		// dirty tasks' skills, built once per pass, replace per-dirty-task
+		// store index queries.
+		var bySkill [][]model.TaskID
+		if len(dirtyIDs) > 0 {
+			needed := make([]bool, st.Universe().Size())
+			for _, did := range dirtyIDs {
+				for _, skill := range byID[did].Skills.Indices() {
+					needed[skill] = true
+				}
+			}
+			bySkill = make([][]model.TaskID, len(needed))
+			for _, task := range tasks {
+				for _, skill := range task.Skills.Indices() {
+					if needed[skill] {
+						bySkill[skill] = append(bySkill[skill], task.ID)
+					}
+				}
+			}
+		}
 		for _, did := range dirtyIDs {
 			d := byID[did]
 			seen := map[model.TaskID]bool{did: true}
 			for _, skill := range d.Skills.Indices() {
-				for _, pid := range st.TasksWithSkill(skill) {
+				for _, pid := range bySkill[skill] {
 					if seen[pid] {
 						continue
 					}
 					seen[pid] = true
 					p := byID[pid]
-					if p == nil {
-						// Posted after the task snapshot (audit racing
-						// mutation); pending for the next pass.
-						continue
-					}
 					if p.Requester == d.Requester {
 						continue
 					}

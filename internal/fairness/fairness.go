@@ -113,6 +113,12 @@ type Config struct {
 	// attached, Axiom 1 computes all three similarity scores per pair up
 	// front instead of short-circuiting; reported violations are identical.
 	Memo PairMemo
+	// RecordCheckedPairs makes the Axiom 1/2 checkers list every candidate
+	// pair they examine in Report.CheckedPairs. Incremental auditors
+	// (internal/audit) use the lists to maintain an exact candidate-pair
+	// census across delta passes, so their reported Checked counts stay
+	// equal to a full scan's.
+	RecordCheckedPairs bool
 }
 
 // WorkerPairScores bundles the three similarity scores Axiom 1 compares for
@@ -187,6 +193,10 @@ type Report struct {
 	Checked int
 	// Violations lists every failure found, deterministically ordered.
 	Violations []Violation
+	// CheckedPairs lists the subject-id pair of every candidate examined,
+	// in examination order. Populated by the Axiom 1/2 checkers only when
+	// Config.RecordCheckedPairs is set; nil otherwise.
+	CheckedPairs [][2]string
 }
 
 // ViolationRate returns violations per checked unit (0 if nothing checked).
@@ -376,16 +386,20 @@ func (ix *AccessIndex) audienceSet(id model.TaskID) idSet[model.WorkerID] {
 // that merge incrementally maintained violation sets into reports.
 func SortViolations(vs []Violation) { sortViolations(vs) }
 
-func sortViolations(vs []Violation) {
-	sort.Slice(vs, func(i, j int) bool {
-		a, b := vs[i], vs[j]
-		for k := 0; k < len(a.Subjects) && k < len(b.Subjects); k++ {
-			if a.Subjects[k] != b.Subjects[k] {
-				return a.Subjects[k] < b.Subjects[k]
-			}
+// ViolationLess is the strict ordering SortViolations applies, exposed so
+// incremental consumers can merge already-sorted violation runs without
+// re-sorting.
+func ViolationLess(a, b Violation) bool {
+	for k := 0; k < len(a.Subjects) && k < len(b.Subjects); k++ {
+		if a.Subjects[k] != b.Subjects[k] {
+			return a.Subjects[k] < b.Subjects[k]
 		}
-		return len(a.Subjects) < len(b.Subjects)
-	})
+	}
+	return len(a.Subjects) < len(b.Subjects)
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool { return ViolationLess(vs[i], vs[j]) })
 }
 
 // CheckAll runs every axiom checker over the trace and returns the reports

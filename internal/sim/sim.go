@@ -74,6 +74,11 @@ type Config struct {
 	// AuditConfig parameterises the in-loop audits (zero value: the
 	// DefaultConfig thresholds).
 	AuditConfig fairness.Config
+	// StoreShards sets the store's hash-partition count (0 or negative:
+	// store.DefaultShardCount). One shard reproduces the old single-lock
+	// layout; results are identical for every value — only contention
+	// changes.
+	StoreShards int
 	// Seed drives all randomness in the run.
 	Seed uint64
 }
@@ -149,7 +154,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	rng := stats.NewRNG(cfg.Seed + 0x5eed)
-	st := store.New(cfg.Population.Universe)
+	shards := cfg.StoreShards
+	if shards <= 0 {
+		shards = store.DefaultShardCount
+	}
+	st := store.NewSharded(cfg.Population.Universe, shards)
 	log := eventlog.New()
 	ledger := pay.NewLedger()
 	score := 0.0
@@ -170,6 +179,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.AuditEvery > 0 {
 		r.auditor = audit.New(st, log, cfg.AuditConfig)
+		// Route similarity-fair payment equalisation through the audit
+		// engine's revision-keyed cache: one shared, memoizing scoring
+		// kernel for pay and audits. (Payments bump contribution revisions
+		// before the end-of-round Axiom 3 pass, so each phase keys its own
+		// entries — the kernel is shared, not the per-round scores.)
+		// Schemes with a caller-injected kernel are left alone.
+		if sf, ok := r.cfg.PayScheme.(pay.SimilarityFair); ok && sf.PairScores == nil {
+			sf.PairScores = r.auditor.Cache().PairScores
+			r.cfg.PayScheme = sf
+		}
 	}
 	if err := r.setup(); err != nil {
 		return nil, err
@@ -250,10 +269,13 @@ func (r *runner) discloseWorkerView(w *model.Worker, trig transparency.Trigger) 
 }
 
 func (r *runner) setup() error {
+	// Insert the whole population through the store's shard-parallel bulk
+	// path; the per-worker bookkeeping below stays in population order, so
+	// the event log and contract setup are identical to a sequential load.
+	if err := r.st.BulkPutWorkers(r.cfg.Population.Workers); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	for _, w := range r.cfg.Population.Workers {
-		if err := r.st.PutWorker(w); err != nil {
-			return fmt.Errorf("sim: %w", err)
-		}
 		r.log.MustAppend(eventlog.Event{Time: r.now, Type: eventlog.WorkerJoined, Worker: w.ID})
 		r.ret.Join(w.ID)
 		base := 0.5
@@ -314,10 +336,12 @@ func (r *runner) runRound(tasks []*model.Task) error {
 	engine := complete.NewEngine(r.cfg.Cancellation, r.log)
 	engine.Advance(r.now - engine.Now())
 
+	// Shard-parallel insert of the round's batch; posting and disclosure
+	// keep batch order so the trace is unchanged.
+	if err := r.st.BulkPutTasks(tasks); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	for _, t := range tasks {
-		if err := r.st.PutTask(t); err != nil {
-			return fmt.Errorf("sim: %w", err)
-		}
 		if err := engine.Post(t); err != nil {
 			return fmt.Errorf("sim: %w", err)
 		}
@@ -548,8 +572,11 @@ func (r *runner) settle(byTask map[model.TaskID]*model.Task, contribs []pendingC
 }
 
 // refreshWorkers recomputes computed attributes from the run history and
-// emits detection flags.
+// emits detection flags. The attribute updates are applied through the
+// store's shard-parallel bulk path; flags are emitted afterwards in the
+// same sorted worker order as before, so the event log is unchanged.
 func (r *runner) refreshWorkers() error {
+	var updates []*model.Worker
 	for _, w := range r.st.Workers() {
 		n := r.submitted[w.ID]
 		if n == 0 {
@@ -560,10 +587,20 @@ func (r *runner) refreshWorkers() error {
 		w.Computed[model.AttrAcceptanceRatio] = model.Num(ratio)
 		w.Computed[model.AttrPerformance] = model.Num(perf)
 		w.Computed[model.AttrCompleted] = model.Num(float64(n))
-		if err := r.st.UpdateWorker(w); err != nil {
-			return fmt.Errorf("sim: %w", err)
-		}
-		if r.cfg.FlagLowAcceptance && ratio < 0.5 && !r.flagged[w.ID] {
+		updates = append(updates, w)
+	}
+	if len(updates) == 0 {
+		return nil
+	}
+	if err := r.st.BulkUpdateWorkers(updates); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if !r.cfg.FlagLowAcceptance {
+		return nil
+	}
+	for _, w := range updates {
+		ratio := w.Computed[model.AttrAcceptanceRatio].Num
+		if ratio < 0.5 && !r.flagged[w.ID] {
 			r.flagged[w.ID] = true
 			r.log.MustAppend(eventlog.Event{
 				Time: r.now, Type: eventlog.WorkerFlagged, Worker: w.ID,

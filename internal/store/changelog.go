@@ -47,13 +47,15 @@ func (e Entity) String() string {
 }
 
 // Change is one mutation record in the store's changelog. Every successful
-// mutation appends exactly one Change whose Version equals the store version
-// after the mutation, so versions of consecutive changes are consecutive
-// integers — ChangesSince can tell a complete suffix from a truncated one by
-// counting. Id fields beyond the mutated entity's own are the touched
-// neighbours: a contribution change carries its task and worker, a task
-// change its requester. Incremental consumers (internal/audit) use them to
-// compute dirty sets without re-reading the entity.
+// mutation appends exactly one Change — to the changelog ring of the shard
+// owning the mutated entity — whose Version is the value of the global
+// sequencer after the mutation. Versions are globally dense: merging every
+// shard's log yields consecutive integers, which is how ChangesSince tells
+// a complete suffix from one still missing in-flight appends. Id fields
+// beyond the mutated entity's own are the touched neighbours: a
+// contribution change carries its task and worker, a task change its
+// requester. Incremental consumers (internal/audit) use them to compute
+// dirty sets without re-reading the entity.
 type Change struct {
 	Version uint64
 	Op      Op
@@ -65,77 +67,84 @@ type Change struct {
 	Contribution model.ContributionID
 }
 
-// DefaultChangelogCap is the number of mutation records retained by a new
-// store. At ~100 bytes per record the default bounds changelog memory to a
-// few megabytes while covering far more history than any audit cadence
-// needs; readers that fall further behind get a truncation signal and must
-// fall back to a full scan.
+// DefaultChangelogCap is the number of mutation records retained per shard
+// by a new store. At ~100 bytes per record the default bounds changelog
+// memory to a few megabytes per shard while covering far more history than
+// any audit cadence needs; readers that fall further behind get a
+// truncation signal and must fall back to a full scan.
 const DefaultChangelogCap = 1 << 16
 
-// SetChangelogCap resizes the changelog's retention window to at most n
+// SetChangelogCap resizes every shard's retention window to at most n
 // records (n < 1 disables retention entirely: every ChangesSince for a past
 // version reports truncation). Existing records beyond the new cap are
-// dropped oldest-first.
+// dropped oldest-first per shard.
 func (s *Store) SetChangelogCap(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n < 0 {
-		n = 0
+	for _, sh := range s.shards {
+		sh.setChangelogCap(n)
 	}
-	// Re-pack the retained suffix into a fresh ring.
-	keep := s.clogLen
-	if keep > n {
-		keep = n
-	}
-	buf := make([]Change, 0, keep)
-	for i := s.clogLen - keep; i < s.clogLen; i++ {
-		buf = append(buf, s.clog[(s.clogStart+i)%len(s.clog)])
-	}
-	s.clog = buf
-	s.clogStart = 0
-	s.clogLen = keep
-	s.clogCap = n
 }
 
-// record appends a change under the already-held write lock.
-func (s *Store) record(c Change) {
-	if s.clogCap < 1 {
-		return
-	}
-	if s.clogLen < s.clogCap {
-		if len(s.clog) < s.clogCap {
-			s.clog = append(s.clog, c)
-		} else {
-			s.clog[(s.clogStart+s.clogLen)%len(s.clog)] = c
-		}
-		s.clogLen++
-		return
-	}
-	// Full ring: overwrite the oldest record.
-	s.clog[s.clogStart] = c
-	s.clogStart = (s.clogStart + 1) % len(s.clog)
-}
-
-// ChangesSince returns every mutation recorded after version v, oldest
-// first. The boolean reports completeness: false means the changelog has
-// been truncated past v (the caller missed changes and must fall back to a
-// full scan). A v at or beyond the current version returns (nil, true).
+// ChangesSince returns every mutation recorded after version v, merged
+// across shards into one version-ordered, gap-free stream, oldest first.
+// The boolean reports completeness: false means at least one shard's ring
+// has dropped a record past v (the caller missed changes and must fall back
+// to a full scan). A v at or beyond the current version returns (nil, true).
+//
+// Under concurrent mutation the merged suffix can transiently miss an
+// allocated-but-not-yet-appended version; the result is trimmed at the
+// first such gap, so what is returned is always a dense prefix and the
+// trimmed-off tail is re-delivered by the next call. Shard-local consumers
+// that track one cursor per shard (internal/audit) should prefer
+// ShardChangesSince, which needs no cross-shard merge.
 func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if v >= s.version {
+	per := make([][]Change, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		truncated := sh.droppedMax > v
+		if !truncated {
+			per[i] = sh.changesAfter(v)
+		}
+		sh.mu.RUnlock()
+		if truncated {
+			return nil, false
+		}
+	}
+	merged := mergeSorted(per, func(a, b Change) bool { return a.Version < b.Version })
+	for i := range merged {
+		if merged[i].Version != v+1+uint64(i) {
+			merged = merged[:i]
+			break
+		}
+	}
+	if len(merged) == 0 {
 		return nil, true
 	}
-	need := s.version - v
-	if uint64(s.clogLen) < need {
+	return merged, true
+}
+
+// ShardChangesSince returns the changes recorded in one shard after version
+// v, oldest first — the per-shard cursor API. Versions within the result
+// are strictly increasing but not consecutive (the global sequencer
+// interleaves shards). The boolean reports completeness for this shard:
+// false means its ring dropped a record past v.
+func (s *Store) ShardChangesSince(shard int, v uint64) ([]Change, bool) {
+	sh := s.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.droppedMax > v {
 		return nil, false
 	}
-	skip := s.clogLen - int(need)
-	out := make([]Change, 0, need)
-	for i := skip; i < s.clogLen; i++ {
-		out = append(out, s.clog[(s.clogStart+i)%len(s.clog)])
-	}
-	return out, true
+	return sh.changesAfter(v), true
+}
+
+// ShardVersion returns the shard's watermark: the highest version recorded
+// in it. Every mutation owned by the shard with a version at or below the
+// watermark is visible to reads issued after the call.
+func (s *Store) ShardVersion(shard int) uint64 {
+	sh := s.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.applied
 }
 
 // WorkerRevision returns the store version at which the worker last mutated
@@ -143,23 +152,26 @@ func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
 // two audits seeing equal (id, revision) pairs are guaranteed to see equal
 // entity values.
 func (s *Store) WorkerRevision(id model.WorkerID) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.workerRev[id]
+	sh := s.workerShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.workerRev[id]
 }
 
 // TaskRevision returns the store version at which the task was inserted
 // (0 for unknown ids).
 func (s *Store) TaskRevision(id model.TaskID) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.taskRev[id]
+	sh := s.taskShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.taskRev[id]
 }
 
 // ContributionRevision returns the store version at which the contribution
 // last mutated (0 for unknown ids).
 func (s *Store) ContributionRevision(id model.ContributionID) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.contribRev[id]
+	sh := s.contribShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.contribRev[id]
 }

@@ -83,7 +83,15 @@ func TestChangelogRecordsEveryMutation(t *testing.T) {
 }
 
 func TestChangelogTruncationSignal(t *testing.T) {
-	s := changelogStore(t)
+	// One shard: the cap is then an exact global retention window, so the
+	// eviction boundary is predictable change by change. Multi-shard
+	// truncation (per-shard rings overflowing independently) is covered in
+	// shard_test.go.
+	u := model.MustUniverse("a", "b")
+	s := NewSharded(u, 1)
+	if err := s.PutRequester(&model.Requester{ID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
 	s.SetChangelogCap(4)
 	for i := 0; i < 10; i++ {
 		w := &model.Worker{

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// shard is one hash partition of the store: a full set of entity tables,
+// secondary indexes, revision maps, and a changelog ring, guarded by its own
+// RWMutex. Entities are assigned to shards by FNV-1a hash of their primary
+// id, so each mutation touches exactly one shard's lock (plus read-only
+// existence probes of referenced shards) and mutation throughput scales with
+// the shard count instead of serialising on a single store-wide mutex.
+//
+// Index invariants: workersBySkill / tasksBySkill / tasksByReq entries are
+// sorted ascending by id; contribsByTask / contribsByWorker entries are
+// sorted by (SubmittedAt, ID). Sorting is maintained at insert time so the
+// hot read paths merge pre-sorted runs instead of re-sorting per call.
+// Every index lists only entities owned by this shard; store-level readers
+// merge across shards.
+type shard struct {
+	mu sync.RWMutex
+
+	workers    map[model.WorkerID]*model.Worker
+	requesters map[model.RequesterID]*model.Requester
+	tasks      map[model.TaskID]*model.Task
+	contribs   map[model.ContributionID]*model.Contribution
+
+	workersBySkill   [][]model.WorkerID
+	tasksBySkill     [][]model.TaskID
+	tasksByReq       map[model.RequesterID][]model.TaskID
+	contribsByTask   map[model.TaskID][]model.ContributionID
+	contribsByWorker map[model.WorkerID][]model.ContributionID
+
+	// Per-entity revisions: the global version at which each entity owned
+	// by this shard last mutated.
+	workerRev  map[model.WorkerID]uint64
+	taskRev    map[model.TaskID]uint64
+	contribRev map[model.ContributionID]uint64
+
+	// applied is the highest global version recorded in this shard — the
+	// shard's watermark. Every mutation with a version at or below applied
+	// is fully visible to readers that acquire mu after the watermark was
+	// read.
+	applied uint64
+
+	// Changelog ring buffer. Versions within one shard's ring are strictly
+	// increasing (allocation and append happen under mu), but not
+	// consecutive: the global sequencer interleaves shards.
+	clog      []Change
+	clogStart int
+	clogLen   int
+	clogCap   int
+	// droppedMax is the highest version ever evicted from this ring (0 if
+	// none): the shard-local truncation signal. A reader positioned at
+	// version v missed changes iff droppedMax > v.
+	droppedMax uint64
+}
+
+func newShard(skills int) *shard {
+	return &shard{
+		workers:          make(map[model.WorkerID]*model.Worker),
+		requesters:       make(map[model.RequesterID]*model.Requester),
+		tasks:            make(map[model.TaskID]*model.Task),
+		contribs:         make(map[model.ContributionID]*model.Contribution),
+		workersBySkill:   make([][]model.WorkerID, skills),
+		tasksBySkill:     make([][]model.TaskID, skills),
+		tasksByReq:       make(map[model.RequesterID][]model.TaskID),
+		contribsByTask:   make(map[model.TaskID][]model.ContributionID),
+		contribsByWorker: make(map[model.WorkerID][]model.ContributionID),
+		workerRev:        make(map[model.WorkerID]uint64),
+		taskRev:          make(map[model.TaskID]uint64),
+		contribRev:       make(map[model.ContributionID]uint64),
+		clogCap:          DefaultChangelogCap,
+	}
+}
+
+// record appends a change under the already-held write lock and advances the
+// shard watermark. With retention disabled (cap < 1) every change counts as
+// immediately dropped so ChangesSince keeps reporting truncation.
+func (sh *shard) record(c Change) {
+	sh.applied = c.Version
+	if sh.clogCap < 1 {
+		sh.droppedMax = c.Version
+		return
+	}
+	if sh.clogLen < sh.clogCap {
+		if len(sh.clog) < sh.clogCap {
+			sh.clog = append(sh.clog, c)
+		} else {
+			sh.clog[(sh.clogStart+sh.clogLen)%len(sh.clog)] = c
+		}
+		sh.clogLen++
+		return
+	}
+	// Full ring: overwrite the oldest record.
+	if old := sh.clog[sh.clogStart].Version; old > sh.droppedMax {
+		sh.droppedMax = old
+	}
+	sh.clog[sh.clogStart] = c
+	sh.clogStart = (sh.clogStart + 1) % len(sh.clog)
+}
+
+// setChangelogCap resizes this shard's retention window, dropping the oldest
+// retained records when shrinking.
+func (sh *shard) setChangelogCap(n int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	keep := sh.clogLen
+	if keep > n {
+		keep = n
+	}
+	if dropped := sh.clogLen - keep; dropped > 0 {
+		last := sh.clog[(sh.clogStart+dropped-1)%len(sh.clog)].Version
+		if last > sh.droppedMax {
+			sh.droppedMax = last
+		}
+	}
+	buf := make([]Change, 0, keep)
+	for i := sh.clogLen - keep; i < sh.clogLen; i++ {
+		buf = append(buf, sh.clog[(sh.clogStart+i)%len(sh.clog)])
+	}
+	sh.clog = buf
+	sh.clogStart = 0
+	sh.clogLen = keep
+	sh.clogCap = n
+}
+
+// changesAfter copies this shard's retained records with Version > v, oldest
+// first, under the already-held read lock. The ring is version-sorted, so
+// the suffix is found by binary search.
+func (sh *shard) changesAfter(v uint64) []Change {
+	lo := sort.Search(sh.clogLen, func(i int) bool {
+		return sh.clog[(sh.clogStart+i)%len(sh.clog)].Version > v
+	})
+	if lo == sh.clogLen {
+		return nil
+	}
+	out := make([]Change, 0, sh.clogLen-lo)
+	for i := lo; i < sh.clogLen; i++ {
+		out = append(out, sh.clog[(sh.clogStart+i)%len(sh.clog)])
+	}
+	return out
+}
+
+// fnv64a hashes an id for shard routing.
+func fnv64a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// insertSortedID inserts id into an ascending id slice, preallocating only
+// the single appended slot (no re-sort).
+func insertSortedID[T ~string](ids []T, id T) []T {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	ids = append(ids, id)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeSortedID removes id from an ascending id slice in place via binary
+// search (the old linear-scan removeWorkerID).
+func removeSortedID[T ~string](ids []T, id T) []T {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	if i < len(ids) && ids[i] == id {
+		return append(ids[:i], ids[i+1:]...)
+	}
+	return ids
+}
+
+// contribPos finds the position of the (at, id) key in a contribution index
+// sorted by (SubmittedAt, ID). contribs must hold every listed id.
+func contribPos(ids []model.ContributionID, contribs map[model.ContributionID]*model.Contribution, at int64, id model.ContributionID) int {
+	return sort.Search(len(ids), func(k int) bool {
+		c := contribs[ids[k]]
+		if c.SubmittedAt != at {
+			return c.SubmittedAt > at
+		}
+		return ids[k] >= id
+	})
+}
+
+// insertContribID inserts id into a (SubmittedAt, ID)-sorted index. The
+// contribution must already be present in contribs.
+func insertContribID(ids []model.ContributionID, contribs map[model.ContributionID]*model.Contribution, id model.ContributionID) []model.ContributionID {
+	c := contribs[id]
+	i := contribPos(ids, contribs, c.SubmittedAt, id)
+	ids = append(ids, id)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeContribID removes id (which sorted at submittedAt when inserted)
+// from a (SubmittedAt, ID)-sorted index.
+func removeContribID(ids []model.ContributionID, contribs map[model.ContributionID]*model.Contribution, at int64, id model.ContributionID) []model.ContributionID {
+	i := contribPos(ids, contribs, at, id)
+	if i < len(ids) && ids[i] == id {
+		return append(ids[:i], ids[i+1:]...)
+	}
+	return ids
+}
+
+// mergeSorted k-way merges pre-sorted runs into one sorted slice. The output
+// is preallocated to the total length; with a single run the run is returned
+// as-is (callers own the inputs).
+func mergeSorted[T any](lists [][]T, less func(a, b T) bool) []T {
+	nonEmpty := lists[:0:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+			total += len(l)
+		}
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		return nonEmpty[0]
+	}
+	out := make([]T, 0, total)
+	idx := make([]int, len(nonEmpty))
+	for len(out) < total {
+		best := -1
+		for li, l := range nonEmpty {
+			if idx[li] >= len(l) {
+				continue
+			}
+			if best < 0 || less(l[idx[li]], nonEmpty[best][idx[best]]) {
+				best = li
+			}
+		}
+		out = append(out, nonEmpty[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

@@ -8,18 +8,23 @@ import (
 )
 
 // Snapshot captures the entire store as a serialisable model.Snapshot.
+// Workers, tasks, and contributions — the tables that grow with traffic —
+// are gathered shard-parallel (each shard's entities are cloned and sorted
+// on its own goroutine, then merged), so snapshotting a large sharded
+// store scales with cores; the small requester table is gathered serially.
 func (s *Store) Snapshot() *model.Snapshot {
 	return &model.Snapshot{
 		Skills:        s.universe.Names(),
-		Workers:       s.Workers(),
+		Workers:       s.workersSlice(true),
 		Requesters:    s.Requesters(),
-		Tasks:         s.Tasks(),
-		Contributions: s.Contributions(),
+		Tasks:         s.tasksSlice(true),
+		Contributions: s.contributionsSlice(true),
 	}
 }
 
 // FromSnapshot builds a fully-indexed store from a snapshot, validating
-// every entity and referential link on the way in.
+// every entity and referential link on the way in. Loading uses the bulk
+// shard-parallel insert paths.
 func FromSnapshot(snap *model.Snapshot) (*Store, error) {
 	u, err := snap.Universe()
 	if err != nil {
@@ -31,22 +36,35 @@ func FromSnapshot(snap *model.Snapshot) (*Store, error) {
 			return nil, fmt.Errorf("store: load snapshot: %w", err)
 		}
 	}
-	for _, w := range snap.Workers {
-		if err := s.PutWorker(w); err != nil {
-			return nil, fmt.Errorf("store: load snapshot: %w", err)
-		}
+	if err := s.BulkPutWorkers(snap.Workers); err != nil {
+		return nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
-	for _, t := range snap.Tasks {
-		if err := s.PutTask(t); err != nil {
-			return nil, fmt.Errorf("store: load snapshot: %w", err)
-		}
+	if err := s.BulkPutTasks(snap.Tasks); err != nil {
+		return nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
-	for _, c := range snap.Contributions {
-		if err := s.PutContribution(c); err != nil {
-			return nil, fmt.Errorf("store: load snapshot: %w", err)
-		}
+	if err := s.BulkPutContributions(snap.Contributions); err != nil {
+		return nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
 	return s, nil
+}
+
+// skillBucket merges the per-shard skill-index runs for one skill into a
+// single id-sorted slice of stored worker pointers. Caller must hold every
+// shard's read lock.
+func (s *Store) skillBucket(skill int) []*model.Worker {
+	per := make([][]*model.Worker, 0, len(s.shards))
+	for _, sh := range s.shards {
+		ids := sh.workersBySkill[skill]
+		if len(ids) == 0 {
+			continue
+		}
+		ws := make([]*model.Worker, len(ids))
+		for k, id := range ids {
+			ws[k] = sh.workers[id]
+		}
+		per = append(per, ws)
+	}
+	return mergeSorted(per, func(a, b *model.Worker) bool { return a.ID < b.ID })
 }
 
 // CandidateWorkerPairs returns worker-id pairs that share at least one
@@ -62,19 +80,18 @@ func FromSnapshot(snap *model.Snapshot) (*Store, error) {
 // avoids a per-pair hash map on the hot path. Ownership also makes the
 // buckets independent, so generation fans out one goroutine per skill
 // bucket on a bounded pool; per-bucket outputs are concatenated in skill
-// order, keeping the result identical to the serial scan.
+// order, keeping the result deterministic regardless of scheduling. The
+// scan holds every shard's read lock for the duration, like the old
+// single-lock scan held its one lock.
 func (s *Store) CandidateWorkerPairs() [][2]model.WorkerID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	perSkill := make([][][2]model.WorkerID, len(s.workersBySkill))
-	par.For(len(s.workersBySkill), 0, func(skill int) {
-		ids := s.workersBySkill[skill]
-		if len(ids) < 2 {
+	s.rlockAll()
+	defer s.runlockAll()
+	nSkills := s.universe.Size()
+	perSkill := make([][][2]model.WorkerID, nSkills)
+	par.For(nSkills, 0, func(skill int) {
+		bucket := s.skillBucket(skill)
+		if len(bucket) < 2 {
 			return
-		}
-		bucket := make([]*model.Worker, len(ids))
-		for i, id := range ids {
-			bucket[i] = s.workers[id]
 		}
 		var out [][2]model.WorkerID
 		for i := 0; i < len(bucket); i++ {
@@ -118,15 +135,25 @@ func firstSharedSkill(a, b model.SkillVector) int {
 // skill and posted by different requesters — the candidate set for Axiom 2
 // (requester fairness applies across distinct requesters).
 func (s *Store) CandidateTaskPairs() [][2]model.TaskID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	var out [][2]model.TaskID
 	bucket := make([]*model.Task, 0, 64)
-	for skill, ids := range s.tasksBySkill {
-		bucket = bucket[:0]
-		for _, id := range ids {
-			bucket = append(bucket, s.tasks[id])
+	perShard := make([][]*model.Task, 0, len(s.shards))
+	for skill := 0; skill < s.universe.Size(); skill++ {
+		perShard = perShard[:0]
+		for _, sh := range s.shards {
+			ids := sh.tasksBySkill[skill]
+			if len(ids) == 0 {
+				continue
+			}
+			ts := make([]*model.Task, len(ids))
+			for k, id := range ids {
+				ts[k] = sh.tasks[id]
+			}
+			perShard = append(perShard, ts)
 		}
+		bucket = append(bucket[:0], mergeSorted(perShard, func(a, b *model.Task) bool { return a.ID < b.ID })...)
 		for i := 0; i < len(bucket); i++ {
 			ti := bucket[i]
 			for j := i + 1; j < len(bucket); j++ {

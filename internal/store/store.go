@@ -9,24 +9,36 @@
 // pairs in Axiom 1/2 checks, the E7 ablation), a per-requester task index,
 // and per-task / per-worker contribution indexes.
 //
-// Store is safe for concurrent readers and writers via a single RWMutex —
-// audits are read-heavy scans, mutation is append-mostly, and the workload
-// sizes here never justify finer-grained latching.
+// Concurrency model: the store is hash-partitioned into ShardCount shards
+// (see shard.go), each owning the entities whose id hashes to it together
+// with that partition's secondary indexes, revision map, and changelog
+// ring. Every mutation takes exactly one shard's write lock — referenced
+// entities in other shards are probed under read locks, which is safe
+// because entities are never deleted — so writers to different shards never
+// contend and mutation throughput scales with cores. A single atomic
+// sequencer allocates global versions; allocation happens while the owning
+// shard's write lock is held, which yields the store's core visibility
+// invariant: every mutation with a version at or below Version() is fully
+// applied and visible to any subsequently acquired shard lock.
 //
-// Every mutation also lands in a bounded changelog (see changelog.go) keyed
-// by the store's version counter, and bumps the touched entity's revision.
-// Incremental consumers — the delta-driven fairness audits of internal/audit
-// — read the changelog through ChangesSince to re-check only what moved, and
-// key memoized pair similarities by (id, revision).
+// Multi-shard readers (Workers, ChangesSince, the candidate-pair
+// generators) therefore see a state at least as new as any version bracket
+// they read first; concurrent mutation may additionally surface newer
+// entities, which the audit layers already tolerate. Incremental consumers
+// — the delta-driven fairness audits of internal/audit — read the per-shard
+// changelogs through ShardChangesSince (or the version-merged ChangesSince)
+// to re-check only what moved, and key memoized pair similarities by
+// (id, revision).
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/par"
 )
 
 // Sentinel errors.
@@ -36,69 +48,98 @@ var (
 	ErrInvalid   = errors.New("store: invalid entity")
 )
 
-// Store is the platform database. Construct with New.
+// DefaultShardCount is the partition count used by New. It is a fixed
+// constant — not GOMAXPROCS-derived — so a trace replayed on any machine
+// lands entities in the same shards, and a *sequentially* replayed trace
+// produces the same merged changelog (the bulk fan-out paths interleave
+// version assignment across shards nondeterministically, so bulk-loaded
+// stores promise identical state but not identical change order). The
+// determinism tests pin that results are identical for every shard count,
+// so callers needing a different width (1 for strict single-lock
+// semantics, more for very wide machines) use NewSharded.
+const DefaultShardCount = 8
+
+// Store is the platform database. Construct with New or NewSharded.
 type Store struct {
-	mu       sync.RWMutex
 	universe *model.Universe
-
-	workers    map[model.WorkerID]*model.Worker
-	requesters map[model.RequesterID]*model.Requester
-	tasks      map[model.TaskID]*model.Task
-	contribs   map[model.ContributionID]*model.Contribution
-
-	// Secondary indexes.
-	workersBySkill   [][]model.WorkerID // skill index -> worker ids
-	tasksBySkill     [][]model.TaskID   // skill index -> task ids
-	tasksByReq       map[model.RequesterID][]model.TaskID
-	contribsByTask   map[model.TaskID][]model.ContributionID
-	contribsByWorker map[model.WorkerID][]model.ContributionID
-
-	version uint64 // bumped on every mutation; used for optimistic scans
-
-	// Per-entity revisions: the version at which each entity last mutated.
-	// Read through WorkerRevision and friends in changelog.go.
-	workerRev  map[model.WorkerID]uint64
-	taskRev    map[model.TaskID]uint64
-	contribRev map[model.ContributionID]uint64
-
-	// Changelog ring buffer (see changelog.go).
-	clog      []Change
-	clogStart int
-	clogLen   int
-	clogCap   int
+	shards   []*shard
+	version  atomic.Uint64 // global mutation sequencer
 }
 
-// New returns an empty store over the given skill universe.
-func New(u *model.Universe) *Store {
-	return &Store{
-		universe:         u,
-		workers:          make(map[model.WorkerID]*model.Worker),
-		requesters:       make(map[model.RequesterID]*model.Requester),
-		tasks:            make(map[model.TaskID]*model.Task),
-		contribs:         make(map[model.ContributionID]*model.Contribution),
-		workersBySkill:   make([][]model.WorkerID, u.Size()),
-		tasksBySkill:     make([][]model.TaskID, u.Size()),
-		tasksByReq:       make(map[model.RequesterID][]model.TaskID),
-		contribsByTask:   make(map[model.TaskID][]model.ContributionID),
-		contribsByWorker: make(map[model.WorkerID][]model.ContributionID),
-		workerRev:        make(map[model.WorkerID]uint64),
-		taskRev:          make(map[model.TaskID]uint64),
-		contribRev:       make(map[model.ContributionID]uint64),
-		clogCap:          DefaultChangelogCap,
+// New returns an empty store over the given skill universe, partitioned
+// into DefaultShardCount shards.
+func New(u *model.Universe) *Store { return NewSharded(u, DefaultShardCount) }
+
+// NewSharded returns an empty store partitioned into the given number of
+// hash shards (values < 1 mean one shard, i.e. the single-lock layout).
+func NewSharded(u *model.Universe, shards int) *Store {
+	if shards < 1 {
+		shards = 1
 	}
+	s := &Store{universe: u, shards: make([]*shard, shards)}
+	for i := range s.shards {
+		s.shards[i] = newShard(u.Size())
+	}
+	return s
 }
 
 // Universe returns the skill universe the store was built over.
 func (s *Store) Universe() *model.Universe { return s.universe }
 
+// ShardCount returns the number of hash partitions.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
 // Version returns the current mutation counter. Two equal versions bracket
 // an unchanged store, which lets long audits assert the trace did not move
-// under them.
-func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
+// under them; every mutation versioned at or below the returned value is
+// visible to reads issued after the call.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+func (s *Store) shardIndex(id string) int {
+	return int(fnv64a(id) % uint64(len(s.shards)))
 }
+
+// WorkerShard returns the index of the shard owning the worker id.
+func (s *Store) WorkerShard(id model.WorkerID) int { return s.shardIndex(string(id)) }
+
+// RequesterShard returns the index of the shard owning the requester id.
+func (s *Store) RequesterShard(id model.RequesterID) int { return s.shardIndex(string(id)) }
+
+// TaskShard returns the index of the shard owning the task id.
+func (s *Store) TaskShard(id model.TaskID) int { return s.shardIndex(string(id)) }
+
+// ContributionShard returns the index of the shard owning the contribution.
+func (s *Store) ContributionShard(id model.ContributionID) int { return s.shardIndex(string(id)) }
+
+func (s *Store) workerShard(id model.WorkerID) *shard {
+	return s.shards[s.shardIndex(string(id))]
+}
+func (s *Store) requesterShard(id model.RequesterID) *shard {
+	return s.shards[s.shardIndex(string(id))]
+}
+func (s *Store) taskShard(id model.TaskID) *shard {
+	return s.shards[s.shardIndex(string(id))]
+}
+func (s *Store) contribShard(id model.ContributionID) *shard {
+	return s.shards[s.shardIndex(string(id))]
+}
+
+// rlockAll acquires every shard's read lock in index order (writers only
+// ever hold one shard lock, so any consistent order is deadlock-free) for
+// readers that need a cross-shard view in one critical section.
+func (s *Store) rlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
+}
+
+// --- Workers ---
 
 // PutWorker validates and inserts a worker. The store keeps its own clone,
 // so later mutation of w by the caller does not affect stored state.
@@ -106,19 +147,24 @@ func (s *Store) PutWorker(w *model.Worker) error {
 	if err := w.Validate(s.universe); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.workers[w.ID]; dup {
+	sh := s.workerShard(w.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.putWorkerLocked(sh, w)
+}
+
+func (s *Store) putWorkerLocked(sh *shard, w *model.Worker) error {
+	if _, dup := sh.workers[w.ID]; dup {
 		return fmt.Errorf("worker %s: %w", w.ID, ErrDuplicate)
 	}
 	c := w.Clone()
-	s.workers[c.ID] = c
+	sh.workers[c.ID] = c
 	for _, i := range c.Skills.Indices() {
-		s.workersBySkill[i] = append(s.workersBySkill[i], c.ID)
+		sh.workersBySkill[i] = insertSortedID(sh.workersBySkill[i], c.ID)
 	}
-	s.version++
-	s.workerRev[c.ID] = s.version
-	s.record(Change{Version: s.version, Op: OpInsert, Entity: EntityWorker, Worker: c.ID})
+	v := s.version.Add(1)
+	sh.workerRev[c.ID] = v
+	sh.record(Change{Version: v, Op: OpInsert, Entity: EntityWorker, Worker: c.ID})
 	return nil
 }
 
@@ -127,89 +173,195 @@ func (s *Store) UpdateWorker(w *model.Worker) error {
 	if err := w.Validate(s.universe); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.workers[w.ID]
+	sh := s.workerShard(w.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.updateWorkerLocked(sh, w)
+}
+
+func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker) error {
+	old, ok := sh.workers[w.ID]
 	if !ok {
 		return fmt.Errorf("worker %s: %w", w.ID, ErrNotFound)
 	}
 	if !old.Skills.Equal(w.Skills) {
 		for _, i := range old.Skills.Indices() {
-			s.workersBySkill[i] = removeWorkerID(s.workersBySkill[i], w.ID)
+			sh.workersBySkill[i] = removeSortedID(sh.workersBySkill[i], w.ID)
 		}
 		for _, i := range w.Skills.Indices() {
-			s.workersBySkill[i] = append(s.workersBySkill[i], w.ID)
+			sh.workersBySkill[i] = insertSortedID(sh.workersBySkill[i], w.ID)
 		}
 	}
-	s.workers[w.ID] = w.Clone()
-	s.version++
-	s.workerRev[w.ID] = s.version
-	s.record(Change{Version: s.version, Op: OpUpdate, Entity: EntityWorker, Worker: w.ID})
+	sh.workers[w.ID] = w.Clone()
+	v := s.version.Add(1)
+	sh.workerRev[w.ID] = v
+	sh.record(Change{Version: v, Op: OpUpdate, Entity: EntityWorker, Worker: w.ID})
 	return nil
 }
 
 // Worker returns a copy of the worker with the given id.
 func (s *Store) Worker(id model.WorkerID) (*model.Worker, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	w, ok := s.workers[id]
+	sh := s.workerShard(id)
+	sh.mu.RLock()
+	w, ok := sh.workers[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("worker %s: %w", id, ErrNotFound)
 	}
+	// Stored entities are immutable once inserted (updates swap the
+	// pointer), so cloning outside the lock is safe. Same below.
 	return w.Clone(), nil
 }
 
 // Workers returns copies of all workers sorted by id.
 func (s *Store) Workers() []*model.Worker {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*model.Worker, 0, len(s.workers))
-	for _, w := range s.workers {
-		out = append(out, w.Clone())
+	return s.workersSlice(false)
+}
+
+// workersSlice gathers per-shard sorted runs (optionally shard-parallel)
+// and merges them into the id-sorted result.
+func (s *Store) workersSlice(parallel bool) []*model.Worker {
+	per := make([][]*model.Worker, len(s.shards))
+	gather := func(i int) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		out := make([]*model.Worker, 0, len(sh.workers))
+		for _, w := range sh.workers {
+			out = append(out, w)
+		}
+		sh.mu.RUnlock()
+		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+		for k, w := range out {
+			out[k] = w.Clone()
+		}
+		per[i] = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	if parallel {
+		par.Do(len(s.shards), 0, gather)
+	} else {
+		for i := range s.shards {
+			gather(i)
+		}
+	}
+	return mergeSorted(per, func(a, b *model.Worker) bool { return a.ID < b.ID })
 }
 
 // WorkerCount returns the number of workers without copying them.
 func (s *Store) WorkerCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.workers)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.workers)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // WorkersWithSkill returns the ids of workers whose vector sets the given
 // skill index, sorted. The result is a fresh slice owned by the caller.
 func (s *Store) WorkersWithSkill(skill int) []model.WorkerID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := append([]model.WorkerID(nil), s.workersBySkill[skill]...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	per := make([][]model.WorkerID, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		per[i] = append([]model.WorkerID(nil), sh.workersBySkill[skill]...)
+		sh.mu.RUnlock()
+	}
+	return mergeSorted(per, func(a, b model.WorkerID) bool { return a < b })
 }
+
+// BulkPutWorkers inserts many workers, fanning the inserts out across
+// shards in parallel (insertion order within a shard follows ws order).
+// On error the store keeps every insert that succeeded: each shard stops
+// at its own first failure, so entities after a failing one may still land
+// if they hash to other shards — callers must not retry a failed batch
+// wholesale.
+func (s *Store) BulkPutWorkers(ws []*model.Worker) error {
+	for _, w := range ws {
+		if err := w.Validate(s.universe); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	}
+	groups := make([][]*model.Worker, len(s.shards))
+	for _, w := range ws {
+		i := s.shardIndex(string(w.ID))
+		groups[i] = append(groups[i], w)
+	}
+	errs := make([]error, len(s.shards))
+	par.Do(len(s.shards), 0, func(i int) {
+		if len(groups[i]) == 0 {
+			return
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, w := range groups[i] {
+			if err := s.putWorkerLocked(sh, w); err != nil {
+				errs[i] = err
+				return
+			}
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// BulkUpdateWorkers applies many worker updates, fanning out across shards
+// in parallel. On error, updates that succeeded before each shard's own
+// first failure remain applied (see BulkPutWorkers).
+func (s *Store) BulkUpdateWorkers(ws []*model.Worker) error {
+	for _, w := range ws {
+		if err := w.Validate(s.universe); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	}
+	groups := make([][]*model.Worker, len(s.shards))
+	for _, w := range ws {
+		i := s.shardIndex(string(w.ID))
+		groups[i] = append(groups[i], w)
+	}
+	errs := make([]error, len(s.shards))
+	par.Do(len(s.shards), 0, func(i int) {
+		if len(groups[i]) == 0 {
+			return
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, w := range groups[i] {
+			if err := s.updateWorkerLocked(sh, w); err != nil {
+				errs[i] = err
+				return
+			}
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// --- Requesters ---
 
 // PutRequester validates and inserts a requester.
 func (s *Store) PutRequester(r *model.Requester) error {
 	if err := r.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.requesters[r.ID]; dup {
+	sh := s.requesterShard(r.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.requesters[r.ID]; dup {
 		return fmt.Errorf("requester %s: %w", r.ID, ErrDuplicate)
 	}
 	c := *r
-	s.requesters[r.ID] = &c
-	s.version++
-	s.record(Change{Version: s.version, Op: OpInsert, Entity: EntityRequester, Requester: r.ID})
+	sh.requesters[r.ID] = &c
+	v := s.version.Add(1)
+	sh.record(Change{Version: v, Op: OpInsert, Entity: EntityRequester, Requester: r.ID})
 	return nil
 }
 
 // Requester returns a copy of the requester with the given id.
 func (s *Store) Requester(id model.RequesterID) (*model.Requester, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.requesters[id]
+	sh := s.requesterShard(id)
+	sh.mu.RLock()
+	r, ok := sh.requesters[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("requester %s: %w", id, ErrNotFound)
 	}
@@ -219,47 +371,106 @@ func (s *Store) Requester(id model.RequesterID) (*model.Requester, error) {
 
 // Requesters returns copies of all requesters sorted by id.
 func (s *Store) Requesters() []*model.Requester {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*model.Requester, 0, len(s.requesters))
-	for _, r := range s.requesters {
-		c := *r
-		out = append(out, &c)
+	per := make([][]*model.Requester, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out := make([]*model.Requester, 0, len(sh.requesters))
+		for _, r := range sh.requesters {
+			out = append(out, r)
+		}
+		sh.mu.RUnlock()
+		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+		for k, r := range out {
+			c := *r
+			out[k] = &c
+		}
+		per[i] = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return mergeSorted(per, func(a, b *model.Requester) bool { return a.ID < b.ID })
 }
 
+func (s *Store) hasRequester(id model.RequesterID) bool {
+	sh := s.requesterShard(id)
+	sh.mu.RLock()
+	_, ok := sh.requesters[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// --- Tasks ---
+
 // PutTask validates and inserts a task; its requester must already exist.
+// The existence probe takes only the requester shard's read lock: entities
+// are never deleted, so the probe cannot go stale before the insert.
 func (s *Store) PutTask(t *model.Task) error {
 	if err := t.Validate(s.universe); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.tasks[t.ID]; dup {
-		return fmt.Errorf("task %s: %w", t.ID, ErrDuplicate)
-	}
-	if _, ok := s.requesters[t.Requester]; !ok {
+	if !s.hasRequester(t.Requester) {
 		return fmt.Errorf("task %s: requester %s: %w", t.ID, t.Requester, ErrNotFound)
 	}
-	c := t.Clone()
-	s.tasks[c.ID] = c
-	for _, i := range c.Skills.Indices() {
-		s.tasksBySkill[i] = append(s.tasksBySkill[i], c.ID)
+	sh := s.taskShard(t.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.putTaskLocked(sh, t)
+}
+
+func (s *Store) putTaskLocked(sh *shard, t *model.Task) error {
+	if _, dup := sh.tasks[t.ID]; dup {
+		return fmt.Errorf("task %s: %w", t.ID, ErrDuplicate)
 	}
-	s.tasksByReq[c.Requester] = append(s.tasksByReq[c.Requester], c.ID)
-	s.version++
-	s.taskRev[c.ID] = s.version
-	s.record(Change{Version: s.version, Op: OpInsert, Entity: EntityTask, Task: c.ID, Requester: c.Requester})
+	c := t.Clone()
+	sh.tasks[c.ID] = c
+	for _, i := range c.Skills.Indices() {
+		sh.tasksBySkill[i] = insertSortedID(sh.tasksBySkill[i], c.ID)
+	}
+	sh.tasksByReq[c.Requester] = insertSortedID(sh.tasksByReq[c.Requester], c.ID)
+	v := s.version.Add(1)
+	sh.taskRev[c.ID] = v
+	sh.record(Change{Version: v, Op: OpInsert, Entity: EntityTask, Task: c.ID, Requester: c.Requester})
 	return nil
+}
+
+// BulkPutTasks inserts many tasks, probing the referenced requesters up
+// front and fanning the inserts out across shards in parallel.
+func (s *Store) BulkPutTasks(ts []*model.Task) error {
+	for _, t := range ts {
+		if err := t.Validate(s.universe); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		if !s.hasRequester(t.Requester) {
+			return fmt.Errorf("task %s: requester %s: %w", t.ID, t.Requester, ErrNotFound)
+		}
+	}
+	groups := make([][]*model.Task, len(s.shards))
+	for _, t := range ts {
+		i := s.shardIndex(string(t.ID))
+		groups[i] = append(groups[i], t)
+	}
+	errs := make([]error, len(s.shards))
+	par.Do(len(s.shards), 0, func(i int) {
+		if len(groups[i]) == 0 {
+			return
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, t := range groups[i] {
+			if err := s.putTaskLocked(sh, t); err != nil {
+				errs[i] = err
+				return
+			}
+		}
+	})
+	return errors.Join(errs...)
 }
 
 // Task returns a copy of the task with the given id.
 func (s *Store) Task(id model.TaskID) (*model.Task, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tasks[id]
+	sh := s.taskShard(id)
+	sh.mu.RLock()
+	t, ok := sh.tasks[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("task %s: %w", id, ErrNotFound)
 	}
@@ -268,69 +479,153 @@ func (s *Store) Task(id model.TaskID) (*model.Task, error) {
 
 // Tasks returns copies of all tasks sorted by id.
 func (s *Store) Tasks() []*model.Task {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*model.Task, 0, len(s.tasks))
-	for _, t := range s.tasks {
-		out = append(out, t.Clone())
+	return s.tasksSlice(false)
+}
+
+func (s *Store) tasksSlice(parallel bool) []*model.Task {
+	per := make([][]*model.Task, len(s.shards))
+	gather := func(i int) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		out := make([]*model.Task, 0, len(sh.tasks))
+		for _, t := range sh.tasks {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
+		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+		for k, t := range out {
+			out[k] = t.Clone()
+		}
+		per[i] = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	if parallel {
+		par.Do(len(s.shards), 0, gather)
+	} else {
+		for i := range s.shards {
+			gather(i)
+		}
+	}
+	return mergeSorted(per, func(a, b *model.Task) bool { return a.ID < b.ID })
 }
 
 // TaskCount returns the number of tasks.
 func (s *Store) TaskCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.tasks)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.tasks)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // TasksByRequester returns ids of tasks posted by the requester, sorted.
 func (s *Store) TasksByRequester(id model.RequesterID) []model.TaskID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := append([]model.TaskID(nil), s.tasksByReq[id]...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	per := make([][]model.TaskID, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		per[i] = append([]model.TaskID(nil), sh.tasksByReq[id]...)
+		sh.mu.RUnlock()
+	}
+	return mergeSorted(per, func(a, b model.TaskID) bool { return a < b })
 }
 
 // TasksWithSkill returns ids of tasks requiring the given skill index, sorted.
 func (s *Store) TasksWithSkill(skill int) []model.TaskID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := append([]model.TaskID(nil), s.tasksBySkill[skill]...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	per := make([][]model.TaskID, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		per[i] = append([]model.TaskID(nil), sh.tasksBySkill[skill]...)
+		sh.mu.RUnlock()
+	}
+	return mergeSorted(per, func(a, b model.TaskID) bool { return a < b })
 }
 
+// --- Contributions ---
+
 // PutContribution validates and inserts a contribution; its task and worker
-// must already exist.
+// must already exist (read-locked probes of their shards; sound because
+// entities are never deleted).
 func (s *Store) PutContribution(c *model.Contribution) error {
 	if err := c.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.contribs[c.ID]; dup {
-		return fmt.Errorf("contribution %s: %w", c.ID, ErrDuplicate)
+	if err := s.checkContribRefs(c); err != nil {
+		return err
 	}
-	if _, ok := s.tasks[c.Task]; !ok {
+	sh := s.contribShard(c.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.putContributionLocked(sh, c)
+}
+
+func (s *Store) checkContribRefs(c *model.Contribution) error {
+	tsh := s.taskShard(c.Task)
+	tsh.mu.RLock()
+	_, ok := tsh.tasks[c.Task]
+	tsh.mu.RUnlock()
+	if !ok {
 		return fmt.Errorf("contribution %s: task %s: %w", c.ID, c.Task, ErrNotFound)
 	}
-	if _, ok := s.workers[c.Worker]; !ok {
+	wsh := s.workerShard(c.Worker)
+	wsh.mu.RLock()
+	_, ok = wsh.workers[c.Worker]
+	wsh.mu.RUnlock()
+	if !ok {
 		return fmt.Errorf("contribution %s: worker %s: %w", c.ID, c.Worker, ErrNotFound)
 	}
+	return nil
+}
+
+func (s *Store) putContributionLocked(sh *shard, c *model.Contribution) error {
+	if _, dup := sh.contribs[c.ID]; dup {
+		return fmt.Errorf("contribution %s: %w", c.ID, ErrDuplicate)
+	}
 	cc := c.Clone()
-	s.contribs[cc.ID] = cc
-	s.contribsByTask[cc.Task] = append(s.contribsByTask[cc.Task], cc.ID)
-	s.contribsByWorker[cc.Worker] = append(s.contribsByWorker[cc.Worker], cc.ID)
-	s.version++
-	s.contribRev[cc.ID] = s.version
-	s.record(Change{
-		Version: s.version, Op: OpInsert, Entity: EntityContribution,
+	sh.contribs[cc.ID] = cc
+	sh.contribsByTask[cc.Task] = insertContribID(sh.contribsByTask[cc.Task], sh.contribs, cc.ID)
+	sh.contribsByWorker[cc.Worker] = insertContribID(sh.contribsByWorker[cc.Worker], sh.contribs, cc.ID)
+	v := s.version.Add(1)
+	sh.contribRev[cc.ID] = v
+	sh.record(Change{
+		Version: v, Op: OpInsert, Entity: EntityContribution,
 		Contribution: cc.ID, Task: cc.Task, Worker: cc.Worker,
 	})
 	return nil
+}
+
+// BulkPutContributions inserts many contributions, probing referenced tasks
+// and workers up front and fanning out across shards in parallel.
+func (s *Store) BulkPutContributions(cs []*model.Contribution) error {
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		if err := s.checkContribRefs(c); err != nil {
+			return err
+		}
+	}
+	groups := make([][]*model.Contribution, len(s.shards))
+	for _, c := range cs {
+		i := s.shardIndex(string(c.ID))
+		groups[i] = append(groups[i], c)
+	}
+	errs := make([]error, len(s.shards))
+	par.Do(len(s.shards), 0, func(i int) {
+		if len(groups[i]) == 0 {
+			return
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, c := range groups[i] {
+			if err := s.putContributionLocked(sh, c); err != nil {
+				errs[i] = err
+				return
+			}
+		}
+	})
+	return errors.Join(errs...)
 }
 
 // UpdateContribution replaces an existing contribution (e.g. after the
@@ -339,20 +634,31 @@ func (s *Store) UpdateContribution(c *model.Contribution) error {
 	if err := c.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.contribs[c.ID]
+	sh := s.contribShard(c.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.contribs[c.ID]
 	if !ok {
 		return fmt.Errorf("contribution %s: %w", c.ID, ErrNotFound)
 	}
 	if old.Task != c.Task || old.Worker != c.Worker {
 		return fmt.Errorf("contribution %s: task/worker are immutable: %w", c.ID, ErrInvalid)
 	}
-	s.contribs[c.ID] = c.Clone()
-	s.version++
-	s.contribRev[c.ID] = s.version
-	s.record(Change{
-		Version: s.version, Op: OpUpdate, Entity: EntityContribution,
+	if old.SubmittedAt != c.SubmittedAt {
+		// The (SubmittedAt, ID) sort key moved: re-position the index
+		// entries before swapping in the new value.
+		sh.contribsByTask[c.Task] = removeContribID(sh.contribsByTask[c.Task], sh.contribs, old.SubmittedAt, c.ID)
+		sh.contribsByWorker[c.Worker] = removeContribID(sh.contribsByWorker[c.Worker], sh.contribs, old.SubmittedAt, c.ID)
+		sh.contribs[c.ID] = c.Clone()
+		sh.contribsByTask[c.Task] = insertContribID(sh.contribsByTask[c.Task], sh.contribs, c.ID)
+		sh.contribsByWorker[c.Worker] = insertContribID(sh.contribsByWorker[c.Worker], sh.contribs, c.ID)
+	} else {
+		sh.contribs[c.ID] = c.Clone()
+	}
+	v := s.version.Add(1)
+	sh.contribRev[c.ID] = v
+	sh.record(Change{
+		Version: v, Op: OpUpdate, Entity: EntityContribution,
 		Contribution: c.ID, Task: c.Task, Worker: c.Worker,
 	})
 	return nil
@@ -360,9 +666,10 @@ func (s *Store) UpdateContribution(c *model.Contribution) error {
 
 // Contribution returns a copy of the contribution with the given id.
 func (s *Store) Contribution(id model.ContributionID) (*model.Contribution, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.contribs[id]
+	sh := s.contribShard(id)
+	sh.mu.RLock()
+	c, ok := sh.contribs[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("contribution %s: %w", id, ErrNotFound)
 	}
@@ -371,58 +678,81 @@ func (s *Store) Contribution(id model.ContributionID) (*model.Contribution, erro
 
 // Contributions returns copies of all contributions sorted by id.
 func (s *Store) Contributions() []*model.Contribution {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*model.Contribution, 0, len(s.contribs))
-	for _, c := range s.contribs {
-		out = append(out, c.Clone())
+	return s.contributionsSlice(false)
+}
+
+func (s *Store) contributionsSlice(parallel bool) []*model.Contribution {
+	per := make([][]*model.Contribution, len(s.shards))
+	gather := func(i int) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		out := make([]*model.Contribution, 0, len(sh.contribs))
+		for _, c := range sh.contribs {
+			out = append(out, c)
+		}
+		sh.mu.RUnlock()
+		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+		for k, c := range out {
+			out[k] = c.Clone()
+		}
+		per[i] = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	if parallel {
+		par.Do(len(s.shards), 0, gather)
+	} else {
+		for i := range s.shards {
+			gather(i)
+		}
+	}
+	return mergeSorted(per, func(a, b *model.Contribution) bool { return a.ID < b.ID })
+}
+
+// contribOrderLess is the (SubmittedAt, ID) read order of the per-task and
+// per-worker contribution listings.
+func contribOrderLess(a, b *model.Contribution) bool {
+	if a.SubmittedAt != b.SubmittedAt {
+		return a.SubmittedAt < b.SubmittedAt
+	}
+	return a.ID < b.ID
 }
 
 // ContributionsByTask returns copies of the contributions to a task,
-// ordered by submission time then id.
+// ordered by submission time then id. Per-shard index runs are maintained
+// in that order at insert time, so the read is a merge, not a sort.
 func (s *Store) ContributionsByTask(id model.TaskID) []*model.Contribution {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := s.contribsByTask[id]
-	out := make([]*model.Contribution, 0, len(ids))
-	for _, cid := range ids {
-		out = append(out, s.contribs[cid].Clone())
+	per := make([][]*model.Contribution, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		ids := sh.contribsByTask[id]
+		out := make([]*model.Contribution, len(ids))
+		for k, cid := range ids {
+			out[k] = sh.contribs[cid]
+		}
+		sh.mu.RUnlock()
+		for k, c := range out {
+			out[k] = c.Clone()
+		}
+		per[i] = out
 	}
-	sortContribs(out)
-	return out
+	return mergeSorted(per, contribOrderLess)
 }
 
 // ContributionsByWorker returns copies of the contributions by a worker,
 // ordered by submission time then id.
 func (s *Store) ContributionsByWorker(id model.WorkerID) []*model.Contribution {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := s.contribsByWorker[id]
-	out := make([]*model.Contribution, 0, len(ids))
-	for _, cid := range ids {
-		out = append(out, s.contribs[cid].Clone())
-	}
-	sortContribs(out)
-	return out
-}
-
-func sortContribs(cs []*model.Contribution) {
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].SubmittedAt != cs[j].SubmittedAt {
-			return cs[i].SubmittedAt < cs[j].SubmittedAt
+	per := make([][]*model.Contribution, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		ids := sh.contribsByWorker[id]
+		out := make([]*model.Contribution, len(ids))
+		for k, cid := range ids {
+			out[k] = sh.contribs[cid]
 		}
-		return cs[i].ID < cs[j].ID
-	})
-}
-
-func removeWorkerID(ids []model.WorkerID, id model.WorkerID) []model.WorkerID {
-	for i, v := range ids {
-		if v == id {
-			return append(ids[:i], ids[i+1:]...)
+		sh.mu.RUnlock()
+		for k, c := range out {
+			out[k] = c.Clone()
 		}
+		per[i] = out
 	}
-	return ids
+	return mergeSorted(per, contribOrderLess)
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-shuffle vet fmt-check bench bench-store sweep clean
+.PHONY: all build test test-race test-shuffle vet fmt-check bench bench-store bench-wal sweep clean
 
 all: build test
 
@@ -33,6 +33,12 @@ bench:
 bench-store:
 	$(GO) test -bench 'StoreContended' -benchmem -run '^$$' .
 	$(GO) run ./cmd/benchrunner -storebench
+
+# WAL persistence benchmarks: segmented-log append throughput per fsync
+# policy, recovery time vs trace length, warm vs cold first-audit latency
+# (with a built-in warm==cold determinism check).
+bench-wal:
+	$(GO) run ./cmd/benchrunner -walbench
 
 # Quick demonstration of the parallel sweep engine.
 sweep:

@@ -7,6 +7,7 @@
 //	benchrunner [-seed N] [-only E4]
 //	benchrunner -sweep E1,E4 [-seeds 1,2,3] [-scales 0.5,1,2] [-parallelism 8] [-json]
 //	benchrunner -storebench [-goroutines 8] [-shards 1,2,4,8,16] [-ops 200000]
+//	benchrunner -walbench [-walsync never|rotate|always] [-walsegkb 512] [-walworkers 300] [-walrounds 8] [-waldir DIR]
 //
 // The default mode runs every experiment once at the given seed. Sweep
 // mode drives the same experiments through the internal/sweep worker pool:
@@ -20,25 +21,39 @@
 // concurrent writers issuing -ops updates in total — the quickest way to
 // see the single-RWMutex baseline (shards=1) against the sharded layout on
 // the current machine.
+//
+// WAL-bench mode measures the durable-persistence layer: raw segmented-log
+// append throughput per fsync policy, durable-simulation overhead and
+// recovery time across trace lengths, and warm vs cold first-audit latency
+// after a restart (asserting the warm pass reports exactly what a cold
+// full scan reports).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/audit"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
+	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -66,12 +81,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 	goroutines := fs.Int("goroutines", 8, "concurrent writers for -storebench")
 	shardList := fs.String("shards", "1,2,4,8,16", "comma-separated shard counts for -storebench")
 	ops := fs.Int("ops", 200000, "total mutations per -storebench cell")
+	walBench := fs.Bool("walbench", false, "measure WAL append throughput, recovery time, and warm vs cold first-audit latency")
+	walDir := fs.String("waldir", "", "persistence root for -walbench (default: a temp dir, removed afterwards)")
+	walSync := fs.String("walsync", "never", "WAL fsync policy for -walbench trace runs (never|rotate|always)")
+	walSegKB := fs.Int("walsegkb", 512, "WAL segment size in KiB for -walbench")
+	walWorkers := fs.Int("walworkers", 300, "population size for the -walbench trace")
+	walRounds := fs.Int("walrounds", 8, "simulation rounds for the -walbench trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *storeBench {
 		return runStoreBench(*shardList, *goroutines, *ops, stdout)
+	}
+	if *walBench {
+		pol, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			return err
+		}
+		return runWALBench(walBenchOpts{
+			dir: *walDir, sync: pol, segKB: *walSegKB,
+			workers: *walWorkers, rounds: *walRounds, seed: *seed,
+		}, stdout)
 	}
 	if *sweepSel == "" && *seedList == "" && *scaleList == "" {
 		return runOneShot(*seed, *only, stdout)
@@ -187,6 +218,187 @@ func runStoreBench(shardList string, goroutines, ops int, stdout io.Writer) erro
 		}
 		fmt.Fprintf(stdout, "%8d  %11.0f/s  %9.2fx\n", sc, thr, thr/base)
 	}
+	return nil
+}
+
+type walBenchOpts struct {
+	dir     string
+	sync    wal.SyncPolicy
+	segKB   int
+	workers int
+	rounds  int
+	seed    uint64
+}
+
+func (o walBenchOpts) walOptions() wal.Options {
+	return wal.Options{SegmentBytes: int64(o.segKB) << 10, Sync: o.sync}
+}
+
+// walSimConfig builds the -walbench trace workload: enough tasks to keep
+// every worker busy each round, with one in-loop audit at the end so the
+// checkpoint carries warm auditor state.
+func walSimConfig(o walBenchOpts, rounds int, dir string) sim.Config {
+	rng := stats.NewRNG(o.seed + 0xd1e5e1)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers: o.workers, AcceptanceMean: 0.7, AcceptanceSpread: 0.25,
+	}, rng.Split())
+	batch := workload.GenerateTasks(workload.TaskSpec{
+		Tasks: o.workers * rounds,
+	}, pop, rng.Split())
+	return sim.Config{
+		Population: pop, Batch: batch, Rounds: rounds,
+		FlagLowAcceptance: true,
+		AuditEvery:        rounds,
+		PersistDir:        dir,
+		PersistWAL:        o.walOptions(),
+		Seed:              o.seed,
+	}
+}
+
+// runWALBench measures the three costs the durable-persistence layer
+// trades between: raw append throughput per fsync policy, recovery time
+// against trace length, and — the payoff — warm vs cold first-audit
+// latency after a restart.
+func runWALBench(o walBenchOpts, stdout io.Writer) error {
+	if o.workers < 2 || o.rounds < 1 {
+		return fmt.Errorf("-walworkers must be >= 2 and -walrounds >= 1")
+	}
+	root := o.dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "walbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	// Phase 1: raw segmented-log append throughput per fsync policy.
+	payload := bytes.Repeat([]byte{0xab}, 120)
+	fmt.Fprintf(stdout, "wal append throughput (120-byte records, %d KiB segments):\n", o.segKB)
+	for _, pol := range []wal.SyncPolicy{wal.SyncNever, wal.SyncOnRotate, wal.SyncAlways} {
+		n := 50000
+		if pol == wal.SyncAlways {
+			n = 300 // every append fsyncs; keep the sample small
+		}
+		w, err := wal.Create(filepath.Join(root, "append-"+pol.String()), wal.Options{
+			SegmentBytes: int64(o.segKB) << 10, Sync: pol,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 1; i <= n; i++ {
+			if err := w.Append(uint64(i), payload); err != nil {
+				return err
+			}
+		}
+		if err := w.Sync(); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		el := time.Since(start)
+		fmt.Fprintf(stdout, "  %-6s  %6d recs in %10s  %12.0f recs/s\n",
+			pol, n, el.Round(time.Microsecond), float64(n)/el.Seconds())
+	}
+
+	// Phase 2: durable simulation + recovery time across trace lengths.
+	fmt.Fprintf(stdout, "\ndurable simulation and recovery (sync=%s, %d workers):\n", o.sync, o.workers)
+	fmt.Fprintf(stdout, "  %6s  %8s  %9s  %10s  %10s\n", "rounds", "events", "versions", "sim", "recovery")
+	type recovered struct {
+		st  *store.Store
+		man *store.Manifest
+		log *eventlog.Log
+		cfg sim.Config
+	}
+	var last recovered
+	var ladder []int
+	for _, div := range []int{4, 2, 1} {
+		rounds := o.rounds / div
+		if rounds < 1 {
+			rounds = 1
+		}
+		if len(ladder) > 0 && ladder[len(ladder)-1] == rounds {
+			continue // tiny -walrounds collapse adjacent scales
+		}
+		ladder = append(ladder, rounds)
+	}
+	for _, rounds := range ladder {
+		dir := filepath.Join(root, fmt.Sprintf("trace-%dr", rounds))
+		cfg := walSimConfig(o, rounds, dir)
+		simStart := time.Now()
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		simEl := time.Since(simStart)
+		events, versions := res.Log.Len(), res.Store.Version()
+		if err := res.Close(); err != nil {
+			return err
+		}
+		recStart := time.Now()
+		st, man, err := store.Open(dir, 0, cfg.PersistWAL)
+		if err != nil {
+			return err
+		}
+		log, err := eventlog.OpenDurable(store.EventsDir(dir), cfg.PersistWAL)
+		if err != nil {
+			return err
+		}
+		recEl := time.Since(recStart)
+		fmt.Fprintf(stdout, "  %6d  %8d  %9d  %10s  %10s\n",
+			rounds, events, versions, simEl.Round(time.Millisecond), recEl.Round(time.Millisecond))
+		if last.st != nil {
+			last.st.Close()
+			last.log.Close()
+		}
+		last = recovered{st: st, man: man, log: log, cfg: cfg}
+	}
+	defer last.st.Close()
+	defer last.log.Close()
+
+	// Phase 3: warm vs cold first audit over the recovered trace.
+	fmt.Fprintf(stdout, "\nfirst audit after restart (largest trace):\n")
+	coldStart := time.Now()
+	coldEng := audit.New(last.st, last.log, last.cfg.AuditConfig)
+	coldReports := coldEng.Audit()
+	coldEl := time.Since(coldStart)
+	fmt.Fprintf(stdout, "  cold engine (full scan): %10s\n", coldEl.Round(time.Microsecond))
+
+	fullStart := time.Now()
+	fullReports := fairness.CheckAll(last.st, last.log, last.cfg.AuditConfig)
+	fullEl := time.Since(fullStart)
+	fmt.Fprintf(stdout, "  fairness.CheckAll:       %10s\n", fullEl.Round(time.Microsecond))
+
+	if len(last.man.Audit) == 0 {
+		return fmt.Errorf("walbench: checkpoint carries no audit state")
+	}
+	var state audit.State
+	if err := json.Unmarshal(last.man.Audit, &state); err != nil {
+		return err
+	}
+	warmStart := time.Now()
+	warmEng, err := audit.Resume(last.st, last.log, last.cfg.AuditConfig, &state)
+	if err != nil {
+		return err
+	}
+	warmReports := warmEng.Audit()
+	warmEl := time.Since(warmStart)
+	fmt.Fprintf(stdout, "  warm resume (delta):     %10s  (%.1fx faster than cold)\n",
+		warmEl.Round(time.Microsecond), coldEl.Seconds()/warmEl.Seconds())
+
+	if !audit.ViolationsEqual(warmReports, coldReports) || !audit.ViolationsEqual(warmReports, fullReports) {
+		return fmt.Errorf("walbench: warm audit diverges from cold full scan")
+	}
+	for i := range warmReports {
+		if warmReports[i].Checked != fullReports[i].Checked {
+			return fmt.Errorf("walbench: %s checked %d (warm) vs %d (full)",
+				warmReports[i].Axiom, warmReports[i].Checked, fullReports[i].Checked)
+		}
+	}
+	fmt.Fprintln(stdout, "  determinism: warm == cold == full scan (violations and checked counts)")
 	return nil
 }
 

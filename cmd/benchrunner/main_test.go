@@ -69,6 +69,38 @@ func TestRunSweepJSON(t *testing.T) {
 	}
 }
 
+// TestRunWALBenchSmoke drives the full -walbench pipeline at toy scale:
+// append throughput, durable simulation, recovery, and the warm-vs-cold
+// first-audit comparison (which exits non-zero on any determinism
+// divergence, so passing is itself the assertion).
+func TestRunWALBenchSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-walbench", "-waldir", t.TempDir(),
+		"-walworkers", "30", "-walrounds", "2", "-walsegkb", "16",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"wal append throughput", "durable simulation and recovery",
+		"first audit after restart", "determinism: warm == cold == full scan",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("walbench output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWALBenchRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-walbench", "-walsync", "sometimes"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("bad -walsync accepted")
+	}
+	if err := run([]string{"-walbench", "-walworkers", "1"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("degenerate -walworkers accepted")
+	}
+}
+
 func TestRunOnlyComposesWithGridFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-only", "E3", "-seeds", "1,2", "-scales", "0.2"}, &out, io.Discard); err != nil {

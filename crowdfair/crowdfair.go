@@ -19,6 +19,8 @@
 package crowdfair
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -29,6 +31,7 @@ import (
 	"repro/internal/similarity"
 	"repro/internal/store"
 	"repro/internal/transparency"
+	"repro/internal/wal"
 )
 
 // Re-exported model types: the platform data model of the paper's §3.2.
@@ -92,21 +95,104 @@ func NewUniverse(skills ...string) *Universe { return model.MustUniverse(skills.
 func DefaultAuditConfig() AuditConfig { return fairness.DefaultConfig() }
 
 // Platform is a crowdsourcing platform under audit: entity state plus the
-// append-only event trace the temporal axioms need.
+// append-only event trace the temporal axioms need. Platforms built with
+// NewPlatform live purely in memory; OpenPlatform roots one in a directory
+// whose store changelog and event trace are teed into segmented
+// write-ahead logs, checkpointable with Checkpoint and recoverable —
+// including the incremental auditor's warm state — by a later
+// OpenPlatform over the same directory.
 type Platform struct {
 	st  *store.Store
 	log *eventlog.Log
 
+	// dir is the persistence root ("" for in-memory platforms).
+	dir string
+
 	// auditor is the lazily-created incremental audit engine; it is pinned
-	// to the config of the first AuditIncremental call and discarded when
-	// the trace is replaced (LoadTrace) or the config changes.
+	// to the config of the first AuditIncremental call (or resumed from a
+	// checkpoint by OpenPlatform) and discarded when the trace is replaced
+	// (LoadTrace) or the config changes.
 	auditor    *audit.Engine
 	auditorCfg AuditConfig
 }
 
-// NewPlatform returns an empty platform over the universe.
+// NewPlatform returns an empty in-memory platform over the universe.
 func NewPlatform(u *Universe) *Platform {
 	return &Platform{st: store.New(u), log: eventlog.New()}
+}
+
+// OpenPlatform opens the durable platform rooted at dir, creating it over
+// the universe u when the directory holds no platform yet. Recovery
+// rebuilds the store from its last checkpoint plus the write-ahead tail
+// (surviving torn final records) and replays the persisted event trace;
+// if the checkpoint carries auditor state saved under a config matching
+// cfg, the incremental auditor warm-starts — its first AuditIncremental
+// replays only post-checkpoint deltas instead of re-scanning every pair.
+func OpenPlatform(dir string, u *Universe, cfg AuditConfig) (*Platform, error) {
+	if !store.Exists(dir) {
+		if u == nil {
+			return nil, fmt.Errorf("crowdfair: creating %s needs a universe", dir)
+		}
+		st, err := store.NewDurable(u, store.DefaultShardCount, dir, wal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		log, err := eventlog.OpenDurable(store.EventsDir(dir), wal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Platform{st: st, log: log, dir: dir, auditorCfg: cfg}, nil
+	}
+	st, man, err := store.Open(dir, 0, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	log, err := eventlog.OpenDurable(store.EventsDir(dir), wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{st: st, log: log, dir: dir, auditorCfg: cfg}
+	if len(man.Audit) > 0 {
+		var state audit.State
+		if err := json.Unmarshal(man.Audit, &state); err == nil &&
+			state.ConfigSig == audit.ConfigSig(cfg) {
+			// A failed resume (e.g. the store reopened at a different shard
+			// width) is not an error — the first AuditIncremental simply
+			// cold-starts.
+			if eng, err := audit.Resume(st, log, cfg, &state); err == nil {
+				p.auditor = eng
+			}
+		}
+	}
+	return p, nil
+}
+
+// Durable reports whether the platform persists its trace.
+func (p *Platform) Durable() bool { return p.dir != "" }
+
+// Checkpoint writes a recovery point under the platform's directory: the
+// store snapshot, the manifest (including the incremental auditor's warm
+// state, when one exists), and truncates write-ahead segments both the
+// snapshot and the auditor have passed. Only durable platforms checkpoint.
+func (p *Platform) Checkpoint() error {
+	if p.dir == "" {
+		return fmt.Errorf("crowdfair: checkpoint of an in-memory platform (use OpenPlatform)")
+	}
+	o, err := audit.BuildCheckpointOptions(p.auditor, p.auditorCfg, p.log.Len())
+	if err != nil {
+		return fmt.Errorf("crowdfair: %w", err)
+	}
+	if err := p.log.Sync(); err != nil {
+		return err
+	}
+	_, err = p.st.Checkpoint(o)
+	return err
+}
+
+// Close flushes and closes the platform's write-ahead logs. The in-memory
+// state stays readable; further mutations are no longer persisted.
+func (p *Platform) Close() error {
+	return errors.Join(p.st.Close(), p.log.Close())
 }
 
 // AddWorker registers a worker and logs their arrival.
@@ -203,8 +289,7 @@ func (p *Platform) AuditIncremental(cfg AuditConfig) []*FairnessReport {
 // sameAuditConfig compares the checker-relevant fields of two configs.
 // Measure functions are compared by name; the Memo field is ignored — the
 // incremental engine installs its own cache either way. A config judged
-// different only costs a cold start, never correctness, so attribute
-// policies with custom per-field maps compare conservatively unequal.
+// different only costs a cold start, never correctness.
 func sameAuditConfig(a, b AuditConfig) bool {
 	return a.SkillMeasure.Name == b.SkillMeasure.Name &&
 		a.SkillThreshold == b.SkillThreshold &&
@@ -217,6 +302,10 @@ func sameAuditConfig(a, b AuditConfig) bool {
 		a.Exhaustive == b.Exhaustive
 }
 
+// sameAttrPolicy deep-compares two attribute policies, including the
+// per-field tolerance overrides and the ignore set, so platforms auditing
+// under a custom policy keep reusing their warmed incremental engine
+// instead of silently cold-starting on every AuditIncremental call.
 func sameAttrPolicy(a, b *similarity.AttrPolicy) bool {
 	if a == b {
 		return true
@@ -224,10 +313,29 @@ func sameAttrPolicy(a, b *similarity.AttrPolicy) bool {
 	if a == nil || b == nil {
 		return false
 	}
-	return a.NumTolerance == b.NumTolerance &&
-		a.MissingPenalty == b.MissingPenalty &&
-		len(a.FieldTolerance) == 0 && len(b.FieldTolerance) == 0 &&
-		len(a.IgnoreFields) == 0 && len(b.IgnoreFields) == 0
+	if a.NumTolerance != b.NumTolerance || a.MissingPenalty != b.MissingPenalty {
+		return false
+	}
+	if len(a.FieldTolerance) != len(b.FieldTolerance) {
+		return false
+	}
+	for k, v := range a.FieldTolerance {
+		if bv, ok := b.FieldTolerance[k]; !ok || bv != v {
+			return false
+		}
+	}
+	// IgnoreFields entries explicitly set to false mean the same as absent.
+	for k, on := range a.IgnoreFields {
+		if on != b.IgnoreFields[k] {
+			return false
+		}
+	}
+	for k, on := range b.IgnoreFields {
+		if on != a.IgnoreFields[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // AuditTransparency runs the Axiom 6 and 7 checkers against the trace,
@@ -246,8 +354,12 @@ func (p *Platform) WriteTrace(w io.Writer) error {
 }
 
 // LoadTrace replaces the platform's event log with a trace previously
-// produced by WriteTrace.
+// produced by WriteTrace. Durable platforms refuse: swapping in an
+// in-memory log would silently end event persistence.
 func (p *Platform) LoadTrace(r io.Reader) error {
+	if p.dir != "" {
+		return fmt.Errorf("crowdfair: LoadTrace on a durable platform")
+	}
 	l, err := eventlog.Read(r)
 	if err != nil {
 		return err

@@ -1,0 +1,191 @@
+package crowdfair
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+// TestAuditIncrementalReusesEngineWithCustomAttrPolicy is the regression
+// test for the sameAttrPolicy fix: a config with per-field tolerance
+// overrides and an ignore set must reuse the warmed engine across
+// AuditIncremental calls instead of silently cold-starting every time.
+func TestAuditIncrementalReusesEngineWithCustomAttrPolicy(t *testing.T) {
+	p := demoPlatform(t)
+	cfg := DefaultAuditConfig()
+	ap := similarity.AttrPolicy{
+		NumTolerance:   0.1,
+		FieldTolerance: map[string]float64{"acceptance_ratio": 0.25},
+		IgnoreFields:   map[string]bool{"internal_id": true},
+	}
+	cfg.AttrPolicy = &ap
+	p.AuditIncremental(cfg)
+	first := p.auditor
+	if first == nil {
+		t.Fatal("no engine after first audit")
+	}
+	// Re-audit with a semantically identical but distinct config value.
+	cfg2 := DefaultAuditConfig()
+	ap2 := similarity.AttrPolicy{
+		NumTolerance:   0.1,
+		FieldTolerance: map[string]float64{"acceptance_ratio": 0.25},
+		IgnoreFields:   map[string]bool{"internal_id": true, "noise": false},
+	}
+	cfg2.AttrPolicy = &ap2
+	p.AuditIncremental(cfg2)
+	if p.auditor != first {
+		t.Fatal("identical custom attribute policy cold-started the incremental auditor")
+	}
+	// A genuinely different policy must still reset the engine.
+	cfg3 := DefaultAuditConfig()
+	ap3 := similarity.AttrPolicy{
+		NumTolerance:   0.1,
+		FieldTolerance: map[string]float64{"acceptance_ratio": 0.5},
+	}
+	cfg3.AttrPolicy = &ap3
+	p.AuditIncremental(cfg3)
+	if p.auditor == first {
+		t.Fatal("changed attribute policy reused the old engine")
+	}
+}
+
+// TestOpenPlatformRoundTrip drives the durable public API end to end:
+// build a platform, audit, checkpoint, reopen, and check both the state
+// and that the auditor warm-started.
+func TestOpenPlatformRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	u := NewUniverse("translation", "labeling")
+	cfg := DefaultAuditConfig()
+	p, err := OpenPlatform(dir, u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Durable() {
+		t.Fatal("platform not durable")
+	}
+	if err := p.AddRequester(&Requester{ID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		w := &Worker{
+			ID:       WorkerID(fmt.Sprintf("w%d", i)),
+			Declared: Attributes{"country": Str("jp")},
+			Computed: Attributes{"acceptance_ratio": Num(0.9)},
+			Skills:   u.MustVector("labeling"),
+		}
+		if err := p.AddWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		task := &Task{ID: TaskID(fmt.Sprintf("t%d", i)), Requester: "r1", Skills: u.MustVector("labeling"), Reward: 1}
+		if err := p.PostTask(task); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Offer(task.ID, WorkerID(fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := p.AuditIncremental(cfg)
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPlatform(dir, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.auditor == nil {
+		t.Fatal("auditor did not warm-start from the checkpoint")
+	}
+	if n := p2.Store().WorkerCount(); n != 8 {
+		t.Fatalf("recovered %d workers", n)
+	}
+	if n := p2.Log().Len(); n != p.Log().Len() {
+		t.Fatalf("recovered %d events, want %d", n, p.Log().Len())
+	}
+	got := p2.AuditIncremental(cfg)
+	if len(got) != len(want) {
+		t.Fatalf("report count %d", len(got))
+	}
+	for i := range got {
+		if got[i].Checked != want[i].Checked || len(got[i].Violations) != len(want[i].Violations) {
+			t.Fatalf("%s: warm reports diverge: checked %d/%d violations %d/%d",
+				got[i].Axiom, got[i].Checked, want[i].Checked,
+				len(got[i].Violations), len(want[i].Violations))
+		}
+	}
+	// Mutating after recovery keeps persisting: a third open sees it.
+	if err := p2.AddWorker(&Worker{ID: "wz", Skills: u.MustVector("translation")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := OpenPlatform(dir, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+	if n := p3.Store().WorkerCount(); n != 9 {
+		t.Fatalf("third open: %d workers", n)
+	}
+}
+
+// TestOpenPlatformConfigMismatchColdStarts pins the safety net: audit
+// state saved under one config must not warm-start an auditor under a
+// different one.
+func TestOpenPlatformConfigMismatchColdStarts(t *testing.T) {
+	dir := t.TempDir()
+	u := NewUniverse("translation", "labeling")
+	cfg := DefaultAuditConfig()
+	p, err := OpenPlatform(dir, u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRequester(&Requester{ID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddWorker(&Worker{ID: "w1", Skills: u.MustVector("labeling")}); err != nil {
+		t.Fatal(err)
+	}
+	p.AuditIncremental(cfg)
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := DefaultAuditConfig()
+	other.SkillThreshold = 0.5
+	p2, err := OpenPlatform(dir, nil, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.auditor != nil {
+		t.Fatal("mismatched config warm-started the auditor")
+	}
+	// And the cold start still works.
+	if reports := p2.AuditIncremental(other); len(reports) != 5 {
+		t.Fatalf("cold audit returned %d reports", len(reports))
+	}
+}
+
+func TestLoadTraceRefusedOnDurablePlatform(t *testing.T) {
+	dir := t.TempDir()
+	u := NewUniverse("labeling")
+	p, err := OpenPlatform(dir, u, DefaultAuditConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.LoadTrace(nil); err == nil {
+		t.Fatal("LoadTrace succeeded on a durable platform")
+	}
+}

@@ -1,0 +1,238 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// BuildCheckpointOptions assembles the store.CheckpointOptions every
+// durable surface (crowdfair.Platform.Checkpoint, sim's end-of-run
+// checkpoint) hands to store.Checkpoint: the event count plus — when eng
+// has completed at least one pass — the engine's serialised state, signed
+// with cfg's fingerprint, and the changelog cursors that protect its WAL
+// records from truncation. A nil or unprimed engine yields plain options.
+func BuildCheckpointOptions(eng *Engine, cfg fairness.Config, events int) (store.CheckpointOptions, error) {
+	o := store.CheckpointOptions{Events: events}
+	if eng == nil {
+		return o, nil
+	}
+	state := eng.State()
+	if state == nil {
+		return o, nil
+	}
+	state.ConfigSig = ConfigSig(cfg)
+	blob, err := json.Marshal(state)
+	if err != nil {
+		return o, fmt.Errorf("audit: encode state: %w", err)
+	}
+	o.Audit = blob
+	o.AuditCursors = state.Cursors
+	return o, nil
+}
+
+// ConfigSig deterministically fingerprints the checker-relevant fields of
+// a fairness.Config — measure names, every threshold and tolerance, and
+// the attribute policy's per-field maps in sorted order. Persisted audit
+// state carries the signature of the config it was computed under; a
+// resume is only warm when the signatures match (the function-valued
+// config cannot be compared directly).
+func ConfigSig(cfg fairness.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "skill=%s@%v;attrT=%v;access=%v;reward=%v;contrib=%v;pay=%v;exh=%v",
+		cfg.SkillMeasure.Name, cfg.SkillThreshold, cfg.AttrThreshold, cfg.AccessThreshold,
+		cfg.RewardTolerance, cfg.ContributionThreshold, cfg.PayTolerance, cfg.Exhaustive)
+	if p := cfg.AttrPolicy; p != nil {
+		fmt.Fprintf(&b, ";attr=%v/%v", p.NumTolerance, p.MissingPenalty)
+		keys := make([]string, 0, len(p.FieldTolerance))
+		for k := range p.FieldTolerance {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ";ft.%s=%v", k, p.FieldTolerance[k])
+		}
+		keys = keys[:0]
+		for k, on := range p.IgnoreFields {
+			if on {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ";ig.%s", k)
+		}
+	}
+	return b.String()
+}
+
+// State is the serialisable warm-start image of an Engine: the changelog
+// cursors, the event-log position, the temporal indexes (deduplicated
+// offer sets, flagged workers, the Axiom 5 stream), and every maintained
+// verdict. It is what Platform.Checkpoint embeds in the store manifest so
+// a restarted auditor replays only post-checkpoint deltas — no full event
+// replay, no candidate-pair scan.
+//
+// Only the similarity cache is deliberately NOT serialised: it re-warms on
+// demand, and persisting revision-keyed scores across a restart would tie
+// the state format to the cache layout for little gain.
+type State struct {
+	// ConfigSig fingerprints the fairness.Config the verdicts were computed
+	// under; callers (crowdfair) compare it before resuming and cold-start
+	// on mismatch. Opaque to this package.
+	ConfigSig string `json:"config_sig,omitempty"`
+	// Cursors are the per-shard changelog positions at save time.
+	Cursors []uint64 `json:"cursors"`
+	// EventPos is the event-log cursor position at save time.
+	EventPos int `json:"event_pos"`
+
+	// Offers are the access index's deduplicated per-worker offer sets
+	// (the task-audience direction is derived on restore); Flagged lists
+	// the workers the platform ever flagged; Ax5 is the streaming Axiom 5
+	// checker's image. Together they stand in for replaying the event
+	// prefix [0, EventPos).
+	Offers  map[model.WorkerID][]model.TaskID `json:"offers,omitempty"`
+	Flagged []model.WorkerID                  `json:"flagged,omitempty"`
+	Ax5     *fairness.Axiom5State             `json:"ax5,omitempty"`
+
+	Ax1Violations []fairness.Violation `json:"ax1_violations,omitempty"`
+	Ax1Pairs      [][2]string          `json:"ax1_pairs,omitempty"`
+	Ax2Violations []fairness.Violation `json:"ax2_violations,omitempty"`
+	Ax2Pairs      [][2]string          `json:"ax2_pairs,omitempty"`
+
+	Ax3Violations map[model.TaskID][]fairness.Violation `json:"ax3_violations,omitempty"`
+	Ax3Checked    map[model.TaskID]int                  `json:"ax3_checked,omitempty"`
+
+	Ax4Violations map[model.WorkerID]fairness.Violation `json:"ax4_violations,omitempty"`
+	Ax4Eligible   []model.WorkerID                      `json:"ax4_eligible,omitempty"`
+}
+
+// pairs lists the census adjacency set once per pair, deterministically
+// ordered, for serialisation; add() restores it.
+func (p *pairSet) pairs() [][2]string {
+	var out [][2]string
+	for a, partners := range p.adj {
+		for b := range partners {
+			if a < b {
+				out = append(out, [2]string{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// State captures the engine's warm-start image. It returns nil until the
+// engine has completed its first Audit pass (an unprimed engine has no
+// verdicts worth saving). ConfigSig is left empty for the caller to fill.
+func (e *Engine) State() *State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.primed {
+		return nil
+	}
+	st := &State{
+		Cursors:       append([]uint64(nil), e.cursors...),
+		EventPos:      e.cursor.Pos(),
+		Offers:        e.access.Offers(),
+		Ax5:           e.ax5.Save(),
+		Ax1Violations: append([]fairness.Violation(nil), e.ax1Viol...),
+		Ax1Pairs:      e.ax1Census.pairs(),
+		Ax2Violations: append([]fairness.Violation(nil), e.ax2Viol...),
+		Ax2Pairs:      e.ax2Census.pairs(),
+		Ax3Violations: make(map[model.TaskID][]fairness.Violation, len(e.ax3)),
+		Ax3Checked:    make(map[model.TaskID]int, len(e.ax3Checked)),
+		Ax4Violations: make(map[model.WorkerID]fairness.Violation, len(e.ax4)),
+	}
+	for id, vs := range e.ax3 {
+		st.Ax3Violations[id] = append([]fairness.Violation(nil), vs...)
+	}
+	for id, n := range e.ax3Checked {
+		st.Ax3Checked[id] = n
+	}
+	for id, v := range e.ax4 {
+		st.Ax4Violations[id] = v
+	}
+	for id := range e.ax4Eligible {
+		st.Ax4Eligible = append(st.Ax4Eligible, id)
+	}
+	sort.Slice(st.Ax4Eligible, func(i, j int) bool { return st.Ax4Eligible[i] < st.Ax4Eligible[j] })
+	for id := range e.flagged {
+		st.Flagged = append(st.Flagged, id)
+	}
+	sort.Slice(st.Flagged, func(i, j int) bool { return st.Flagged[i] < st.Flagged[j] })
+	return st
+}
+
+// Resume rebuilds a warm engine over a recovered trace: the temporal
+// state (access index, flagged set, Axiom 5 stream) and the maintained
+// verdicts are restored from the saved image, and the changelog and event
+// cursors pick up where the checkpoint left them — so the next Audit call
+// is a delta pass over post-checkpoint changes only, with no full event
+// replay and no candidate-pair scan. If the store's changelog no longer
+// covers a cursor (deep tail loss, shard-width change), that first Audit
+// transparently falls back to the full rebuild; correctness never depends
+// on the state being fresh.
+//
+// The caller is responsible for checking State.ConfigSig against cfg (the
+// engine cannot compare the function-valued config itself).
+func Resume(st *store.Store, log *eventlog.Log, cfg fairness.Config, state *State) (*Engine, error) {
+	if state == nil {
+		return nil, fmt.Errorf("audit: resume from nil state")
+	}
+	if len(state.Cursors) != st.ShardCount() {
+		return nil, fmt.Errorf("audit: state has %d cursors, store has %d shards",
+			len(state.Cursors), st.ShardCount())
+	}
+	if state.EventPos > log.Len() {
+		return nil, fmt.Errorf("audit: state event position %d beyond recovered log length %d",
+			state.EventPos, log.Len())
+	}
+	e := New(st, log, cfg)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	for w, tasks := range state.Offers {
+		for _, t := range tasks {
+			e.access.RestoreOffer(w, t)
+		}
+	}
+	for _, w := range state.Flagged {
+		e.flagged[w] = true
+	}
+	e.ax5 = fairness.RestoreAxiom5Stream(state.Ax5)
+	e.cursor = eventlog.NewCursorAt(log, state.EventPos)
+	copy(e.cursors, state.Cursors)
+
+	e.ax1Viol = append([]fairness.Violation(nil), state.Ax1Violations...)
+	fairness.SortViolations(e.ax1Viol)
+	e.ax1Census.add(state.Ax1Pairs)
+	e.ax2Viol = append([]fairness.Violation(nil), state.Ax2Violations...)
+	fairness.SortViolations(e.ax2Viol)
+	e.ax2Census.add(state.Ax2Pairs)
+	for id, vs := range state.Ax3Violations {
+		e.ax3[id] = append([]fairness.Violation(nil), vs...)
+	}
+	for id, n := range state.Ax3Checked {
+		e.ax3Checked[id] = n
+	}
+	for id, v := range state.Ax4Violations {
+		e.ax4[id] = v
+	}
+	for _, id := range state.Ax4Eligible {
+		e.ax4Eligible[id] = true
+	}
+	e.primed = true
+	return e, nil
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // Type enumerates the platform event kinds.
@@ -85,10 +86,18 @@ type Event struct {
 	Note string `json:"note,omitempty"`
 }
 
-// Log is an append-only event log, safe for concurrent use.
+// Log is an append-only event log, safe for concurrent use. Logs built
+// with OpenDurable additionally tee every appended event into a segmented
+// write-ahead log (see wal.go) so a restarted auditor can replay the full
+// trace instead of losing it.
 type Log struct {
 	mu     sync.RWMutex
 	events []Event
+
+	// sink is the durable tee (nil for in-memory logs); scratch is its
+	// encode buffer, reused under mu.
+	sink    *wal.Writer
+	scratch []byte
 }
 
 // ErrOutOfOrder is returned when an append's timestamp precedes the log's
@@ -99,7 +108,10 @@ var ErrOutOfOrder = errors.New("eventlog: timestamp out of order")
 func New() *Log { return &Log{} }
 
 // Append adds e to the log, assigning its sequence number, and returns the
-// stored event. Timestamps must be non-decreasing.
+// stored event. Timestamps must be non-decreasing. On a durable log the
+// event is also framed into the write-ahead segments under the same lock
+// (so disk order equals sequence order); a WAL failure leaves the event
+// appended in memory and reports the lost durability as an error.
 func (l *Log) Append(e Event) (Event, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -108,6 +120,12 @@ func (l *Log) Append(e Event) (Event, error) {
 	}
 	e.Seq = uint64(len(l.events) + 1)
 	l.events = append(l.events, e)
+	if l.sink != nil {
+		l.scratch = encodeEvent(l.scratch[:0], e)
+		if err := l.sink.Append(e.Seq, l.scratch); err != nil {
+			return e, fmt.Errorf("eventlog: wal append: %w", err)
+		}
+	}
 	return e, nil
 }
 
@@ -231,6 +249,23 @@ type Cursor struct {
 
 // NewCursor returns a cursor positioned at the start of l.
 func NewCursor(l *Log) *Cursor { return &Cursor{log: l} }
+
+// NewCursorAt returns a cursor positioned after the first pos events —
+// how a warm-started auditor resumes where its checkpointed cursor left
+// off. pos is clamped to the current log length.
+func NewCursorAt(l *Log, pos int) *Cursor {
+	if pos < 0 {
+		pos = 0
+	}
+	if n := l.Len(); pos > n {
+		pos = n
+	}
+	return &Cursor{log: l, pos: pos}
+}
+
+// Pos returns the number of events the cursor has consumed — the value to
+// persist in a checkpoint and hand back to NewCursorAt.
+func (c *Cursor) Pos() int { return c.pos }
 
 // Next returns all events appended since the last call (possibly none).
 func (c *Cursor) Next() []Event {

@@ -2,6 +2,7 @@ package fairness
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/eventlog"
 	"repro/internal/model"
@@ -150,6 +151,56 @@ func (s *Axiom5Stream) Observe(e eventlog.Event) {
 			delete(s.started, k)
 		}
 	}
+}
+
+// Axiom5Start is one in-flight (started, not yet submitted or interrupted)
+// task in a serialised Axiom5Stream.
+type Axiom5Start struct {
+	Worker model.WorkerID `json:"worker"`
+	Task   model.TaskID   `json:"task"`
+	Time   int64          `json:"time"`
+}
+
+// Axiom5State is the serialisable image of an Axiom5Stream. Violations
+// keep their observation order so a restored stream renders reports
+// identical to one that observed the whole trace.
+type Axiom5State struct {
+	InFlight   []Axiom5Start `json:"in_flight,omitempty"`
+	Checked    int           `json:"checked"`
+	Violations []Violation   `json:"violations,omitempty"`
+}
+
+// Save captures the stream for a checkpoint.
+func (s *Axiom5Stream) Save() *Axiom5State {
+	st := &Axiom5State{
+		Checked:    s.checked,
+		Violations: append([]Violation(nil), s.violations...),
+	}
+	for k, t0 := range s.started {
+		st.InFlight = append(st.InFlight, Axiom5Start{Worker: k.w, Task: k.t, Time: t0})
+	}
+	sort.Slice(st.InFlight, func(i, j int) bool {
+		if st.InFlight[i].Worker != st.InFlight[j].Worker {
+			return st.InFlight[i].Worker < st.InFlight[j].Worker
+		}
+		return st.InFlight[i].Task < st.InFlight[j].Task
+	})
+	return st
+}
+
+// RestoreAxiom5Stream rebuilds a stream from a saved state; observing the
+// post-checkpoint suffix of the trace then reproduces a full replay.
+func RestoreAxiom5Stream(st *Axiom5State) *Axiom5Stream {
+	s := NewAxiom5Stream()
+	if st == nil {
+		return s
+	}
+	for _, f := range st.InFlight {
+		s.started[ax5Key{f.Worker, f.Task}] = f.Time
+	}
+	s.checked = st.Checked
+	s.violations = append([]Violation(nil), st.Violations...)
+	return s
 }
 
 // Report renders the stream's current verdict. The returned report owns its

@@ -365,6 +365,28 @@ func (ix *AccessIndex) Observe(e eventlog.Event) bool {
 	return true
 }
 
+// Offers exports the deduplicated offer sets — each worker's visible task
+// ids, sorted — for checkpoint serialisation. RestoreOffer rebuilds an
+// equal index (including the per-set fingerprints) from the lists.
+func (ix *AccessIndex) Offers() map[model.WorkerID][]model.TaskID {
+	out := make(map[model.WorkerID][]model.TaskID, len(ix.offers))
+	for w, s := range ix.offers {
+		ids := make([]model.TaskID, 0, len(s.set))
+		for t := range s.set {
+			ids = append(ids, t)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[w] = ids
+	}
+	return out
+}
+
+// RestoreOffer re-inserts one (worker, task) visibility edge — the inverse
+// of Offers. Equivalent to observing a TaskOffered event.
+func (ix *AccessIndex) RestoreOffer(w model.WorkerID, t model.TaskID) {
+	ix.Observe(eventlog.Event{Type: eventlog.TaskOffered, Worker: w, Task: t})
+}
+
 // offerSet returns the worker's deduplicated offer set (zero set if none).
 func (ix *AccessIndex) offerSet(id model.WorkerID) idSet[model.TaskID] {
 	if s, ok := ix.offers[id]; ok {

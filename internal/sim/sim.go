@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/assign"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/transparency"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -79,6 +81,18 @@ type Config struct {
 	// layout; results are identical for every value — only contention
 	// changes.
 	StoreShards int
+	// PersistDir, when non-empty, makes the run durable: the store's
+	// changelog and the event trace are teed into segmented write-ahead
+	// logs under the directory while the simulation runs, and the run ends
+	// with a checkpoint (including the in-loop auditor's warm state when
+	// AuditEvery is set). A later store.Open / eventlog.OpenDurable — or
+	// crowdfair.OpenPlatform — recovers the full trace; the directory must
+	// not already hold a durable store. Simulation results are identical
+	// with and without persistence.
+	PersistDir string
+	// PersistWAL tunes the write-ahead logs (zero value: default segment
+	// size, no fsync).
+	PersistWAL wal.Options
 	// Seed drives all randomness in the run.
 	Seed uint64
 }
@@ -128,6 +142,12 @@ type Result struct {
 	AuditReports []*fairness.Report
 }
 
+// Close flushes and closes the write-ahead logs of a durable run (no-op
+// for in-memory runs). The in-memory trace stays readable.
+func (r *Result) Close() error {
+	return errors.Join(r.Store.Close(), r.Log.Close())
+}
+
 // Run executes the simulation. It returns an error only for structurally
 // invalid configurations; behavioural outcomes are data, not errors.
 func Run(cfg Config) (*Result, error) {
@@ -158,8 +178,23 @@ func Run(cfg Config) (*Result, error) {
 	if shards <= 0 {
 		shards = store.DefaultShardCount
 	}
-	st := store.NewSharded(cfg.Population.Universe, shards)
-	log := eventlog.New()
+	var st *store.Store
+	var log *eventlog.Log
+	if cfg.PersistDir != "" {
+		var err error
+		st, err = store.NewDurable(cfg.Population.Universe, shards, cfg.PersistDir, cfg.PersistWAL)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		log, err = eventlog.OpenDurable(store.EventsDir(cfg.PersistDir), cfg.PersistWAL)
+		if err != nil {
+			st.Close() // don't leak the store's per-shard WAL handles
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	} else {
+		st = store.NewSharded(cfg.Population.Universe, shards)
+		log = eventlog.New()
+	}
 	ledger := pay.NewLedger()
 	score := 0.0
 	if cfg.Policy != nil {
@@ -199,7 +234,32 @@ func Run(cfg Config) (*Result, error) {
 	if err := r.settleBonuses(); err != nil {
 		return nil, err
 	}
-	return r.finish(), nil
+	res := r.finish()
+	if cfg.PersistDir != "" {
+		if err := r.checkpoint(); err != nil {
+			res.Close() // the error return discards the only WAL handles
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// checkpoint ends a durable run with a recovery point: snapshot, manifest
+// (carrying the in-loop auditor's warm state when one ran), and truncated
+// write-ahead segments. The store and log stay open — Result.Close
+// releases them.
+func (r *runner) checkpoint() error {
+	o, err := audit.BuildCheckpointOptions(r.auditor, r.cfg.AuditConfig, r.log.Len())
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := r.log.Sync(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if _, err := r.st.Checkpoint(o); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
 }
 
 type runner struct {

@@ -100,7 +100,7 @@ func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
 	per := make([][]Change, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.RLock()
-		truncated := sh.droppedMax > v
+		truncated := sh.ring.droppedMax > v
 		if !truncated {
 			per[i] = sh.changesAfter(v)
 		}
@@ -131,7 +131,7 @@ func (s *Store) ShardChangesSince(shard int, v uint64) ([]Change, bool) {
 	sh := s.shards[shard]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	if sh.droppedMax > v {
+	if sh.ring.droppedMax > v {
 		return nil, false
 	}
 	return sh.changesAfter(v), true

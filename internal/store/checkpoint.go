@@ -1,0 +1,578 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// Durable store layout, rooted at one directory:
+//
+//	dir/
+//	  MANIFEST.json            checkpoint manifest (atomic rename)
+//	  snapshot-<version>.json  model.Snapshot at the last checkpoint
+//	  wal/shard-0000/...       per-shard segmented changelog WAL
+//	  events/...               the event log's segments (internal/eventlog)
+//
+// NewDurable creates the layout and writes a version-0 manifest so Open
+// always finds the universe. Checkpoint freezes the store (all shard read
+// locks — mutators block for the duration), writes the snapshot plus a new
+// manifest, and then truncates WAL segments below the per-shard low-water
+// version: the minimum of the shard watermark and the auditor's changelog
+// cursor, so a warm-started auditor still finds every record it needs.
+// Open rebuilds from the snapshot and replays the WAL tail in globally
+// merged version order, preserving original version numbers, stopping at
+// the first version gap (a torn record in any shard invalidates every
+// higher version) and physically truncating the discarded tail so appends
+// continue a dense log.
+
+// manifestFormat versions the on-disk layout.
+const manifestFormat = 1
+
+// Manifest is the checkpoint metadata of a durable store.
+type Manifest struct {
+	// Format is the layout version (manifestFormat).
+	Format int `json:"format"`
+	// Skills reproduces the universe so Open needs no out-of-band schema.
+	Skills []string `json:"skills"`
+	// Shards is the hash-partition count the WAL directories correspond to.
+	Shards int `json:"shards"`
+	// Version is the global mutation sequencer at checkpoint; the snapshot
+	// reflects exactly the mutations with versions 1..Version.
+	Version uint64 `json:"version"`
+	// Watermarks are the per-shard highest recorded versions at checkpoint.
+	Watermarks []uint64 `json:"watermarks,omitempty"`
+	// LowWater are the per-shard versions below which WAL segments may have
+	// been truncated; a changelog cursor at or above its shard's low-water
+	// can be warm-started from the recovered rings.
+	LowWater []uint64 `json:"low_water,omitempty"`
+	// Snapshot names the snapshot file this manifest pairs with (empty for
+	// the version-0 manifest NewDurable writes). Snapshots are written
+	// under version-stamped names and the manifest renamed over last, so a
+	// crash between the two steps leaves the old manifest pointing at the
+	// old snapshot — never a mismatched pair.
+	Snapshot string `json:"snapshot,omitempty"`
+	// Events is the event-log length at checkpoint (informational; the
+	// event WAL is never truncated because cold audits replay it whole).
+	Events int `json:"events,omitempty"`
+	// Audit is the incremental audit engine's serialised state (opaque to
+	// the store; internal/audit.State via the crowdfair/sim layers), valid
+	// against the changelog cursors that fed LowWater.
+	Audit json.RawMessage `json:"audit,omitempty"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST.json") }
+
+func snapshotName(version uint64) string {
+	return fmt.Sprintf("snapshot-%016d.json", version)
+}
+
+// WALDir returns the changelog WAL root under a durable store directory.
+func WALDir(dir string) string { return filepath.Join(dir, "wal") }
+
+// EventsDir returns the conventional event-log segment directory under a
+// durable platform directory (owned by internal/eventlog, placed here so
+// every layer agrees on the layout).
+func EventsDir(dir string) string { return filepath.Join(dir, "events") }
+
+func walShardDir(dir string, i int) string {
+	return filepath.Join(WALDir(dir), fmt.Sprintf("shard-%04d", i))
+}
+
+// writeFileAtomic writes data to path via a temp file, fsync, and rename,
+// so readers never observe a half-written manifest or snapshot.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Exists reports whether dir already holds a durable store (a manifest).
+func Exists(dir string) bool {
+	_, err := os.Stat(manifestPath(dir))
+	return err == nil
+}
+
+// ReadManifest loads the manifest of a durable store directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: parse manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("store: manifest format %d, want %d", m.Format, manifestFormat)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("store: manifest shard count %d", m.Shards)
+	}
+	return &m, nil
+}
+
+func writeManifest(dir string, m *Manifest) error {
+	// Compact encoding: the embedded audit blob can run to megabytes, and
+	// indenting it roughly doubles the write for no reader benefit.
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	if err := writeFileAtomic(manifestPath(dir), data); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	return nil
+}
+
+// NewDurable returns an empty store whose shards tee every mutation into a
+// segmented write-ahead log under dir. The directory must not already hold
+// a durable store (use Open to recover one).
+func NewDurable(u *model.Universe, shards int, dir string, opts wal.Options) (*Store, error) {
+	if _, err := os.Stat(manifestPath(dir)); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a durable store (use Open)", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := NewSharded(u, shards)
+	s.dir, s.walOpts = dir, opts
+	for i := range s.shards {
+		sink, err := newWALSink(walShardDir(dir, i), opts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].wal = sink
+	}
+	m := &Manifest{Format: manifestFormat, Skills: u.Names(), Shards: len(s.shards)}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the persistence root ("" for a volatile store).
+func (s *Store) Dir() string { return s.dir }
+
+// Durable reports whether mutations are teed into a write-ahead log.
+func (s *Store) Durable() bool { return s.dir != "" }
+
+// SyncWAL flushes every shard's durable sink to stable storage.
+func (s *Store) SyncWAL() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var err error
+		if sh.wal != nil {
+			err = sh.wal.Sync()
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every shard's durable sink and detaches it. The store
+// stays fully usable in memory afterwards — reads and even mutations
+// succeed — but durability ends: post-Close mutations are never written
+// to the WAL and will be absent after the next Open.
+func (s *Store) Close() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.wal != nil {
+			if err := sh.wal.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.wal = nil
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// CheckpointOptions carries the cross-subsystem state a checkpoint pins
+// alongside the store snapshot.
+type CheckpointOptions struct {
+	// Audit is the incremental auditor's serialised state (opaque blob).
+	Audit json.RawMessage
+	// AuditCursors are the per-shard changelog cursors the audit state was
+	// saved at; they lower the per-shard low-water so warm-start replay
+	// still finds every record between cursor and watermark. Ignored unless
+	// one cursor per shard is supplied.
+	AuditCursors []uint64
+	// Events is the current event-log length, recorded for observability.
+	Events int
+}
+
+// Checkpoint freezes the store, writes snapshot + manifest under the
+// store's directory, and truncates WAL segments that both the snapshot and
+// the audit cursors have passed. Mutators block for the duration (they
+// need shard write locks); readers proceed. Returns the new manifest.
+func (s *Store) Checkpoint(o CheckpointOptions) (*Manifest, error) {
+	if s.dir == "" {
+		return nil, fmt.Errorf("store: checkpoint of a volatile store")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.rlockAll()
+	defer s.runlockAll()
+
+	m := &Manifest{
+		Format:     manifestFormat,
+		Skills:     s.universe.Names(),
+		Shards:     len(s.shards),
+		Version:    s.version.Load(),
+		Watermarks: make([]uint64, len(s.shards)),
+		LowWater:   make([]uint64, len(s.shards)),
+		Snapshot:   snapshotName(s.version.Load()),
+		Events:     o.Events,
+		Audit:      o.Audit,
+	}
+	for i, sh := range s.shards {
+		m.Watermarks[i] = sh.applied
+		m.LowWater[i] = sh.applied
+		if len(o.AuditCursors) == len(s.shards) && o.AuditCursors[i] < m.LowWater[i] {
+			m.LowWater[i] = o.AuditCursors[i]
+		}
+	}
+
+	snap := s.snapshot(true)
+	data, err := snap.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.dir, m.Snapshot), data); err != nil {
+		return nil, fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := writeManifest(s.dir, m); err != nil {
+		return nil, err
+	}
+	// The manifest now points at the new snapshot; older ones are orphans.
+	if files, err := filepath.Glob(filepath.Join(s.dir, "snapshot-*.json")); err == nil {
+		for _, f := range files {
+			if filepath.Base(f) != m.Snapshot {
+				if err := os.Remove(f); err != nil {
+					return nil, fmt.Errorf("store: drop stale snapshot: %w", err)
+				}
+			}
+		}
+	}
+
+	// The manifest is durable: segments at or below each shard's low-water
+	// are dead. Rotate first so the active segment becomes truncatable too.
+	// All mutators are blocked on the shard locks, so touching the sinks
+	// here is race-free.
+	for i, sh := range s.shards {
+		ws, ok := sh.wal.(*walSink)
+		if !ok || ws == nil {
+			continue
+		}
+		if err := ws.w.Sync(); err != nil {
+			return nil, err
+		}
+		if err := ws.w.Rotate(); err != nil {
+			return nil, err
+		}
+		if err := ws.w.TruncateBefore(m.LowWater[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Shard directories retired by an earlier width change hold only
+	// records the snapshot now covers: remove them.
+	if dirs, err := os.ReadDir(WALDir(s.dir)); err == nil {
+		for _, e := range dirs {
+			var n int
+			if _, err := fmt.Sscanf(e.Name(), "shard-%d", &n); err == nil && n >= len(s.shards) {
+				if err := os.RemoveAll(filepath.Join(WALDir(s.dir), e.Name())); err != nil {
+					return nil, fmt.Errorf("store: drop retired shard wal: %w", err)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// replayStream is one shard directory's decoded mutation stream during
+// recovery, consumed in version order by the k-way merge.
+type replayStream struct {
+	r       *wal.Reader
+	head    Mutation
+	hasHead bool
+}
+
+func (rs *replayStream) advance() error {
+	key, payload, err := rs.r.Next()
+	if err == io.EOF {
+		rs.hasHead = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	m, err := decodeMutation(key, payload)
+	if err != nil {
+		// A CRC-valid but undecodable record is a hole just like a torn
+		// frame: stop this stream at the longest valid prefix.
+		rs.hasHead = false
+		return nil
+	}
+	rs.head = m
+	rs.hasHead = true
+	return nil
+}
+
+// primaryID returns the mutated entity's own id, the shard-routing key.
+func (m *Mutation) primaryID() string {
+	switch m.Change.Entity {
+	case EntityWorker:
+		return string(m.Change.Worker)
+	case EntityRequester:
+		return string(m.Change.Requester)
+	case EntityTask:
+		return string(m.Change.Task)
+	default:
+		return string(m.Change.Contribution)
+	}
+}
+
+// Open recovers a durable store from dir: the checkpoint snapshot is
+// rebuilt through the bulk insert paths, then the WAL tail is replayed in
+// globally merged version order with original version numbers, re-seeding
+// the in-memory changelog rings (so warm-started audit cursors keep
+// working) and stopping at the first version gap — the longest globally
+// valid prefix survives a torn or corrupted final record. shards <= 0
+// reopens at the manifest's width; a different width replays correctly but
+// invalidates saved audit cursors (warm starts fall back to a full scan).
+// The returned store has live WAL sinks attached and continues appending
+// where the recovered log ends.
+func Open(dir string, shards int, opts wal.Options) (*Store, *Manifest, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if shards <= 0 {
+		shards = man.Shards
+	}
+	sameLayout := shards == man.Shards &&
+		len(man.Watermarks) == shards && len(man.LowWater) == shards
+
+	var s *Store
+	if man.Snapshot != "" {
+		data, err := os.ReadFile(filepath.Join(dir, man.Snapshot))
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: read snapshot: %w", err)
+		}
+		snap, err := model.DecodeSnapshot(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: open: %w", err)
+		}
+		s, err = FromSnapshotSharded(snap, shards)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: open: %w", err)
+		}
+	} else {
+		u, err := model.NewUniverse(man.Skills...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: open: %w", err)
+		}
+		s = NewSharded(u, shards)
+	}
+	s.dir, s.walOpts = dir, opts
+
+	// Reset the rebuild bookkeeping to the manifest's recovery baseline:
+	// the bulk loads above consumed sequencer values and seeded rings with
+	// rebuild-local versions that have nothing to do with the original
+	// numbering the WAL tail carries.
+	for i, sh := range s.shards {
+		sh.ring = changeRing{cap: sh.ring.cap}
+		if sameLayout {
+			sh.applied = man.Watermarks[i]
+			sh.ring.droppedMax = man.LowWater[i]
+		} else {
+			sh.applied = man.Version
+			sh.ring.droppedMax = man.Version
+		}
+	}
+	s.version.Store(man.Version)
+
+	lastApplied, preSnapshotTear, err := s.replayWAL(dir, man)
+	if err != nil {
+		return nil, nil, err
+	}
+	if preSnapshotTear {
+		// Corruption below the snapshot version: entity state is intact
+		// (the snapshot covers it) but the rings cannot promise continuity
+		// for saved cursors — force stale readers onto the full-scan path.
+		for _, sh := range s.shards {
+			if sh.ring.droppedMax < man.Version {
+				sh.ring.droppedMax = man.Version
+			}
+		}
+	}
+
+	// Drop any records past the recovered prefix so reopened writers
+	// continue a dense log, then attach live sinks.
+	if dirs, err := os.ReadDir(WALDir(dir)); err == nil {
+		for _, e := range dirs {
+			if err := wal.TruncateAfter(filepath.Join(WALDir(dir), e.Name()), lastApplied); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for i := range s.shards {
+		sink, err := newWALSink(walShardDir(dir, i), opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.shards[i].wal = sink
+	}
+	return s, man, nil
+}
+
+// replayWAL merges every shard directory's stream by version and applies
+// the tail. Returns the highest version surviving recovery and whether a
+// stream tore below the snapshot version.
+func (s *Store) replayWAL(dir string, man *Manifest) (lastApplied uint64, preSnapshotTear bool, err error) {
+	lastApplied = man.Version
+	entries, err := os.ReadDir(WALDir(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return lastApplied, false, nil
+		}
+		return 0, false, fmt.Errorf("store: open wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	streams := make([]*replayStream, 0, len(names))
+	defer func() {
+		for _, rs := range streams {
+			rs.r.Close()
+		}
+	}()
+	for _, name := range names {
+		r, err := wal.OpenDir(filepath.Join(WALDir(dir), name))
+		if err != nil {
+			return 0, false, err
+		}
+		rs := &replayStream{r: r}
+		if err := rs.advance(); err != nil {
+			return 0, false, err
+		}
+		streams = append(streams, rs)
+	}
+
+	for {
+		best := -1
+		for i, rs := range streams {
+			if !rs.hasHead {
+				continue
+			}
+			if best < 0 || rs.head.Change.Version < streams[best].head.Change.Version {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		m := streams[best].head
+		v := m.Change.Version
+		if v > man.Version {
+			if v != lastApplied+1 {
+				// Version gap: a record was lost (torn tail in some
+				// shard). Everything from the gap on is discarded — the
+				// longest globally dense prefix wins.
+				break
+			}
+			if err := s.applyReplay(m); err != nil {
+				return 0, false, err
+			}
+			lastApplied = v
+		} else {
+			// The snapshot already holds this mutation's effect; re-seed
+			// the owning shard's ring so warm-started changelog cursors
+			// between low-water and watermark still read cleanly.
+			sh := s.shards[s.shardIndex(m.primaryID())]
+			sh.ring.record(m.Change)
+			if v > sh.applied {
+				sh.applied = v
+			}
+		}
+		if err := streams[best].advance(); err != nil {
+			return 0, false, err
+		}
+	}
+	for _, rs := range streams {
+		if rs.r.Damaged() && rs.head.Change.Version <= man.Version {
+			preSnapshotTear = true
+		}
+	}
+	return lastApplied, preSnapshotTear, nil
+}
+
+// applyReplay applies one post-snapshot WAL mutation with its original
+// version. The store is not yet published, so no locks are needed; the
+// locked helpers only assume the lock is held, they do not acquire it.
+func (s *Store) applyReplay(m Mutation) error {
+	v := m.Change.Version
+	sh := s.shards[s.shardIndex(m.primaryID())]
+	switch {
+	case m.Change.Entity == EntityWorker && m.Change.Op == OpInsert:
+		if err := m.Worker.Validate(s.universe); err != nil {
+			return fmt.Errorf("store: replay v%d: %w", v, err)
+		}
+		return s.putWorkerLocked(sh, m.Worker, v)
+	case m.Change.Entity == EntityWorker && m.Change.Op == OpUpdate:
+		if err := m.Worker.Validate(s.universe); err != nil {
+			return fmt.Errorf("store: replay v%d: %w", v, err)
+		}
+		return s.updateWorkerLocked(sh, m.Worker, v)
+	case m.Change.Entity == EntityRequester:
+		if err := m.Requester.Validate(); err != nil {
+			return fmt.Errorf("store: replay v%d: %w", v, err)
+		}
+		return s.putRequesterLocked(sh, m.Requester, v)
+	case m.Change.Entity == EntityTask:
+		if err := m.Task.Validate(s.universe); err != nil {
+			return fmt.Errorf("store: replay v%d: %w", v, err)
+		}
+		return s.putTaskLocked(sh, m.Task, v)
+	case m.Change.Entity == EntityContribution && m.Change.Op == OpInsert:
+		if err := m.Contribution.Validate(); err != nil {
+			return fmt.Errorf("store: replay v%d: %w", v, err)
+		}
+		return s.putContributionLocked(sh, m.Contribution, v)
+	case m.Change.Entity == EntityContribution && m.Change.Op == OpUpdate:
+		if err := m.Contribution.Validate(); err != nil {
+			return fmt.Errorf("store: replay v%d: %w", v, err)
+		}
+		return s.updateContributionLocked(sh, m.Contribution, v)
+	}
+	return fmt.Errorf("store: replay v%d: unknown mutation kind", v)
+}

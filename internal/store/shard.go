@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -20,6 +21,13 @@ import (
 // hot read paths merge pre-sorted runs instead of re-sorting per call.
 // Every index lists only entities owned by this shard; store-level readers
 // merge across shards.
+//
+// Every mutation is recorded through two LogSinks under the shard's write
+// lock: the always-present in-memory changelog ring (what ChangesSince and
+// the incremental auditors read) and, on durable stores, a write-ahead sink
+// teeing the same stream — change plus entity post-image — to segmented
+// files (internal/wal). Appending under the lock is what keeps the on-disk
+// record order identical to the version order.
 type shard struct {
 	mu sync.RWMutex
 
@@ -46,17 +54,10 @@ type shard struct {
 	// read.
 	applied uint64
 
-	// Changelog ring buffer. Versions within one shard's ring are strictly
-	// increasing (allocation and append happen under mu), but not
-	// consecutive: the global sequencer interleaves shards.
-	clog      []Change
-	clogStart int
-	clogLen   int
-	clogCap   int
-	// droppedMax is the highest version ever evicted from this ring (0 if
-	// none): the shard-local truncation signal. A reader positioned at
-	// version v missed changes iff droppedMax > v.
-	droppedMax uint64
+	// ring is the in-memory changelog sink; wal, when non-nil, is the
+	// durable write-ahead sink the same stream is teed into.
+	ring changeRing
+	wal  LogSink
 }
 
 func newShard(skills int) *shard {
@@ -73,34 +74,24 @@ func newShard(skills int) *shard {
 		workerRev:        make(map[model.WorkerID]uint64),
 		taskRev:          make(map[model.TaskID]uint64),
 		contribRev:       make(map[model.ContributionID]uint64),
-		clogCap:          DefaultChangelogCap,
+		ring:             changeRing{cap: DefaultChangelogCap},
 	}
 }
 
-// record appends a change under the already-held write lock and advances the
-// shard watermark. With retention disabled (cap < 1) every change counts as
-// immediately dropped so ChangesSince keeps reporting truncation.
-func (sh *shard) record(c Change) {
-	sh.applied = c.Version
-	if sh.clogCap < 1 {
-		sh.droppedMax = c.Version
-		return
-	}
-	if sh.clogLen < sh.clogCap {
-		if len(sh.clog) < sh.clogCap {
-			sh.clog = append(sh.clog, c)
-		} else {
-			sh.clog[(sh.clogStart+sh.clogLen)%len(sh.clog)] = c
+// record tees a mutation into the shard's sinks under the already-held
+// write lock and advances the shard watermark. The in-memory state is
+// already applied when record runs; a WAL failure therefore leaves the
+// change live in memory but possibly not on disk, and the returned error
+// tells the mutator durability was not achieved.
+func (sh *shard) record(m Mutation) error {
+	sh.applied = m.Change.Version
+	sh.ring.record(m.Change)
+	if sh.wal != nil {
+		if err := sh.wal.Append(m); err != nil {
+			return fmt.Errorf("store: wal append: %w", err)
 		}
-		sh.clogLen++
-		return
 	}
-	// Full ring: overwrite the oldest record.
-	if old := sh.clog[sh.clogStart].Version; old > sh.droppedMax {
-		sh.droppedMax = old
-	}
-	sh.clog[sh.clogStart] = c
-	sh.clogStart = (sh.clogStart + 1) % len(sh.clog)
+	return nil
 }
 
 // setChangelogCap resizes this shard's retention window, dropping the oldest
@@ -108,44 +99,13 @@ func (sh *shard) record(c Change) {
 func (sh *shard) setChangelogCap(n int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if n < 0 {
-		n = 0
-	}
-	keep := sh.clogLen
-	if keep > n {
-		keep = n
-	}
-	if dropped := sh.clogLen - keep; dropped > 0 {
-		last := sh.clog[(sh.clogStart+dropped-1)%len(sh.clog)].Version
-		if last > sh.droppedMax {
-			sh.droppedMax = last
-		}
-	}
-	buf := make([]Change, 0, keep)
-	for i := sh.clogLen - keep; i < sh.clogLen; i++ {
-		buf = append(buf, sh.clog[(sh.clogStart+i)%len(sh.clog)])
-	}
-	sh.clog = buf
-	sh.clogStart = 0
-	sh.clogLen = keep
-	sh.clogCap = n
+	sh.ring.setCap(n)
 }
 
 // changesAfter copies this shard's retained records with Version > v, oldest
-// first, under the already-held read lock. The ring is version-sorted, so
-// the suffix is found by binary search.
+// first, under the already-held read lock.
 func (sh *shard) changesAfter(v uint64) []Change {
-	lo := sort.Search(sh.clogLen, func(i int) bool {
-		return sh.clog[(sh.clogStart+i)%len(sh.clog)].Version > v
-	})
-	if lo == sh.clogLen {
-		return nil
-	}
-	out := make([]Change, 0, sh.clogLen-lo)
-	for i := lo; i < sh.clogLen; i++ {
-		out = append(out, sh.clog[(sh.clogStart+i)%len(sh.clog)])
-	}
-	return out
+	return sh.ring.changesAfter(v)
 }
 
 // fnv64a hashes an id for shard routing.

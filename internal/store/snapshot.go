@@ -13,12 +13,19 @@ import (
 // on its own goroutine, then merged), so snapshotting a large sharded
 // store scales with cores; the small requester table is gathered serially.
 func (s *Store) Snapshot() *model.Snapshot {
+	return s.snapshot(false)
+}
+
+// snapshot gathers the full state; locked callers (Checkpoint, which holds
+// every shard's read lock for a consistent cut) pass locked=true so the
+// per-shard gathers skip re-acquiring the locks.
+func (s *Store) snapshot(locked bool) *model.Snapshot {
 	return &model.Snapshot{
 		Skills:        s.universe.Names(),
-		Workers:       s.workersSlice(true),
-		Requesters:    s.Requesters(),
-		Tasks:         s.tasksSlice(true),
-		Contributions: s.contributionsSlice(true),
+		Workers:       s.workersSlice(true, locked),
+		Requesters:    s.requestersSlice(locked),
+		Tasks:         s.tasksSlice(true, locked),
+		Contributions: s.contributionsSlice(true, locked),
 	}
 }
 
@@ -26,11 +33,17 @@ func (s *Store) Snapshot() *model.Snapshot {
 // every entity and referential link on the way in. Loading uses the bulk
 // shard-parallel insert paths.
 func FromSnapshot(snap *model.Snapshot) (*Store, error) {
+	return FromSnapshotSharded(snap, DefaultShardCount)
+}
+
+// FromSnapshotSharded is FromSnapshot with an explicit hash-partition
+// count (recovery rebuilds a checkpointed store at its manifest's width).
+func FromSnapshotSharded(snap *model.Snapshot, shards int) (*Store, error) {
 	u, err := snap.Universe()
 	if err != nil {
 		return nil, fmt.Errorf("store: snapshot universe: %w", err)
 	}
-	s := New(u)
+	s := NewSharded(u, shards)
 	for _, r := range snap.Requesters {
 		if err := s.PutRequester(r); err != nil {
 			return nil, fmt.Errorf("store: load snapshot: %w", err)

@@ -29,16 +29,27 @@
 // changelogs through ShardChangesSince (or the version-merged ChangesSince)
 // to re-check only what moved, and key memoized pair similarities by
 // (id, revision).
+//
+// Durability: each shard's changelog is a LogSink pair — the in-memory
+// ring plus, on stores built with NewDurable or Open, a write-ahead sink
+// appending change + entity post-image to segmented files under the shard
+// lock (internal/wal), so the on-disk order equals the version order.
+// Checkpoint pins a snapshot and truncates dead segments; Open rebuilds
+// the snapshot and replays the WAL tail with original version numbers,
+// recovering the longest globally dense prefix after a torn final record
+// (see checkpoint.go).
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/par"
+	"repro/internal/wal"
 )
 
 // Sentinel errors.
@@ -59,11 +70,28 @@ var (
 // semantics, more for very wide machines) use NewSharded.
 const DefaultShardCount = 8
 
-// Store is the platform database. Construct with New or NewSharded.
+// Store is the platform database. Construct with New or NewSharded for a
+// volatile store, NewDurable for one teeing every mutation into a
+// write-ahead log, or Open to recover a durable store from disk.
 type Store struct {
 	universe *model.Universe
 	shards   []*shard
 	version  atomic.Uint64 // global mutation sequencer
+
+	// mask enables the power-of-two routing fast path: when the shard
+	// count is a power of two, h % n == h & (n-1), so routing skips the
+	// integer division. masked distinguishes a real mask of 0 (one shard)
+	// from "not a power of two".
+	mask   uint64
+	masked bool
+
+	// dir is the persistence root of a durable store ("" when volatile);
+	// walOpts parameterises its segment writers. ckptMu serialises
+	// checkpoints (each holds every shard read lock and rewrites the
+	// manifest, so two at once would race on the writers).
+	dir     string
+	walOpts wal.Options
+	ckptMu  sync.Mutex
 }
 
 // New returns an empty store over the given skill universe, partitioned
@@ -77,6 +105,9 @@ func NewSharded(u *model.Universe, shards int) *Store {
 		shards = 1
 	}
 	s := &Store{universe: u, shards: make([]*shard, shards)}
+	if shards&(shards-1) == 0 {
+		s.mask, s.masked = uint64(shards-1), true
+	}
 	for i := range s.shards {
 		s.shards[i] = newShard(u.Size())
 	}
@@ -96,7 +127,27 @@ func (s *Store) ShardCount() int { return len(s.shards) }
 func (s *Store) Version() uint64 { return s.version.Load() }
 
 func (s *Store) shardIndex(id string) int {
-	return int(fnv64a(id) % uint64(len(s.shards)))
+	h := fnv64a(id)
+	if s.masked {
+		return int(h & s.mask)
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// allocVersion returns the version a mutation commits under: the next
+// sequencer value normally, or the forced original version during WAL
+// replay (where the sequencer is advanced to at least that value so
+// post-recovery mutations continue the original numbering).
+func (s *Store) allocVersion(forced uint64) uint64 {
+	if forced == 0 {
+		return s.version.Add(1)
+	}
+	for {
+		cur := s.version.Load()
+		if cur >= forced || s.version.CompareAndSwap(cur, forced) {
+			return forced
+		}
+	}
 }
 
 // WorkerShard returns the index of the shard owning the worker id.
@@ -150,10 +201,13 @@ func (s *Store) PutWorker(w *model.Worker) error {
 	sh := s.workerShard(w.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.putWorkerLocked(sh, w)
+	return s.putWorkerLocked(sh, w, 0)
 }
 
-func (s *Store) putWorkerLocked(sh *shard, w *model.Worker) error {
+// putWorkerLocked inserts under the held shard lock. ver is 0 for live
+// mutations (allocate the next version) and the original version during
+// WAL replay.
+func (s *Store) putWorkerLocked(sh *shard, w *model.Worker, ver uint64) error {
 	if _, dup := sh.workers[w.ID]; dup {
 		return fmt.Errorf("worker %s: %w", w.ID, ErrDuplicate)
 	}
@@ -162,10 +216,12 @@ func (s *Store) putWorkerLocked(sh *shard, w *model.Worker) error {
 	for _, i := range c.Skills.Indices() {
 		sh.workersBySkill[i] = insertSortedID(sh.workersBySkill[i], c.ID)
 	}
-	v := s.version.Add(1)
+	v := s.allocVersion(ver)
 	sh.workerRev[c.ID] = v
-	sh.record(Change{Version: v, Op: OpInsert, Entity: EntityWorker, Worker: c.ID})
-	return nil
+	return sh.record(Mutation{
+		Change: Change{Version: v, Op: OpInsert, Entity: EntityWorker, Worker: c.ID},
+		Worker: c,
+	})
 }
 
 // UpdateWorker replaces an existing worker's attributes and skills.
@@ -176,10 +232,10 @@ func (s *Store) UpdateWorker(w *model.Worker) error {
 	sh := s.workerShard(w.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.updateWorkerLocked(sh, w)
+	return s.updateWorkerLocked(sh, w, 0)
 }
 
-func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker) error {
+func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker, ver uint64) error {
 	old, ok := sh.workers[w.ID]
 	if !ok {
 		return fmt.Errorf("worker %s: %w", w.ID, ErrNotFound)
@@ -192,11 +248,14 @@ func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker) error {
 			sh.workersBySkill[i] = insertSortedID(sh.workersBySkill[i], w.ID)
 		}
 	}
-	sh.workers[w.ID] = w.Clone()
-	v := s.version.Add(1)
+	c := w.Clone()
+	sh.workers[w.ID] = c
+	v := s.allocVersion(ver)
 	sh.workerRev[w.ID] = v
-	sh.record(Change{Version: v, Op: OpUpdate, Entity: EntityWorker, Worker: w.ID})
-	return nil
+	return sh.record(Mutation{
+		Change: Change{Version: v, Op: OpUpdate, Entity: EntityWorker, Worker: w.ID},
+		Worker: c,
+	})
 }
 
 // Worker returns a copy of the worker with the given id.
@@ -215,21 +274,26 @@ func (s *Store) Worker(id model.WorkerID) (*model.Worker, error) {
 
 // Workers returns copies of all workers sorted by id.
 func (s *Store) Workers() []*model.Worker {
-	return s.workersSlice(false)
+	return s.workersSlice(false, false)
 }
 
 // workersSlice gathers per-shard sorted runs (optionally shard-parallel)
-// and merges them into the id-sorted result.
-func (s *Store) workersSlice(parallel bool) []*model.Worker {
+// and merges them into the id-sorted result. locked callers already hold
+// every shard's read lock.
+func (s *Store) workersSlice(parallel, locked bool) []*model.Worker {
 	per := make([][]*model.Worker, len(s.shards))
 	gather := func(i int) {
 		sh := s.shards[i]
-		sh.mu.RLock()
+		if !locked {
+			sh.mu.RLock()
+		}
 		out := make([]*model.Worker, 0, len(sh.workers))
 		for _, w := range sh.workers {
 			out = append(out, w)
 		}
-		sh.mu.RUnlock()
+		if !locked {
+			sh.mu.RUnlock()
+		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, w := range out {
 			out[k] = w.Clone()
@@ -295,7 +359,7 @@ func (s *Store) BulkPutWorkers(ws []*model.Worker) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		for _, w := range groups[i] {
-			if err := s.putWorkerLocked(sh, w); err != nil {
+			if err := s.putWorkerLocked(sh, w, 0); err != nil {
 				errs[i] = err
 				return
 			}
@@ -327,7 +391,7 @@ func (s *Store) BulkUpdateWorkers(ws []*model.Worker) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		for _, w := range groups[i] {
-			if err := s.updateWorkerLocked(sh, w); err != nil {
+			if err := s.updateWorkerLocked(sh, w, 0); err != nil {
 				errs[i] = err
 				return
 			}
@@ -346,14 +410,20 @@ func (s *Store) PutRequester(r *model.Requester) error {
 	sh := s.requesterShard(r.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.putRequesterLocked(sh, r, 0)
+}
+
+func (s *Store) putRequesterLocked(sh *shard, r *model.Requester, ver uint64) error {
 	if _, dup := sh.requesters[r.ID]; dup {
 		return fmt.Errorf("requester %s: %w", r.ID, ErrDuplicate)
 	}
 	c := *r
 	sh.requesters[r.ID] = &c
-	v := s.version.Add(1)
-	sh.record(Change{Version: v, Op: OpInsert, Entity: EntityRequester, Requester: r.ID})
-	return nil
+	v := s.allocVersion(ver)
+	return sh.record(Mutation{
+		Change:    Change{Version: v, Op: OpInsert, Entity: EntityRequester, Requester: r.ID},
+		Requester: &c,
+	})
 }
 
 // Requester returns a copy of the requester with the given id.
@@ -371,14 +441,22 @@ func (s *Store) Requester(id model.RequesterID) (*model.Requester, error) {
 
 // Requesters returns copies of all requesters sorted by id.
 func (s *Store) Requesters() []*model.Requester {
+	return s.requestersSlice(false)
+}
+
+func (s *Store) requestersSlice(locked bool) []*model.Requester {
 	per := make([][]*model.Requester, len(s.shards))
 	for i, sh := range s.shards {
-		sh.mu.RLock()
+		if !locked {
+			sh.mu.RLock()
+		}
 		out := make([]*model.Requester, 0, len(sh.requesters))
 		for _, r := range sh.requesters {
 			out = append(out, r)
 		}
-		sh.mu.RUnlock()
+		if !locked {
+			sh.mu.RUnlock()
+		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, r := range out {
 			c := *r
@@ -412,10 +490,10 @@ func (s *Store) PutTask(t *model.Task) error {
 	sh := s.taskShard(t.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.putTaskLocked(sh, t)
+	return s.putTaskLocked(sh, t, 0)
 }
 
-func (s *Store) putTaskLocked(sh *shard, t *model.Task) error {
+func (s *Store) putTaskLocked(sh *shard, t *model.Task, ver uint64) error {
 	if _, dup := sh.tasks[t.ID]; dup {
 		return fmt.Errorf("task %s: %w", t.ID, ErrDuplicate)
 	}
@@ -425,10 +503,12 @@ func (s *Store) putTaskLocked(sh *shard, t *model.Task) error {
 		sh.tasksBySkill[i] = insertSortedID(sh.tasksBySkill[i], c.ID)
 	}
 	sh.tasksByReq[c.Requester] = insertSortedID(sh.tasksByReq[c.Requester], c.ID)
-	v := s.version.Add(1)
+	v := s.allocVersion(ver)
 	sh.taskRev[c.ID] = v
-	sh.record(Change{Version: v, Op: OpInsert, Entity: EntityTask, Task: c.ID, Requester: c.Requester})
-	return nil
+	return sh.record(Mutation{
+		Change: Change{Version: v, Op: OpInsert, Entity: EntityTask, Task: c.ID, Requester: c.Requester},
+		Task:   c,
+	})
 }
 
 // BulkPutTasks inserts many tasks, probing the referenced requesters up
@@ -456,7 +536,7 @@ func (s *Store) BulkPutTasks(ts []*model.Task) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		for _, t := range groups[i] {
-			if err := s.putTaskLocked(sh, t); err != nil {
+			if err := s.putTaskLocked(sh, t, 0); err != nil {
 				errs[i] = err
 				return
 			}
@@ -479,19 +559,23 @@ func (s *Store) Task(id model.TaskID) (*model.Task, error) {
 
 // Tasks returns copies of all tasks sorted by id.
 func (s *Store) Tasks() []*model.Task {
-	return s.tasksSlice(false)
+	return s.tasksSlice(false, false)
 }
 
-func (s *Store) tasksSlice(parallel bool) []*model.Task {
+func (s *Store) tasksSlice(parallel, locked bool) []*model.Task {
 	per := make([][]*model.Task, len(s.shards))
 	gather := func(i int) {
 		sh := s.shards[i]
-		sh.mu.RLock()
+		if !locked {
+			sh.mu.RLock()
+		}
 		out := make([]*model.Task, 0, len(sh.tasks))
 		for _, t := range sh.tasks {
 			out = append(out, t)
 		}
-		sh.mu.RUnlock()
+		if !locked {
+			sh.mu.RUnlock()
+		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, t := range out {
 			out[k] = t.Clone()
@@ -556,7 +640,7 @@ func (s *Store) PutContribution(c *model.Contribution) error {
 	sh := s.contribShard(c.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.putContributionLocked(sh, c)
+	return s.putContributionLocked(sh, c, 0)
 }
 
 func (s *Store) checkContribRefs(c *model.Contribution) error {
@@ -577,7 +661,7 @@ func (s *Store) checkContribRefs(c *model.Contribution) error {
 	return nil
 }
 
-func (s *Store) putContributionLocked(sh *shard, c *model.Contribution) error {
+func (s *Store) putContributionLocked(sh *shard, c *model.Contribution, ver uint64) error {
 	if _, dup := sh.contribs[c.ID]; dup {
 		return fmt.Errorf("contribution %s: %w", c.ID, ErrDuplicate)
 	}
@@ -585,13 +669,15 @@ func (s *Store) putContributionLocked(sh *shard, c *model.Contribution) error {
 	sh.contribs[cc.ID] = cc
 	sh.contribsByTask[cc.Task] = insertContribID(sh.contribsByTask[cc.Task], sh.contribs, cc.ID)
 	sh.contribsByWorker[cc.Worker] = insertContribID(sh.contribsByWorker[cc.Worker], sh.contribs, cc.ID)
-	v := s.version.Add(1)
+	v := s.allocVersion(ver)
 	sh.contribRev[cc.ID] = v
-	sh.record(Change{
-		Version: v, Op: OpInsert, Entity: EntityContribution,
-		Contribution: cc.ID, Task: cc.Task, Worker: cc.Worker,
+	return sh.record(Mutation{
+		Change: Change{
+			Version: v, Op: OpInsert, Entity: EntityContribution,
+			Contribution: cc.ID, Task: cc.Task, Worker: cc.Worker,
+		},
+		Contribution: cc,
 	})
-	return nil
 }
 
 // BulkPutContributions inserts many contributions, probing referenced tasks
@@ -619,7 +705,7 @@ func (s *Store) BulkPutContributions(cs []*model.Contribution) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		for _, c := range groups[i] {
-			if err := s.putContributionLocked(sh, c); err != nil {
+			if err := s.putContributionLocked(sh, c, 0); err != nil {
 				errs[i] = err
 				return
 			}
@@ -637,6 +723,10 @@ func (s *Store) UpdateContribution(c *model.Contribution) error {
 	sh := s.contribShard(c.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.updateContributionLocked(sh, c, 0)
+}
+
+func (s *Store) updateContributionLocked(sh *shard, c *model.Contribution, ver uint64) error {
 	old, ok := sh.contribs[c.ID]
 	if !ok {
 		return fmt.Errorf("contribution %s: %w", c.ID, ErrNotFound)
@@ -644,24 +734,27 @@ func (s *Store) UpdateContribution(c *model.Contribution) error {
 	if old.Task != c.Task || old.Worker != c.Worker {
 		return fmt.Errorf("contribution %s: task/worker are immutable: %w", c.ID, ErrInvalid)
 	}
+	cc := c.Clone()
 	if old.SubmittedAt != c.SubmittedAt {
 		// The (SubmittedAt, ID) sort key moved: re-position the index
 		// entries before swapping in the new value.
 		sh.contribsByTask[c.Task] = removeContribID(sh.contribsByTask[c.Task], sh.contribs, old.SubmittedAt, c.ID)
 		sh.contribsByWorker[c.Worker] = removeContribID(sh.contribsByWorker[c.Worker], sh.contribs, old.SubmittedAt, c.ID)
-		sh.contribs[c.ID] = c.Clone()
+		sh.contribs[c.ID] = cc
 		sh.contribsByTask[c.Task] = insertContribID(sh.contribsByTask[c.Task], sh.contribs, c.ID)
 		sh.contribsByWorker[c.Worker] = insertContribID(sh.contribsByWorker[c.Worker], sh.contribs, c.ID)
 	} else {
-		sh.contribs[c.ID] = c.Clone()
+		sh.contribs[c.ID] = cc
 	}
-	v := s.version.Add(1)
+	v := s.allocVersion(ver)
 	sh.contribRev[c.ID] = v
-	sh.record(Change{
-		Version: v, Op: OpUpdate, Entity: EntityContribution,
-		Contribution: c.ID, Task: c.Task, Worker: c.Worker,
+	return sh.record(Mutation{
+		Change: Change{
+			Version: v, Op: OpUpdate, Entity: EntityContribution,
+			Contribution: c.ID, Task: c.Task, Worker: c.Worker,
+		},
+		Contribution: cc,
 	})
-	return nil
 }
 
 // Contribution returns a copy of the contribution with the given id.
@@ -678,19 +771,23 @@ func (s *Store) Contribution(id model.ContributionID) (*model.Contribution, erro
 
 // Contributions returns copies of all contributions sorted by id.
 func (s *Store) Contributions() []*model.Contribution {
-	return s.contributionsSlice(false)
+	return s.contributionsSlice(false, false)
 }
 
-func (s *Store) contributionsSlice(parallel bool) []*model.Contribution {
+func (s *Store) contributionsSlice(parallel, locked bool) []*model.Contribution {
 	per := make([][]*model.Contribution, len(s.shards))
 	gather := func(i int) {
 		sh := s.shards[i]
-		sh.mu.RLock()
+		if !locked {
+			sh.mu.RLock()
+		}
 		out := make([]*model.Contribution, 0, len(sh.contribs))
 		for _, c := range sh.contribs {
 			out = append(out, c)
 		}
-		sh.mu.RUnlock()
+		if !locked {
+			sh.mu.RUnlock()
+		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, c := range out {
 			out[k] = c.Clone()

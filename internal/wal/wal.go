@@ -1,0 +1,434 @@
+// Package wal implements the segmented write-ahead log underneath the
+// store's durable changelog sinks and the event log's durable tee.
+//
+// A log is a directory of append-only segment files (seg-00000001.wal,
+// seg-00000002.wal, ...). Each record is framed as
+//
+//	[4-byte LE payload length][4-byte LE CRC32-IEEE of payload][payload]
+//
+// where the payload starts with the record's uvarint-encoded key (the
+// store version or event sequence number, monotonically non-decreasing)
+// followed by the caller's opaque bytes. The CRC covers the whole payload,
+// so a torn or corrupted tail is detected record-by-record: readers stop
+// at the first invalid frame and recover exactly the longest valid prefix,
+// and a Writer reopening an existing directory truncates the damaged tail
+// before appending, so the log never grows past a hole.
+//
+// Segments rotate once the active file reaches Options.SegmentBytes. The
+// writer remembers each completed segment's maximum key, which is what
+// checkpoint truncation uses: TruncateBefore(k) unlinks every completed
+// segment whose records are all at or below k — the per-shard low-water
+// version — without ever touching the active segment.
+//
+// Durability is a policy knob (Options.Sync): SyncNever leaves flushing to
+// the OS (fastest, loses the unsynced tail on power failure — process
+// crashes lose nothing), SyncOnRotate fsyncs each segment as it is sealed,
+// and SyncAlways fsyncs after every append (group-commit-free, slowest,
+// strongest).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SyncPolicy selects when the writer fsyncs.
+type SyncPolicy int
+
+// Sync policies, weakest to strongest.
+const (
+	// SyncNever never fsyncs explicitly; the OS flushes at its leisure.
+	SyncNever SyncPolicy = iota
+	// SyncOnRotate fsyncs a segment when it is sealed (and on Sync/Close).
+	SyncOnRotate
+	// SyncAlways fsyncs after every append.
+	SyncAlways
+)
+
+// String renders the policy for reports and flag parsing.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOnRotate:
+		return "rotate"
+	default:
+		return "never"
+	}
+}
+
+// ParseSyncPolicy maps the String form back to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "never":
+		return SyncNever, nil
+	case "rotate":
+		return SyncOnRotate, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return SyncNever, fmt.Errorf("wal: unknown sync policy %q (want never|rotate|always)", s)
+}
+
+// DefaultSegmentBytes is the rotation threshold used when Options leaves
+// SegmentBytes zero: large enough that steady-state appends amortise file
+// creation, small enough that checkpoint truncation reclaims space promptly.
+const DefaultSegmentBytes = 4 << 20
+
+// maxRecordBytes guards readers against interpreting garbage as a huge
+// length prefix.
+const maxRecordBytes = 64 << 20
+
+// Options parameterises a log directory.
+type Options struct {
+	// SegmentBytes is the size at which the active segment is sealed and a
+	// new one started (0: DefaultSegmentBytes).
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncNever).
+	Sync SyncPolicy
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+// frame header: payload length + CRC.
+const headerBytes = 8
+
+// segInfo describes one sealed segment.
+type segInfo struct {
+	ordinal int
+	maxKey  uint64
+}
+
+// Writer appends records to a segment directory. Not safe for concurrent
+// use; the store serialises appends under each shard's lock.
+type Writer struct {
+	dir     string
+	opts    Options
+	f       *os.File
+	seg     int   // active segment ordinal
+	size    int64 // bytes written to the active segment
+	maxKey  uint64
+	sealed  []segInfo // completed segments, ascending ordinal
+	scratch []byte
+}
+
+// segPath returns the file path of segment ordinal n in dir.
+func segPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.wal", n))
+}
+
+// listSegments returns the ordinals of the segment files in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var ords []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%d.wal", &n); err == nil && e.Name() == fmt.Sprintf("seg-%08d.wal", n) {
+			ords = append(ords, n)
+		}
+	}
+	sort.Ints(ords)
+	return ords, nil
+}
+
+// scanSegment walks a segment file frame by frame, returning the byte
+// length of the longest valid prefix, the number of valid records, the
+// maximum key seen, and whether an invalid frame (torn tail, corruption)
+// cut the scan short.
+func scanSegment(path string) (validLen int64, records int, maxKey uint64, damaged bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("wal: scan %s: %w", path, err)
+	}
+	off := int64(0)
+	for {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			return off, records, maxKey, next != int64(len(data)) || off != int64(len(data)), nil
+		}
+		key, _, ok := recordKey(payload)
+		if !ok {
+			return off, records, maxKey, true, nil
+		}
+		records++
+		if key > maxKey {
+			maxKey = key
+		}
+		off = next
+	}
+}
+
+// nextFrame validates the frame starting at off. ok=false means no valid
+// frame starts there; next then reports len(data) only when the file ended
+// exactly at off (clean end).
+func nextFrame(data []byte, off int64) (payload []byte, next int64, ok bool) {
+	if off == int64(len(data)) {
+		return nil, off, false
+	}
+	if int64(len(data))-off < headerBytes {
+		return nil, off, false
+	}
+	n := int64(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n == 0 || n > maxRecordBytes || off+headerBytes+n > int64(len(data)) {
+		return nil, off, false
+	}
+	payload = data[off+headerBytes : off+headerBytes+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, off, false
+	}
+	return payload, off + headerBytes + n, true
+}
+
+// recordKey splits a payload into its key prefix and the caller bytes.
+func recordKey(payload []byte) (key uint64, rest []byte, ok bool) {
+	key, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return key, payload[n:], true
+}
+
+// Create opens the log directory for appending, creating it if needed. An
+// existing directory is recovered first: every segment is scanned, the
+// first invalid frame truncates its segment to the longest valid prefix,
+// and any later segments (which would sit past the hole) are deleted, so
+// appends always continue a dense valid log.
+func Create(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	w := &Writer{dir: dir, opts: opts, seg: 1}
+	ords, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, ord := range ords {
+		path := segPath(dir, ord)
+		validLen, records, maxKey, damaged, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if damaged {
+			if err := os.Truncate(path, validLen); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+			for _, later := range ords[i+1:] {
+				if err := os.Remove(segPath(dir, later)); err != nil {
+					return nil, fmt.Errorf("wal: drop post-hole segment: %w", err)
+				}
+			}
+		}
+		w.seg = ord
+		w.size = validLen
+		if maxKey > w.maxKey {
+			w.maxKey = maxKey
+		}
+		_ = records
+		if damaged {
+			break
+		}
+		if i < len(ords)-1 {
+			w.sealed = append(w.sealed, segInfo{ordinal: ord, maxKey: maxKey})
+		}
+	}
+	if err := w.openActive(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// openActive opens the current segment file for appending.
+func (w *Writer) openActive() error {
+	f, err := os.OpenFile(segPath(w.dir, w.seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	w.f = f
+	return nil
+}
+
+// Append frames and writes one record. key must be non-decreasing across
+// appends (store versions and event sequence numbers are). The write lands
+// in the OS page cache unless the sync policy says otherwise; rotation
+// happens after the append once the active segment reaches the threshold.
+func (w *Writer) Append(key uint64, payload []byte) error {
+	if w.f == nil {
+		return fmt.Errorf("wal: append on closed writer")
+	}
+	w.scratch = w.scratch[:0]
+	w.scratch = append(w.scratch, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.scratch = binary.AppendUvarint(w.scratch, key)
+	w.scratch = append(w.scratch, payload...)
+	body := w.scratch[headerBytes:]
+	binary.LittleEndian.PutUint32(w.scratch[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(w.scratch[4:], crc32.ChecksumIEEE(body))
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.size += int64(len(w.scratch))
+	if key > w.maxKey {
+		w.maxKey = key
+	}
+	if w.opts.Sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	if w.size >= w.opts.segmentBytes() {
+		return w.Rotate()
+	}
+	return nil
+}
+
+// Rotate seals the active segment and starts the next one. Sealing an
+// empty segment is a no-op. Checkpoints rotate before truncating so the
+// whole pre-checkpoint history becomes eligible for TruncateBefore.
+func (w *Writer) Rotate() error {
+	if w.f == nil {
+		return fmt.Errorf("wal: rotate on closed writer")
+	}
+	if w.size == 0 {
+		return nil
+	}
+	if w.opts.Sync != SyncNever {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync on rotate: %w", err)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	w.sealed = append(w.sealed, segInfo{ordinal: w.seg, maxKey: w.maxKey})
+	w.seg++
+	w.size = 0
+	return w.openActive()
+}
+
+// TruncateBefore unlinks every sealed segment whose keys are all at or
+// below key. The active segment is never removed.
+func (w *Writer) TruncateBefore(key uint64) error {
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.maxKey <= key {
+			if err := os.Remove(segPath(w.dir, s.ordinal)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.sealed = kept
+	return nil
+}
+
+// TruncateAfter physically removes every record with key > key from the
+// log directory: the containing segment is cut at the first such record
+// and all later segments are deleted. Recovery uses it to discard a tail
+// that lost global density (a torn record in one shard's log invalidates
+// every higher version across shards), so that writers reopened afterwards
+// append immediately after the last surviving record. A damaged frame cuts
+// at the damage point as well.
+func TruncateAfter(dir string, key uint64) error {
+	ords, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for idx, ord := range ords {
+		path := segPath(dir, ord)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: truncate-after scan: %w", err)
+		}
+		cut := int64(-1)
+		off := int64(0)
+		for {
+			payload, next, ok := nextFrame(data, off)
+			if !ok {
+				if off != int64(len(data)) {
+					cut = off // damaged frame: cut here too
+				}
+				break
+			}
+			k, _, ok := recordKey(payload)
+			if !ok || k > key {
+				cut = off
+				break
+			}
+			off = next
+		}
+		if cut < 0 {
+			continue
+		}
+		if err := os.Truncate(path, cut); err != nil {
+			return fmt.Errorf("wal: truncate-after: %w", err)
+		}
+		for _, later := range ords[idx+1:] {
+			if err := os.Remove(segPath(dir, later)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncate-after drop segment: %w", err)
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage regardless of policy.
+func (w *Writer) Sync() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs (unless SyncNever) and closes the active segment. The writer
+// is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	if w.opts.Sync != SyncNever {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync on close: %w", err)
+		}
+	}
+	err := w.f.Close()
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the directory the writer appends into.
+func (w *Writer) Dir() string { return w.dir }
+
+// SegmentCount returns the number of on-disk segments (sealed + active).
+func (w *Writer) SegmentCount() int {
+	n := len(w.sealed)
+	if w.size > 0 || n == 0 {
+		n++
+	}
+	return n
+}
+
+// MaxKey returns the highest key ever appended (or recovered) in this log.
+func (w *Writer) MaxKey() uint64 { return w.maxKey }

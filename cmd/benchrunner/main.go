@@ -8,6 +8,7 @@
 //	benchrunner -sweep E1,E4 [-seeds 1,2,3] [-scales 0.5,1,2] [-parallelism 8] [-json]
 //	benchrunner -storebench [-goroutines 8] [-shards 1,2,4,8,16] [-ops 200000]
 //	benchrunner -walbench [-walsync never|rotate|always] [-walsegkb 512] [-walworkers 300] [-walrounds 8] [-waldir DIR]
+//	benchrunner -reshardbench [-goroutines 8] [-reshardfrom 8] [-reshardto 16]
 //
 // The default mode runs every experiment once at the given seed. Sweep
 // mode drives the same experiments through the internal/sweep worker pool:
@@ -27,6 +28,12 @@
 // recovery time across trace lengths, and warm vs cold first-audit latency
 // after a restart (asserting the warm pass reports exactly what a cold
 // full scan reports).
+//
+// Reshard-bench mode measures the two costs of the epoch-routed store:
+// the mutation-latency spike concurrent writers see while Reshard splits
+// the store live (baseline window vs during-split window, plus the
+// reshard's own wall time), and the staleness a WAL-shipping read replica
+// accumulates against write rate, with its catch-up time once writes stop.
 package main
 
 import (
@@ -39,9 +46,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -49,6 +58,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -87,12 +97,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	walSegKB := fs.Int("walsegkb", 512, "WAL segment size in KiB for -walbench")
 	walWorkers := fs.Int("walworkers", 300, "population size for the -walbench trace")
 	walRounds := fs.Int("walrounds", 8, "simulation rounds for the -walbench trace")
+	reshardBench := fs.Bool("reshardbench", false, "measure mutation latency during a live shard split and replica catch-up lag vs write rate")
+	reshardFrom := fs.Int("reshardfrom", 8, "shard count before the -reshardbench split")
+	reshardTo := fs.Int("reshardto", 16, "shard count after the -reshardbench split")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *storeBench {
 		return runStoreBench(*shardList, *goroutines, *ops, stdout)
+	}
+	if *reshardBench {
+		return runReshardBench(reshardBenchOpts{
+			goroutines: *goroutines, from: *reshardFrom, to: *reshardTo, seed: *seed,
+		}, stdout)
 	}
 	if *walBench {
 		pol, err := wal.ParseSyncPolicy(*walSync)
@@ -217,6 +235,212 @@ func runStoreBench(shardList string, goroutines, ops int, stdout io.Writer) erro
 			base = thr
 		}
 		fmt.Fprintf(stdout, "%8d  %11.0f/s  %9.2fx\n", sc, thr, thr/base)
+	}
+	return nil
+}
+
+type reshardBenchOpts struct {
+	goroutines int
+	from, to   int
+	seed       uint64
+}
+
+// pct returns the p-th percentile of a latency sample (sorts in place).
+func pct(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[int(p*float64(len(lats)-1))]
+}
+
+// runReshardBench measures the epoch-routed store's two headline costs.
+//
+// Phase 1 — mutation latency under a live split: writers hammer disjoint
+// worker sets on a durable store while Reshard(from -> to) runs in the
+// middle of the run. Each operation's latency lands in the baseline or
+// the during-split sample depending on whether the reshard was in flight
+// when it started; writers to a shard mid-handoff block only for that
+// shard's migration, which is exactly the p99/max spike reported.
+//
+// Phase 2 — replica staleness vs write rate: a WAL-shipping replica polls
+// the primary's directory while a paced writer syncs batches at each
+// target rate; the sampled Staleness.Lag shows how far the follower
+// trails the flushed log, and the catch-up time is how long after writes
+// stop it takes to converge.
+func runReshardBench(o reshardBenchOpts, stdout io.Writer) error {
+	if o.goroutines < 1 || o.from < 1 || o.to < 1 {
+		return fmt.Errorf("-goroutines, -reshardfrom and -reshardto must be >= 1")
+	}
+	root, err := os.MkdirTemp("", "reshardbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	rng := stats.NewRNG(o.seed)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers: 4096, Archetypes: 8,
+	}, rng.Split())
+	goroutines := o.goroutines
+	if goroutines > len(pop.Workers) {
+		goroutines = len(pop.Workers)
+	}
+
+	// Phase 1: latency during a live split.
+	st, err := store.NewDurable(pop.Universe, o.from, filepath.Join(root, "primary"), wal.Options{})
+	if err != nil {
+		return err
+	}
+	if err := st.BulkPutWorkers(pop.Workers); err != nil {
+		return err
+	}
+	groups := make([][]*model.Worker, goroutines)
+	for i, w := range pop.Workers {
+		groups[i%goroutines] = append(groups[i%goroutines], w)
+	}
+	var splitting, stop atomic.Bool
+	base := make([][]time.Duration, goroutines)
+	split := make([][]time.Duration, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := groups[g]
+			for i := 0; !stop.Load(); i++ {
+				w := ws[i%len(ws)]
+				during := splitting.Load()
+				t0 := time.Now()
+				w.Computed[model.AttrAcceptanceRatio] = model.Num(float64(i%100) / 100)
+				if err := st.UpdateWorker(w); err != nil {
+					panic(err) // disjoint pre-inserted workers: cannot fail
+				}
+				el := time.Since(t0)
+				if during {
+					split[g] = append(split[g], el)
+				} else {
+					base[g] = append(base[g], el)
+				}
+			}
+		}(g)
+	}
+	const settle = 400 * time.Millisecond
+	time.Sleep(settle) // baseline window
+	splitting.Store(true)
+	reshardStart := time.Now()
+	if err := st.Reshard(o.to); err != nil {
+		return err
+	}
+	reshardWall := time.Since(reshardStart)
+	splitting.Store(false)
+	time.Sleep(settle) // post-split window folds into the baseline
+	stop.Store(true)
+	wg.Wait()
+	var baseAll, splitAll []time.Duration
+	for g := 0; g < goroutines; g++ {
+		baseAll = append(baseAll, base[g]...)
+		splitAll = append(splitAll, split[g]...)
+	}
+	fmt.Fprintf(stdout, "live split %d -> %d shards under %d writers (GOMAXPROCS=%d):\n",
+		o.from, o.to, goroutines, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(stdout, "  reshard wall time: %s  (%d entities)\n",
+		reshardWall.Round(time.Microsecond), len(pop.Workers))
+	fmt.Fprintf(stdout, "  %-16s  %8s  %10s  %10s  %10s\n", "window", "ops", "p50", "p99", "max")
+	for _, w := range []struct {
+		name string
+		lats []time.Duration
+	}{{"baseline", baseAll}, {"during split", splitAll}} {
+		if len(w.lats) == 0 {
+			fmt.Fprintf(stdout, "  %-16s  %8d\n", w.name, 0)
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-16s  %8d  %10s  %10s  %10s\n", w.name, len(w.lats),
+			pct(w.lats, 0.50).Round(time.Nanosecond),
+			pct(w.lats, 0.99).Round(time.Nanosecond),
+			w.lats[len(w.lats)-1].Round(time.Nanosecond))
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	// Phase 2: replica catch-up lag vs write rate.
+	fmt.Fprintf(stdout, "\nreplica staleness vs write rate (poll every 10ms, sync every 25ms):\n")
+	fmt.Fprintf(stdout, "  %10s  %8s  %10s  %10s  %12s\n", "rate", "writes", "mean lag", "max lag", "catch-up")
+	for _, rate := range []int{2000, 10000, 50000} {
+		dir := filepath.Join(root, fmt.Sprintf("rep-%d", rate))
+		pst, err := store.NewDurable(pop.Universe, 4, dir, wal.Options{})
+		if err != nil {
+			return err
+		}
+		if err := pst.BulkPutWorkers(pop.Workers); err != nil {
+			return err
+		}
+		if err := pst.SyncWAL(); err != nil {
+			return err
+		}
+		rep, err := replica.Open(dir)
+		if err != nil {
+			return err
+		}
+		if _, err := rep.CatchUp(); err != nil {
+			return err
+		}
+		rep.Run(10*time.Millisecond, nil)
+
+		// Pace the writer: a batch every 25ms for one second, synced so
+		// the replica can see it.
+		const tick = 25 * time.Millisecond
+		perTick := rate * int(tick) / int(time.Second)
+		writes := 0
+		var lagSamples []float64
+		deadline := time.Now().Add(1 * time.Second)
+		for i := 0; time.Now().Before(deadline); i++ {
+			for j := 0; j < perTick; j++ {
+				w := pop.Workers[(writes+j)%len(pop.Workers)]
+				w.Computed[model.AttrAcceptanceRatio] = model.Num(float64(j%100) / 100)
+				if err := pst.UpdateWorker(w); err != nil {
+					return err
+				}
+			}
+			writes += perTick
+			if err := pst.SyncWAL(); err != nil {
+				return err
+			}
+			// Steady-state shipping delay: how many committed primary
+			// mutations the follower has not applied at this instant
+			// (Staleness().Lag only reports flushed-but-unapplied records
+			// as of the replica's own last pass, which a drained poll
+			// leaves at zero).
+			lagSamples = append(lagSamples, float64(pst.Version()-rep.AppliedVersion()))
+			time.Sleep(tick)
+		}
+		if err := pst.SyncWAL(); err != nil {
+			return err
+		}
+		catchStart := time.Now()
+		for rep.AppliedVersion() < pst.Version() {
+			if _, err := rep.CatchUp(); err != nil {
+				return err
+			}
+		}
+		catchUp := time.Since(catchStart)
+		rep.Stop()
+		var mean, max float64
+		for _, l := range lagSamples {
+			mean += l
+			if l > max {
+				max = l
+			}
+		}
+		if len(lagSamples) > 0 {
+			mean /= float64(len(lagSamples))
+		}
+		fmt.Fprintf(stdout, "  %8d/s  %8d  %10.1f  %10.0f  %12s\n",
+			rate, writes, mean, max, catchUp.Round(time.Microsecond))
+		if err := pst.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -258,6 +258,14 @@ func (p *Platform) now() int64 {
 	return events[len(events)-1].Time
 }
 
+// Reshard changes the platform store's shard count online: entities are
+// handed off shard by shard under the write lock, readers and writers keep
+// running throughout, and on durable platforms the write-ahead layout and
+// manifest move to the new route epoch atomically with the cutover. A
+// warmed incremental auditor survives — its next AuditIncremental remaps
+// cursors onto the new layout and re-checks only the overlap.
+func (p *Platform) Reshard(n int) error { return p.st.Reshard(n) }
+
 // Store exposes the underlying store for advanced queries.
 func (p *Platform) Store() *store.Store { return p.st }
 

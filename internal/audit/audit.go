@@ -174,6 +174,26 @@ func (e *Engine) Audit() []*fairness.Report {
 	if !e.primed {
 		return e.rebuild()
 	}
+	if n := e.st.ShardCount(); len(e.cursors) != n {
+		// A reshard changed the shard width underneath us. Changelog
+		// records kept their versions when the handoff moved them between
+		// rings, so the engine survives the epoch change without a cold
+		// rebuild: restart every new-layout cursor at the lowest old
+		// cursor — re-delivered changes only re-dirty entities whose
+		// verdicts are then recomputed to identical values — and let the
+		// per-shard truncation check below decide whether ring retention
+		// actually covers the replayed span.
+		low := e.cursors[0]
+		for _, c := range e.cursors[1:] {
+			if c < low {
+				low = c
+			}
+		}
+		e.cursors = make([]uint64, n)
+		for i := range e.cursors {
+			e.cursors[i] = low
+		}
+	}
 	var changes []store.Change
 	for i := range e.cursors {
 		ch, ok := e.st.ShardChangesSince(i, e.cursors[i])

@@ -34,6 +34,13 @@ func encodeEvent(b []byte, e Event) []byte {
 	return b
 }
 
+// DecodeWALEvent decodes one event-log WAL frame (key = sequence number,
+// payload as written by a durable Log) — the ingestion side of WAL
+// shipping, used by replicas tailing another process's events directory.
+func DecodeWALEvent(seq uint64, payload []byte) (Event, error) {
+	return decodeEvent(seq, payload)
+}
+
 // decodeEvent rebuilds an event from a WAL frame.
 func decodeEvent(seq uint64, payload []byte) (Event, error) {
 	d := wal.NewDec(payload)

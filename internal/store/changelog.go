@@ -58,13 +58,34 @@ func (e Entity) String() string {
 // dirty sets without re-reading the entity.
 type Change struct {
 	Version uint64
-	Op      Op
-	Entity  Entity
+	// Epoch is the route-table generation that routed this mutation (see
+	// routetable.go); it records which shard layout the change was
+	// committed under. Routing metadata only: two stores reaching the
+	// same state through different reshard histories carry different
+	// epochs on otherwise identical changes.
+	Epoch  uint64
+	Op     Op
+	Entity Entity
 
 	Worker       model.WorkerID
 	Requester    model.RequesterID
 	Task         model.TaskID
 	Contribution model.ContributionID
+}
+
+// changePrimaryID returns the mutated entity's own id — the shard-routing
+// key of the change.
+func changePrimaryID(c Change) string {
+	switch c.Entity {
+	case EntityWorker:
+		return string(c.Worker)
+	case EntityRequester:
+		return string(c.Requester)
+	case EntityTask:
+		return string(c.Task)
+	default:
+		return string(c.Contribution)
+	}
 }
 
 // DefaultChangelogCap is the number of mutation records retained per shard
@@ -77,9 +98,12 @@ const DefaultChangelogCap = 1 << 16
 // SetChangelogCap resizes every shard's retention window to at most n
 // records (n < 1 disables retention entirely: every ChangesSince for a past
 // version reports truncation). Existing records beyond the new cap are
-// dropped oldest-first per shard.
+// dropped oldest-first per shard; shards created by a later Reshard inherit
+// the new cap.
 func (s *Store) SetChangelogCap(n int) {
-	for _, sh := range s.shards {
+	s.clogCap.Store(int64(n))
+	_, _, shs := s.view()
+	for _, sh := range shs {
 		sh.setChangelogCap(n)
 	}
 }
@@ -97,18 +121,22 @@ func (s *Store) SetChangelogCap(n int) {
 // that track one cursor per shard (internal/audit) should prefer
 // ShardChangesSince, which needs no cross-shard merge.
 func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
-	per := make([][]Change, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.RLock()
-		truncated := sh.ring.droppedMax > v
-		if !truncated {
-			per[i] = sh.changesAfter(v)
+	shs, release := s.rlockView()
+	per := make([][]Change, len(shs))
+	for i, sh := range shs {
+		// A retired shard's records were merged into the successor
+		// epoch's rings at handoff (truncation signal included), so it
+		// contributes nothing here.
+		if sh.retired {
+			continue
 		}
-		sh.mu.RUnlock()
-		if truncated {
+		if sh.ring.droppedMax > v {
+			release()
 			return nil, false
 		}
+		per[i] = sh.changesAfter(v)
 	}
+	release()
 	merged := mergeSorted(per, func(a, b Change) bool { return a.Version < b.Version })
 	for i := range merged {
 		if merged[i].Version != v+1+uint64(i) {
@@ -126,22 +154,34 @@ func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
 // v, oldest first — the per-shard cursor API. Versions within the result
 // are strictly increasing but not consecutive (the global sequencer
 // interleaves shards). The boolean reports completeness for this shard:
-// false means its ring dropped a record past v.
+// false means its ring dropped a record past v, or the index no longer
+// names a live shard — an out-of-range index or a shard retired by a
+// concurrent Reshard reads as total truncation, pushing cursor-based
+// consumers onto their rescan/remap path instead of panicking.
 func (s *Store) ShardChangesSince(shard int, v uint64) ([]Change, bool) {
-	sh := s.shards[shard]
+	rt := s.table()
+	if shard < 0 || shard >= rt.width() {
+		return nil, false
+	}
+	sh := rt.shards[shard]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	if sh.ring.droppedMax > v {
+	if sh.retired || sh.ring.droppedMax > v {
 		return nil, false
 	}
 	return sh.changesAfter(v), true
 }
 
 // ShardVersion returns the shard's watermark: the highest version recorded
-// in it. Every mutation owned by the shard with a version at or below the
-// watermark is visible to reads issued after the call.
+// in it (0 for an out-of-range index). Every mutation owned by the shard
+// with a version at or below the watermark is visible to reads issued
+// after the call.
 func (s *Store) ShardVersion(shard int) uint64 {
-	sh := s.shards[shard]
+	rt := s.table()
+	if shard < 0 || shard >= rt.width() {
+		return 0
+	}
+	sh := rt.shards[shard]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return sh.applied
@@ -152,8 +192,7 @@ func (s *Store) ShardVersion(shard int) uint64 {
 // two audits seeing equal (id, revision) pairs are guaranteed to see equal
 // entity values.
 func (s *Store) WorkerRevision(id model.WorkerID) uint64 {
-	sh := s.workerShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	defer sh.mu.RUnlock()
 	return sh.workerRev[id]
 }
@@ -161,8 +200,7 @@ func (s *Store) WorkerRevision(id model.WorkerID) uint64 {
 // TaskRevision returns the store version at which the task was inserted
 // (0 for unknown ids).
 func (s *Store) TaskRevision(id model.TaskID) uint64 {
-	sh := s.taskShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	defer sh.mu.RUnlock()
 	return sh.taskRev[id]
 }
@@ -170,8 +208,7 @@ func (s *Store) TaskRevision(id model.TaskID) uint64 {
 // ContributionRevision returns the store version at which the contribution
 // last mutated (0 for unknown ids).
 func (s *Store) ContributionRevision(id model.ContributionID) uint64 {
-	sh := s.contribShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	defer sh.mu.RUnlock()
 	return sh.contribRev[id]
 }

@@ -17,7 +17,8 @@ import (
 //	dir/
 //	  MANIFEST.json            checkpoint manifest (atomic rename)
 //	  snapshot-<version>.json  model.Snapshot at the last checkpoint
-//	  wal/shard-0000/...       per-shard segmented changelog WAL
+//	  wal/shard-0000/...       per-shard segmented changelog WAL (epoch 1)
+//	  wal/e0002-shard-0000/... per-shard WAL of later route epochs
 //	  events/...               the event log's segments (internal/eventlog)
 //
 // NewDurable creates the layout and writes a version-0 manifest so Open
@@ -30,10 +31,23 @@ import (
 // merged version order, preserving original version numbers, stopping at
 // the first version gap (a torn record in any shard invalidates every
 // higher version) and physically truncating the discarded tail so appends
-// continue a dense log.
+// continue a dense log. A Reshard (reshard.go) starts writing under a new
+// epoch's directories and records the width change in the manifest's epoch
+// log, so recovery merges streams across the reshard boundary; directories
+// of earlier epochs persist until the next checkpoint covers their records.
 
-// manifestFormat versions the on-disk layout.
-const manifestFormat = 1
+// manifestFormat versions the on-disk layout. Format 2 added the route
+// epoch and the epoch-change log.
+const manifestFormat = 2
+
+// EpochChange is one entry of the manifest's epoch log: a completed width
+// change and the sequencer value it happened at. Every version at or below
+// Version was routed by an earlier epoch; later versions may carry Epoch.
+type EpochChange struct {
+	Epoch   uint64 `json:"epoch"`
+	Width   int    `json:"width"`
+	Version uint64 `json:"version"`
+}
 
 // Manifest is the checkpoint metadata of a durable store.
 type Manifest struct {
@@ -41,8 +55,14 @@ type Manifest struct {
 	Format int `json:"format"`
 	// Skills reproduces the universe so Open needs no out-of-band schema.
 	Skills []string `json:"skills"`
-	// Shards is the hash-partition count the WAL directories correspond to.
+	// Shards is the hash-partition count the current epoch's WAL
+	// directories correspond to.
 	Shards int `json:"shards"`
+	// Epoch is the route-table generation the store was last running under
+	// (1 for a store that never resharded).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Epochs is the log of completed width changes, oldest first.
+	Epochs []EpochChange `json:"epochs,omitempty"`
 	// Version is the global mutation sequencer at checkpoint; the snapshot
 	// reflects exactly the mutations with versions 1..Version.
 	Version uint64 `json:"version"`
@@ -81,8 +101,15 @@ func WALDir(dir string) string { return filepath.Join(dir, "wal") }
 // every layer agrees on the layout).
 func EventsDir(dir string) string { return filepath.Join(dir, "events") }
 
-func walShardDir(dir string, i int) string {
-	return filepath.Join(WALDir(dir), fmt.Sprintf("shard-%04d", i))
+// walShardDir names one shard's WAL directory. Epoch 1 keeps the bare
+// shard-%04d layout (what every pre-reshard store wrote); later epochs are
+// qualified so an 8→16 split cannot collide with the old epoch's still-live
+// directories of the same shard index.
+func walShardDir(dir string, epoch uint64, i int) string {
+	if epoch <= 1 {
+		return filepath.Join(WALDir(dir), fmt.Sprintf("shard-%04d", i))
+	}
+	return filepath.Join(WALDir(dir), fmt.Sprintf("e%04d-shard-%04d", epoch, i))
 }
 
 // writeFileAtomic writes data to path via a temp file, fsync, and rename,
@@ -157,14 +184,15 @@ func NewDurable(u *model.Universe, shards int, dir string, opts wal.Options) (*S
 	}
 	s := NewSharded(u, shards)
 	s.dir, s.walOpts = dir, opts
-	for i := range s.shards {
-		sink, err := newWALSink(walShardDir(dir, i), opts)
+	rt := s.table()
+	for i, sh := range rt.shards {
+		sink, err := newWALSink(walShardDir(dir, rt.epoch, i), opts)
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i].wal = sink
+		sh.wal = sink
 	}
-	m := &Manifest{Format: manifestFormat, Skills: u.Names(), Shards: len(s.shards)}
+	m := &Manifest{Format: manifestFormat, Skills: u.Names(), Shards: rt.width(), Epoch: rt.epoch}
 	if err := writeManifest(dir, m); err != nil {
 		return nil, err
 	}
@@ -177,9 +205,18 @@ func (s *Store) Dir() string { return s.dir }
 // Durable reports whether mutations are teed into a write-ahead log.
 func (s *Store) Durable() bool { return s.dir != "" }
 
+// EpochLog returns the completed width changes of this store's lifetime,
+// oldest first (nil for a store that never resharded).
+func (s *Store) EpochLog() []EpochChange {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return append([]EpochChange(nil), s.epochs...)
+}
+
 // SyncWAL flushes every shard's durable sink to stable storage.
 func (s *Store) SyncWAL() error {
-	for _, sh := range s.shards {
+	_, _, shs := s.view()
+	for _, sh := range shs {
 		sh.mu.Lock()
 		var err error
 		if sh.wal != nil {
@@ -198,8 +235,12 @@ func (s *Store) SyncWAL() error {
 // succeed — but durability ends: post-Close mutations are never written
 // to the WAL and will be absent after the next Open.
 func (s *Store) Close() error {
+	// ckptMu excludes a concurrent Reshard, which creates and rewires
+	// sinks; without it a mid-migration Close could miss a brand-new one.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	var firstErr error
-	for _, sh := range s.shards {
+	for _, sh := range s.table().shards {
 		sh.mu.Lock()
 		if sh.wal != nil {
 			if err := sh.wal.Close(); err != nil && firstErr == nil {
@@ -236,29 +277,41 @@ func (s *Store) Checkpoint(o CheckpointOptions) (*Manifest, error) {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	s.rlockAll()
-	defer s.runlockAll()
+	// ckptMu excludes Reshard for its whole migration, so no successor
+	// table exists here: the current table's shards are the entire store.
+	rt := s.table()
+	shs := rt.shards
+	for _, sh := range shs {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range shs {
+			sh.mu.RUnlock()
+		}
+	}()
 
 	m := &Manifest{
 		Format:     manifestFormat,
 		Skills:     s.universe.Names(),
-		Shards:     len(s.shards),
+		Shards:     len(shs),
+		Epoch:      rt.epoch,
+		Epochs:     append([]EpochChange(nil), s.epochs...),
 		Version:    s.version.Load(),
-		Watermarks: make([]uint64, len(s.shards)),
-		LowWater:   make([]uint64, len(s.shards)),
+		Watermarks: make([]uint64, len(shs)),
+		LowWater:   make([]uint64, len(shs)),
 		Snapshot:   snapshotName(s.version.Load()),
 		Events:     o.Events,
 		Audit:      o.Audit,
 	}
-	for i, sh := range s.shards {
+	for i, sh := range shs {
 		m.Watermarks[i] = sh.applied
 		m.LowWater[i] = sh.applied
-		if len(o.AuditCursors) == len(s.shards) && o.AuditCursors[i] < m.LowWater[i] {
+		if len(o.AuditCursors) == len(shs) && o.AuditCursors[i] < m.LowWater[i] {
 			m.LowWater[i] = o.AuditCursors[i]
 		}
 	}
 
-	snap := s.snapshot(true)
+	snap := s.snapshot(shs)
 	data, err := snap.Encode()
 	if err != nil {
 		return nil, fmt.Errorf("store: encode snapshot: %w", err)
@@ -284,7 +337,9 @@ func (s *Store) Checkpoint(o CheckpointOptions) (*Manifest, error) {
 	// are dead. Rotate first so the active segment becomes truncatable too.
 	// All mutators are blocked on the shard locks, so touching the sinks
 	// here is race-free.
-	for i, sh := range s.shards {
+	live := make(map[string]bool, len(shs))
+	for i, sh := range shs {
+		live[filepath.Base(walShardDir(s.dir, rt.epoch, i))] = true
 		ws, ok := sh.wal.(*walSink)
 		if !ok || ws == nil {
 			continue
@@ -299,12 +354,12 @@ func (s *Store) Checkpoint(o CheckpointOptions) (*Manifest, error) {
 			return nil, err
 		}
 	}
-	// Shard directories retired by an earlier width change hold only
-	// records the snapshot now covers: remove them.
+	// Directories of retired epochs (and of widths beyond the current one)
+	// hold only records the snapshot now covers: remove everything that is
+	// not a live sink's directory.
 	if dirs, err := os.ReadDir(WALDir(s.dir)); err == nil {
 		for _, e := range dirs {
-			var n int
-			if _, err := fmt.Sscanf(e.Name(), "shard-%d", &n); err == nil && n >= len(s.shards) {
+			if e.IsDir() && !live[e.Name()] {
 				if err := os.RemoveAll(filepath.Join(WALDir(s.dir), e.Name())); err != nil {
 					return nil, fmt.Errorf("store: drop retired shard wal: %w", err)
 				}
@@ -344,26 +399,51 @@ func (rs *replayStream) advance() error {
 }
 
 // primaryID returns the mutated entity's own id, the shard-routing key.
-func (m *Mutation) primaryID() string {
-	switch m.Change.Entity {
-	case EntityWorker:
-		return string(m.Change.Worker)
-	case EntityRequester:
-		return string(m.Change.Requester)
-	case EntityTask:
-		return string(m.Change.Task)
-	default:
-		return string(m.Change.Contribution)
+func (m *Mutation) primaryID() string { return changePrimaryID(m.Change) }
+
+// setEpoch re-stamps a not-yet-published store (recovery only: no
+// concurrent access) with the given route epoch.
+func (s *Store) setEpoch(epoch uint64) {
+	rt := s.route.Load()
+	for _, sh := range rt.shards {
+		sh.epoch = epoch
 	}
+	s.route.Store(newRouteTable(epoch, rt.shards))
+}
+
+// openSnapshot rebuilds the checkpointed entity state (or an empty store)
+// from a manifest at the given shard width.
+func openSnapshot(dir string, man *Manifest, shards int) (*Store, error) {
+	if man.Snapshot != "" {
+		data, err := os.ReadFile(filepath.Join(dir, man.Snapshot))
+		if err != nil {
+			return nil, fmt.Errorf("store: read snapshot: %w", err)
+		}
+		snap, err := model.DecodeSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+		s, err := FromSnapshotSharded(snap, shards)
+		if err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+		return s, nil
+	}
+	u, err := model.NewUniverse(man.Skills...)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	return NewSharded(u, shards), nil
 }
 
 // Open recovers a durable store from dir: the checkpoint snapshot is
-// rebuilt through the bulk insert paths, then the WAL tail is replayed in
-// globally merged version order with original version numbers, re-seeding
-// the in-memory changelog rings (so warm-started audit cursors keep
-// working) and stopping at the first version gap — the longest globally
-// valid prefix survives a torn or corrupted final record. shards <= 0
-// reopens at the manifest's width; a different width replays correctly but
+// rebuilt through the bulk insert paths, then the WAL tail — every epoch's
+// shard directories — is replayed in globally merged version order with
+// original version numbers, re-seeding the in-memory changelog rings (so
+// warm-started audit cursors keep working) and stopping at the first
+// version gap; the longest globally valid prefix survives a torn or
+// corrupted final record. shards <= 0 reopens at the manifest's width; a
+// different width replays correctly but starts a new route epoch and
 // invalidates saved audit cursors (warm starts fall back to a full scan).
 // The returned store has live WAL sinks attached and continues appending
 // where the recovered log ends.
@@ -378,34 +458,31 @@ func Open(dir string, shards int, opts wal.Options) (*Store, *Manifest, error) {
 	sameLayout := shards == man.Shards &&
 		len(man.Watermarks) == shards && len(man.LowWater) == shards
 
-	var s *Store
-	if man.Snapshot != "" {
-		data, err := os.ReadFile(filepath.Join(dir, man.Snapshot))
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: read snapshot: %w", err)
-		}
-		snap, err := model.DecodeSnapshot(data)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: open: %w", err)
-		}
-		s, err = FromSnapshotSharded(snap, shards)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: open: %w", err)
-		}
-	} else {
-		u, err := model.NewUniverse(man.Skills...)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: open: %w", err)
-		}
-		s = NewSharded(u, shards)
+	epoch := man.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	s, err := openSnapshot(dir, man, shards)
+	if err != nil {
+		return nil, nil, err
 	}
 	s.dir, s.walOpts = dir, opts
+	s.epochs = append([]EpochChange(nil), man.Epochs...)
+	if shards != man.Shards {
+		// An explicit width change at reopen is a reshard performed at
+		// rest: it starts a fresh epoch so its WAL directories cannot
+		// collide with the manifest epoch's. The epoch-log entry is
+		// persisted by the next checkpoint or online Reshard.
+		epoch++
+		s.epochs = append(s.epochs, EpochChange{Epoch: epoch, Width: shards, Version: man.Version})
+	}
+	s.setEpoch(epoch)
 
 	// Reset the rebuild bookkeeping to the manifest's recovery baseline:
 	// the bulk loads above consumed sequencer values and seeded rings with
 	// rebuild-local versions that have nothing to do with the original
 	// numbering the WAL tail carries.
-	for i, sh := range s.shards {
+	for i, sh := range s.table().shards {
 		sh.ring = changeRing{cap: sh.ring.cap}
 		if sameLayout {
 			sh.applied = man.Watermarks[i]
@@ -425,7 +502,7 @@ func Open(dir string, shards int, opts wal.Options) (*Store, *Manifest, error) {
 		// Corruption below the snapshot version: entity state is intact
 		// (the snapshot covers it) but the rings cannot promise continuity
 		// for saved cursors — force stale readers onto the full-scan path.
-		for _, sh := range s.shards {
+		for _, sh := range s.table().shards {
 			if sh.ring.droppedMax < man.Version {
 				sh.ring.droppedMax = man.Version
 			}
@@ -441,14 +518,66 @@ func Open(dir string, shards int, opts wal.Options) (*Store, *Manifest, error) {
 			}
 		}
 	}
-	for i := range s.shards {
-		sink, err := newWALSink(walShardDir(dir, i), opts)
+	for i, sh := range s.table().shards {
+		sink, err := newWALSink(walShardDir(dir, epoch, i), opts)
 		if err != nil {
 			return nil, nil, err
 		}
-		s.shards[i].wal = sink
+		sh.wal = sink
 	}
 	return s, man, nil
+}
+
+// Bootstrap rebuilds the checkpointed state of a durable store directory
+// without attaching WAL sinks, replaying the tail, or truncating anything
+// on disk — the read-only foundation a replica (internal/replica) builds
+// on. The returned store is volatile (Durable() == false) and positioned
+// exactly at the manifest: Version() == manifest version, every ring empty
+// with droppedMax at the manifest version, so changelog consumers start
+// from the WAL tail the replica will feed through Apply.
+func Bootstrap(dir string) (*Store, *Manifest, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := openSnapshot(dir, man, man.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	epoch := man.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	s.setEpoch(epoch)
+	s.epochs = append([]EpochChange(nil), man.Epochs...)
+	for i, sh := range s.table().shards {
+		sh.ring = changeRing{cap: sh.ring.cap}
+		sh.ring.droppedMax = man.Version
+		if len(man.Watermarks) == len(s.table().shards) {
+			sh.applied = man.Watermarks[i]
+		} else {
+			sh.applied = man.Version
+		}
+	}
+	s.version.Store(man.Version)
+	return s, man, nil
+}
+
+// DecodeWALMutation decodes one changelog WAL frame (key = version,
+// payload as written by the store's sinks) — the ingestion side of WAL
+// shipping.
+func DecodeWALMutation(key uint64, payload []byte) (Mutation, error) {
+	return decodeMutation(key, payload)
+}
+
+// Apply applies a decoded WAL mutation at its original version and epoch,
+// routed through the live table — the replication path: a follower tailing
+// another process's log feeds records here in global version order. The
+// entity is validated like any live mutation.
+func (s *Store) Apply(m Mutation) error {
+	sh := s.lockOwner(m.primaryID())
+	defer sh.mu.Unlock()
+	return s.applyMutation(sh, m)
 }
 
 // replayWAL merges every shard directory's stream by version and applies
@@ -518,7 +647,7 @@ func (s *Store) replayWAL(dir string, man *Manifest) (lastApplied uint64, preSna
 			// The snapshot already holds this mutation's effect; re-seed
 			// the owning shard's ring so warm-started changelog cursors
 			// between low-water and watermark still read cleanly.
-			sh := s.shards[s.shardIndex(m.primaryID())]
+			sh := s.table().shardFor(m.primaryID())
 			sh.ring.record(m.Change)
 			if v > sh.applied {
 				sh.applied = v
@@ -540,39 +669,44 @@ func (s *Store) replayWAL(dir string, man *Manifest) (lastApplied uint64, preSna
 // version. The store is not yet published, so no locks are needed; the
 // locked helpers only assume the lock is held, they do not acquire it.
 func (s *Store) applyReplay(m Mutation) error {
-	v := m.Change.Version
-	sh := s.shards[s.shardIndex(m.primaryID())]
+	return s.applyMutation(s.table().shardFor(m.primaryID()), m)
+}
+
+// applyMutation applies one decoded mutation under the held (or not yet
+// shared) owning shard, preserving its original version and epoch.
+func (s *Store) applyMutation(sh *shard, m Mutation) error {
+	v, e := m.Change.Version, m.Change.Epoch
 	switch {
 	case m.Change.Entity == EntityWorker && m.Change.Op == OpInsert:
 		if err := m.Worker.Validate(s.universe); err != nil {
 			return fmt.Errorf("store: replay v%d: %w", v, err)
 		}
-		return s.putWorkerLocked(sh, m.Worker, v)
+		return s.putWorkerLocked(sh, m.Worker, v, e)
 	case m.Change.Entity == EntityWorker && m.Change.Op == OpUpdate:
 		if err := m.Worker.Validate(s.universe); err != nil {
 			return fmt.Errorf("store: replay v%d: %w", v, err)
 		}
-		return s.updateWorkerLocked(sh, m.Worker, v)
+		return s.updateWorkerLocked(sh, m.Worker, v, e)
 	case m.Change.Entity == EntityRequester:
 		if err := m.Requester.Validate(); err != nil {
 			return fmt.Errorf("store: replay v%d: %w", v, err)
 		}
-		return s.putRequesterLocked(sh, m.Requester, v)
+		return s.putRequesterLocked(sh, m.Requester, v, e)
 	case m.Change.Entity == EntityTask:
 		if err := m.Task.Validate(s.universe); err != nil {
 			return fmt.Errorf("store: replay v%d: %w", v, err)
 		}
-		return s.putTaskLocked(sh, m.Task, v)
+		return s.putTaskLocked(sh, m.Task, v, e)
 	case m.Change.Entity == EntityContribution && m.Change.Op == OpInsert:
 		if err := m.Contribution.Validate(); err != nil {
 			return fmt.Errorf("store: replay v%d: %w", v, err)
 		}
-		return s.putContributionLocked(sh, m.Contribution, v)
+		return s.putContributionLocked(sh, m.Contribution, v, e)
 	case m.Change.Entity == EntityContribution && m.Change.Op == OpUpdate:
 		if err := m.Contribution.Validate(); err != nil {
 			return fmt.Errorf("store: replay v%d: %w", v, err)
 		}
-		return s.updateContributionLocked(sh, m.Contribution, v)
+		return s.updateContributionLocked(sh, m.Contribution, v, e)
 	}
 	return fmt.Errorf("store: replay v%d: unknown mutation kind", v)
 }

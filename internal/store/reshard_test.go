@@ -1,0 +1,373 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// mutate runs goroutine g's deterministic workload against s: a requester,
+// a batch of workers and tasks, contributions, and repeated updates. Each
+// goroutine owns a disjoint id space and every entity's final value is a
+// fixed function of its id, so the final store state is independent of how
+// the goroutines interleave (only the version order varies).
+func mutate(t *testing.T, s *store.Store, u *model.Universe, g, entities int) {
+	t.Helper()
+	rid := model.RequesterID(fmt.Sprintf("r%d", g))
+	if err := s.PutRequester(&model.Requester{ID: rid, Name: fmt.Sprintf("req-%d", g)}); err != nil {
+		t.Error(err)
+		return
+	}
+	skills := []string{"go", "sql", "nlp"}
+	for i := 0; i < entities; i++ {
+		w := &model.Worker{
+			ID:     model.WorkerID(fmt.Sprintf("w%d-%03d", g, i)),
+			Skills: u.MustVector(skills[i%len(skills)]),
+		}
+		if err := s.PutWorker(w); err != nil {
+			t.Error(err)
+			return
+		}
+		task := &model.Task{
+			ID:        model.TaskID(fmt.Sprintf("t%d-%03d", g, i)),
+			Requester: rid,
+			Skills:    u.MustVector(skills[i%len(skills)]),
+			Reward:    float64(1 + i%7),
+		}
+		if err := s.PutTask(task); err != nil {
+			t.Error(err)
+			return
+		}
+		c := &model.Contribution{
+			ID:          model.ContributionID(fmt.Sprintf("c%d-%03d", g, i)),
+			Task:        task.ID,
+			Worker:      w.ID,
+			SubmittedAt: int64(i),
+		}
+		if err := s.PutContribution(c); err != nil {
+			t.Error(err)
+			return
+		}
+		if i%2 == 0 {
+			w.Computed = model.Attributes{"rank": model.Num(float64(i % 5))}
+			if err := s.UpdateWorker(w); err != nil {
+				t.Error(err)
+				return
+			}
+			c.Accepted = true
+			c.Paid = task.Reward
+			if err := s.UpdateContribution(c); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+}
+
+// walTrace decodes every mutation persisted under dir's WAL directories
+// (across all route epochs) and returns them sorted by version.
+func walTrace(t *testing.T, dir string) []store.Mutation {
+	t.Helper()
+	entries, err := os.ReadDir(store.WALDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var muts []store.Mutation
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		r, err := wal.OpenDir(store.WALDir(dir) + "/" + e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			key, payload, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := store.DecodeWALMutation(key, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			muts = append(muts, m)
+		}
+		r.Close()
+	}
+	sort.Slice(muts, func(i, j int) bool { return muts[i].Change.Version < muts[j].Change.Version })
+	return muts
+}
+
+// stripEpochs zeroes the routing-metadata epoch on a change stream: two
+// stores reaching the same state through different reshard histories carry
+// different epochs on otherwise identical changes.
+func stripEpochs(chs []store.Change) []store.Change {
+	out := append([]store.Change(nil), chs...)
+	for i := range out {
+		out[i].Epoch = 0
+	}
+	return out
+}
+
+// TestReshardDeterminism is the acceptance test for online resharding: a
+// durable store resharded 8 -> 16 -> 3 while concurrent mutators run must
+// end byte-identical — entities, merged changelog, and audit verdicts — to
+// a fresh store built at the final width from the same mutation trace, and
+// to a recovery of its own directory across both reshard boundaries.
+func TestReshardDeterminism(t *testing.T) {
+	u := model.MustUniverse("go", "sql", "nlp")
+	dir := t.TempDir()
+	s, err := store.NewDurable(u, 8, dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 6
+	const entities = 40
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			mutate(t, s, u, g, entities)
+		}(g)
+	}
+	// A reader polling the merged changelog while shards split and merge
+	// under it: the stream must stay gap-free the whole way.
+	stopRead := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		var cursor uint64
+		for {
+			chs, ok := s.ChangesSince(cursor)
+			if !ok {
+				t.Errorf("changelog truncated during reshard (cursor %d)", cursor)
+				return
+			}
+			for i, c := range chs {
+				if c.Version != cursor+1+uint64(i) {
+					t.Errorf("gap during reshard: change %d has version %d after cursor %d", i, c.Version, cursor)
+					return
+				}
+			}
+			if len(chs) > 0 {
+				cursor = chs[len(chs)-1].Version
+			}
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+		}
+	}()
+
+	close(start)
+	if err := s.Reshard(16); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardCount(); got != 16 {
+		t.Fatalf("ShardCount after split = %d", got)
+	}
+	if err := s.Reshard(3); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(stopRead)
+	rwg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if got := s.ShardCount(); got != 3 {
+		t.Fatalf("ShardCount after merge = %d", got)
+	}
+	if got := s.Epoch(); got != 3 {
+		t.Fatalf("Epoch = %d, want 3 (two reshards from epoch 1)", got)
+	}
+	log := s.EpochLog()
+	if len(log) != 2 || log[0].Width != 16 || log[1].Width != 3 {
+		t.Fatalf("EpochLog = %+v, want widths 16 then 3", log)
+	}
+
+	version := s.Version()
+	// Per goroutine: one requester, three puts per entity, and two updates
+	// for every even-indexed entity.
+	wantMuts := uint64(writers * (1 + 3*entities + entities/2*2))
+	if version != wantMuts {
+		t.Fatalf("version %d, want %d mutations", version, wantMuts)
+	}
+	liveChanges, ok := s.ChangesSince(0)
+	if !ok || uint64(len(liveChanges)) != version {
+		t.Fatalf("merged changelog: %d records (ok=%v), want %d", len(liveChanges), ok, version)
+	}
+	liveSnap, err := s.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fairness.DefaultConfig()
+	emptyTrace := eventlog.New()
+	liveReports := fairness.CheckAll(s, emptyTrace, cfg)
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh store at the final width, fed the identical mutation trace in
+	// version order through the replication path.
+	fresh := store.NewSharded(u, 3)
+	trace := walTrace(t, dir)
+	if uint64(len(trace)) != version {
+		t.Fatalf("WAL trace has %d mutations, want %d", len(trace), version)
+	}
+	for _, m := range trace {
+		if err := fresh.Apply(m); err != nil {
+			t.Fatalf("apply v%d: %v", m.Change.Version, err)
+		}
+	}
+	freshSnap, err := fresh.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveSnap, freshSnap) {
+		t.Errorf("snapshot of resharded store differs from trace-built store (%d vs %d bytes)", len(liveSnap), len(freshSnap))
+	}
+	freshChanges, ok := fresh.ChangesSince(0)
+	if !ok {
+		t.Fatal("fresh store changelog truncated")
+	}
+	// Epochs are routing metadata and may legitimately differ between
+	// reshard histories; everything else must match record for record.
+	a, b := stripEpochs(liveChanges), stripEpochs(freshChanges)
+	if len(a) != len(b) {
+		t.Fatalf("changelogs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("change %d differs: live %+v, fresh %+v", i, a[i], b[i])
+		}
+	}
+	if !audit.ViolationsEqual(liveReports, fairness.CheckAll(fresh, emptyTrace, cfg)) {
+		t.Error("audit reports differ between resharded and trace-built store")
+	}
+
+	// Recovery must cross both reshard boundaries: reopening the directory
+	// replays epoch-split WAL directories into the final layout.
+	rec, man, err := store.Open(dir, 0, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if man.Shards != 3 || rec.ShardCount() != 3 {
+		t.Fatalf("recovered at width %d/%d, want 3", man.Shards, rec.ShardCount())
+	}
+	if rec.Epoch() != 3 {
+		t.Fatalf("recovered epoch %d, want 3", rec.Epoch())
+	}
+	if rec.Version() != version {
+		t.Fatalf("recovered version %d, want %d", rec.Version(), version)
+	}
+	recSnap, err := rec.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveSnap, recSnap) {
+		t.Error("recovered snapshot differs from pre-close state")
+	}
+	if !audit.ViolationsEqual(liveReports, fairness.CheckAll(rec, emptyTrace, cfg)) {
+		t.Error("audit reports differ after recovery")
+	}
+}
+
+// TestReshardInMemory pins the volatile path: resharding a non-durable
+// store moves every entity and changelog record without touching disk.
+func TestReshardInMemory(t *testing.T) {
+	u := model.MustUniverse("go", "sql")
+	s := store.NewSharded(u, 4)
+	for i := 0; i < 50; i++ {
+		w := &model.Worker{ID: model.WorkerID(fmt.Sprintf("w%03d", i)), Skills: u.MustVector("go")}
+		if err := s.PutWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, ok := s.ChangesSince(0)
+	if !ok {
+		t.Fatal("truncated before reshard")
+	}
+	if err := s.Reshard(7); err != nil {
+		t.Fatal(err)
+	}
+	if s.ShardCount() != 7 || s.Epoch() != 2 {
+		t.Fatalf("width %d epoch %d, want 7/2", s.ShardCount(), s.Epoch())
+	}
+	after, ok := s.ChangesSince(0)
+	if !ok {
+		t.Fatal("truncated after reshard")
+	}
+	a, b := stripEpochs(before), stripEpochs(after)
+	if len(a) != len(b) {
+		t.Fatalf("changelog length changed across reshard: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("change %d moved: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if got := len(s.Workers()); got != 50 {
+		t.Fatalf("workers after reshard = %d", got)
+	}
+	// Same width is a no-op: the epoch must not advance.
+	if err := s.Reshard(7); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("no-op reshard advanced epoch to %d", s.Epoch())
+	}
+}
+
+// TestReshardRetiredShardReads pins reader behavior on retired layouts:
+// per-shard cursors against the old width report truncation rather than
+// stale or panicking reads.
+func TestReshardRetiredShardReads(t *testing.T) {
+	u := model.MustUniverse("go")
+	s := store.NewSharded(u, 8)
+	for i := 0; i < 20; i++ {
+		w := &model.Worker{ID: model.WorkerID(fmt.Sprintf("w%03d", i)), Skills: u.MustVector("go")}
+		if err := s.PutWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Reshard(2); err != nil {
+		t.Fatal(err)
+	}
+	// Old shard indexes 2..7 no longer exist: a cursor held from the old
+	// layout must see a truncation signal, not a panic.
+	if chs, ok := s.ShardChangesSince(5, 0); ok || chs != nil {
+		t.Fatalf("ShardChangesSince(5) on width 2 = (%v, %v), want (nil, false)", chs, ok)
+	}
+	if v := s.ShardVersion(5); v != 0 {
+		t.Fatalf("ShardVersion(5) on width 2 = %d, want 0", v)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.ShardChangesSince(i, 0); !ok {
+			t.Fatalf("live shard %d reports truncation", i)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package store
+
+import "sync/atomic"
+
+// routeTable is the immutable, epoch-stamped routing state of the store:
+// which shard owns which key. Routing used to be two fields inlined in
+// Store (a mask and a shard slice); lifting them into one immutable value
+// swapped through an atomic pointer is what makes live resharding possible —
+// a Reshard builds the next epoch's table off to the side, migrates shard by
+// shard, and publishes the new epoch with a single pointer store. A table is
+// never mutated after publication; every mutation routed through it stamps
+// its changelog record (and WAL frame) with the table's epoch.
+//
+// Epochs start at 1 and increase by exactly one per reshard. During a
+// migration two adjacent tables are live at once: the current one
+// (Store.route) and its successor (Store.next). A shard whose contents have
+// been handed off to the successor layout is marked retired; routing falls
+// through retired shards to the successor table (see lockOwner), and once
+// every shard of the old epoch is retired the successor is promoted to
+// Store.route and Store.next is cleared.
+type routeTable struct {
+	epoch  uint64
+	shards []*shard
+
+	// mask enables the power-of-two routing fast path: when the shard
+	// count is a power of two, h % n == h & (n-1), so routing skips the
+	// integer division. masked distinguishes a real mask of 0 (one shard)
+	// from "not a power of two".
+	mask   uint64
+	masked bool
+}
+
+func newRouteTable(epoch uint64, shards []*shard) *routeTable {
+	rt := &routeTable{epoch: epoch, shards: shards}
+	if n := len(shards); n&(n-1) == 0 {
+		rt.mask, rt.masked = uint64(n-1), true
+	}
+	return rt
+}
+
+// width returns the table's shard count.
+func (rt *routeTable) width() int { return len(rt.shards) }
+
+// index routes an id to its owning shard under this table.
+func (rt *routeTable) index(id string) int {
+	h := fnv64a(id)
+	if rt.masked {
+		return int(h & rt.mask)
+	}
+	return int(h % uint64(len(rt.shards)))
+}
+
+// shardFor returns the shard owning id under this table.
+func (rt *routeTable) shardFor(id string) *shard { return rt.shards[rt.index(id)] }
+
+// successor reports whether nt is the table that directly follows rt — the
+// only table retired shards may fall through to. A non-adjacent pair means
+// the loads that produced it straddled a completed reshard and must be
+// retried against fresh pointers.
+func (rt *routeTable) successor(nt *routeTable) bool {
+	return nt != nil && nt.epoch == rt.epoch+1
+}
+
+// table returns the current routing table.
+func (s *Store) table() *routeTable { return s.route.Load() }
+
+// Epoch returns the current route-table epoch. It starts at 1 and advances
+// by one on every completed Reshard (and when Open reopens a durable store
+// at a width different from its manifest's).
+func (s *Store) Epoch() uint64 { return s.table().epoch }
+
+// lockOwner write-locks and returns the shard owning id, following the
+// migration protocol: route through the current table; if the shard there
+// has been retired (its contents handed off to the next epoch's layout),
+// fall through to the successor table; if the tables moved underneath us —
+// a reshard completed between loads — retry against the fresh pointers.
+// At most one shard lock is ever held while waiting, which keeps writers
+// out of every deadlock cycle.
+func (s *Store) lockOwner(id string) *shard {
+	for {
+		rt := s.route.Load()
+		sh := rt.shardFor(id)
+		sh.mu.Lock()
+		if !sh.retired {
+			return sh
+		}
+		sh.mu.Unlock()
+		if nt := s.next.Load(); rt.successor(nt) {
+			sh = nt.shardFor(id)
+			sh.mu.Lock()
+			if !sh.retired {
+				return sh
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// rlockOwner read-locks and returns the shard owning id (see lockOwner).
+func (s *Store) rlockOwner(id string) *shard {
+	for {
+		rt := s.route.Load()
+		sh := rt.shardFor(id)
+		sh.mu.RLock()
+		if !sh.retired {
+			return sh
+		}
+		sh.mu.RUnlock()
+		if nt := s.next.Load(); rt.successor(nt) {
+			sh = nt.shardFor(id)
+			sh.mu.RLock()
+			if !sh.retired {
+				return sh
+			}
+			sh.mu.RUnlock()
+		}
+	}
+}
+
+// view returns a consistent shard set covering the whole key space: the
+// current table's shards plus, while a reshard is migrating, the successor
+// table's. The double-check against both atomic pointers guarantees the
+// returned slice spans every live entity — a reshard that completed between
+// the loads is detected and the read retried.
+func (s *Store) view() (rt, nt *routeTable, shs []*shard) {
+	for {
+		rt = s.route.Load()
+		nt = s.next.Load()
+		if rt.successor(nt) {
+			shs = make([]*shard, 0, len(rt.shards)+len(nt.shards))
+			shs = append(append(shs, rt.shards...), nt.shards...)
+			return rt, nt, shs
+		}
+		if nt == nil && s.route.Load() == rt {
+			return rt, nil, rt.shards
+		}
+		// The pointers straddled a reshard boundary; reload both.
+	}
+}
+
+// rlockView acquires read locks over a validated whole-key-space view and
+// returns the locked shards plus the release function. Locks are taken in
+// table order (current epoch's shards first, then the successor's), the
+// same order handoffs acquire theirs, so the view is deadlock-free; after
+// acquisition the route pointers are re-checked and the view retried if a
+// reshard started or finished in between — a successful return therefore
+// pins a set of shards that no concurrent handoff can move entities out of
+// or into unseen.
+func (s *Store) rlockView() ([]*shard, func()) {
+	for {
+		rt, nt, shs := s.view()
+		for _, sh := range shs {
+			sh.mu.RLock()
+		}
+		if s.route.Load() == rt && s.next.Load() == nt {
+			return shs, func() {
+				for _, sh := range shs {
+					sh.mu.RUnlock()
+				}
+			}
+		}
+		for _, sh := range shs {
+			sh.mu.RUnlock()
+		}
+	}
+}
+
+// routePtr is a typed alias kept close to the fields it documents; see
+// Store.route / Store.next in store.go.
+type routePtr = atomic.Pointer[routeTable]

@@ -13,19 +13,21 @@ import (
 // on its own goroutine, then merged), so snapshotting a large sharded
 // store scales with cores; the small requester table is gathered serially.
 func (s *Store) Snapshot() *model.Snapshot {
-	return s.snapshot(false)
+	shs, release := s.rlockView()
+	defer release()
+	return s.snapshot(shs)
 }
 
-// snapshot gathers the full state; locked callers (Checkpoint, which holds
-// every shard's read lock for a consistent cut) pass locked=true so the
-// per-shard gathers skip re-acquiring the locks.
-func (s *Store) snapshot(locked bool) *model.Snapshot {
+// snapshot gathers the full state under a held whole-key-space view (the
+// caller — Snapshot or Checkpoint — pins the shard locks for a consistent
+// cut across all four tables).
+func (s *Store) snapshot(held []*shard) *model.Snapshot {
 	return &model.Snapshot{
 		Skills:        s.universe.Names(),
-		Workers:       s.workersSlice(true, locked),
-		Requesters:    s.requestersSlice(locked),
-		Tasks:         s.tasksSlice(true, locked),
-		Contributions: s.contributionsSlice(true, locked),
+		Workers:       s.workersSlice(true, held),
+		Requesters:    s.requestersSlice(held),
+		Tasks:         s.tasksSlice(true, held),
+		Contributions: s.contributionsSlice(true, held),
 	}
 }
 
@@ -62,11 +64,14 @@ func FromSnapshotSharded(snap *model.Snapshot, shards int) (*Store, error) {
 }
 
 // skillBucket merges the per-shard skill-index runs for one skill into a
-// single id-sorted slice of stored worker pointers. Caller must hold every
-// shard's read lock.
-func (s *Store) skillBucket(skill int) []*model.Worker {
-	per := make([][]*model.Worker, 0, len(s.shards))
-	for _, sh := range s.shards {
+// single id-sorted slice of stored worker pointers. Caller must hold read
+// locks over the given whole-key-space view.
+func skillBucket(shs []*shard, skill int) []*model.Worker {
+	per := make([][]*model.Worker, 0, len(shs))
+	for _, sh := range shs {
+		if sh.retired {
+			continue
+		}
 		ids := sh.workersBySkill[skill]
 		if len(ids) == 0 {
 			continue
@@ -97,12 +102,12 @@ func (s *Store) skillBucket(skill int) []*model.Worker {
 // scan holds every shard's read lock for the duration, like the old
 // single-lock scan held its one lock.
 func (s *Store) CandidateWorkerPairs() [][2]model.WorkerID {
-	s.rlockAll()
-	defer s.runlockAll()
+	shs, release := s.rlockView()
+	defer release()
 	nSkills := s.universe.Size()
 	perSkill := make([][][2]model.WorkerID, nSkills)
 	par.For(nSkills, 0, func(skill int) {
-		bucket := s.skillBucket(skill)
+		bucket := skillBucket(shs, skill)
 		if len(bucket) < 2 {
 			return
 		}
@@ -148,14 +153,17 @@ func firstSharedSkill(a, b model.SkillVector) int {
 // skill and posted by different requesters — the candidate set for Axiom 2
 // (requester fairness applies across distinct requesters).
 func (s *Store) CandidateTaskPairs() [][2]model.TaskID {
-	s.rlockAll()
-	defer s.runlockAll()
+	shs, release := s.rlockView()
+	defer release()
 	var out [][2]model.TaskID
 	bucket := make([]*model.Task, 0, 64)
-	perShard := make([][]*model.Task, 0, len(s.shards))
+	perShard := make([][]*model.Task, 0, len(shs))
 	for skill := 0; skill < s.universe.Size(); skill++ {
 		perShard = perShard[:0]
-		for _, sh := range s.shards {
+		for _, sh := range shs {
+			if sh.retired {
+				continue
+			}
 			ids := sh.tasksBySkill[skill]
 			if len(ids) == 0 {
 				continue

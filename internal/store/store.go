@@ -12,23 +12,27 @@
 // Concurrency model: the store is hash-partitioned into ShardCount shards
 // (see shard.go), each owning the entities whose id hashes to it together
 // with that partition's secondary indexes, revision map, and changelog
-// ring. Every mutation takes exactly one shard's write lock — referenced
-// entities in other shards are probed under read locks, which is safe
-// because entities are never deleted — so writers to different shards never
-// contend and mutation throughput scales with cores. A single atomic
-// sequencer allocates global versions; allocation happens while the owning
-// shard's write lock is held, which yields the store's core visibility
-// invariant: every mutation with a version at or below Version() is fully
-// applied and visible to any subsequently acquired shard lock.
+// ring. Which shard owns which id is decided by an immutable, epoch-stamped
+// route table (routetable.go) swapped through an atomic pointer; Reshard
+// (reshard.go) migrates the store to a new shard width under live traffic
+// by publishing a successor table and handing shards off one at a time.
+// Every mutation takes exactly one shard's write lock — referenced entities
+// in other shards are probed under read locks, which is safe because
+// entities are never deleted — so writers to different shards never contend
+// and mutation throughput scales with cores. A single atomic sequencer
+// allocates global versions; allocation happens while the owning shard's
+// write lock is held, which yields the store's core visibility invariant:
+// every mutation with a version at or below Version() is fully applied and
+// visible to any subsequently acquired shard lock.
 //
 // Multi-shard readers (Workers, ChangesSince, the candidate-pair
-// generators) therefore see a state at least as new as any version bracket
-// they read first; concurrent mutation may additionally surface newer
-// entities, which the audit layers already tolerate. Incremental consumers
-// — the delta-driven fairness audits of internal/audit — read the per-shard
-// changelogs through ShardChangesSince (or the version-merged ChangesSince)
-// to re-check only what moved, and key memoized pair similarities by
-// (id, revision).
+// generators) acquire a validated whole-key-space view (rlockView) so a
+// concurrent reshard can never hide or duplicate entities mid-scan; they
+// see a state at least as new as any version bracket they read first.
+// Incremental consumers — the delta-driven fairness audits of
+// internal/audit — read the per-shard changelogs through ShardChangesSince
+// (or the version-merged ChangesSince) to re-check only what moved, and key
+// memoized pair similarities by (id, revision).
 //
 // Durability: each shard's changelog is a LogSink pair — the in-memory
 // ring plus, on stores built with NewDurable or Open, a write-ahead sink
@@ -75,23 +79,30 @@ const DefaultShardCount = 8
 // write-ahead log, or Open to recover a durable store from disk.
 type Store struct {
 	universe *model.Universe
-	shards   []*shard
 	version  atomic.Uint64 // global mutation sequencer
 
-	// mask enables the power-of-two routing fast path: when the shard
-	// count is a power of two, h % n == h & (n-1), so routing skips the
-	// integer division. masked distinguishes a real mask of 0 (one shard)
-	// from "not a power of two".
-	mask   uint64
-	masked bool
+	// route is the current epoch's routing table (never nil); next holds
+	// its successor while a Reshard is migrating shards, and nil
+	// otherwise. Both are immutable once published — see routetable.go
+	// for the two-table handoff protocol.
+	route routePtr
+	next  routePtr
+
+	// clogCap remembers the per-shard changelog retention so shards
+	// created by a later Reshard inherit SetChangelogCap.
+	clogCap atomic.Int64
 
 	// dir is the persistence root of a durable store ("" when volatile);
-	// walOpts parameterises its segment writers. ckptMu serialises
-	// checkpoints (each holds every shard read lock and rewrites the
-	// manifest, so two at once would race on the writers).
+	// walOpts parameterises its segment writers. ckptMu serialises the
+	// whole-store maintenance operations — Checkpoint, Reshard, and Close
+	// — which all touch every shard's sink or the manifest at once.
 	dir     string
 	walOpts wal.Options
 	ckptMu  sync.Mutex
+
+	// epochs records completed width changes, oldest first (guarded by
+	// ckptMu; read via EpochLog).
+	epochs []EpochChange
 }
 
 // New returns an empty store over the given skill universe, partitioned
@@ -104,21 +115,21 @@ func NewSharded(u *model.Universe, shards int) *Store {
 	if shards < 1 {
 		shards = 1
 	}
-	s := &Store{universe: u, shards: make([]*shard, shards)}
-	if shards&(shards-1) == 0 {
-		s.mask, s.masked = uint64(shards-1), true
+	s := &Store{universe: u}
+	s.clogCap.Store(DefaultChangelogCap)
+	shs := make([]*shard, shards)
+	for i := range shs {
+		shs[i] = newShard(u.Size(), DefaultChangelogCap, 1)
 	}
-	for i := range s.shards {
-		s.shards[i] = newShard(u.Size())
-	}
+	s.route.Store(newRouteTable(1, shs))
 	return s
 }
 
 // Universe returns the skill universe the store was built over.
 func (s *Store) Universe() *model.Universe { return s.universe }
 
-// ShardCount returns the number of hash partitions.
-func (s *Store) ShardCount() int { return len(s.shards) }
+// ShardCount returns the number of hash partitions in the current epoch.
+func (s *Store) ShardCount() int { return s.table().width() }
 
 // Version returns the current mutation counter. Two equal versions bracket
 // an unchanged store, which lets long audits assert the trace did not move
@@ -126,13 +137,8 @@ func (s *Store) ShardCount() int { return len(s.shards) }
 // visible to reads issued after the call.
 func (s *Store) Version() uint64 { return s.version.Load() }
 
-func (s *Store) shardIndex(id string) int {
-	h := fnv64a(id)
-	if s.masked {
-		return int(h & s.mask)
-	}
-	return int(h % uint64(len(s.shards)))
-}
+// shardIndex routes an id under the current epoch's table.
+func (s *Store) shardIndex(id string) int { return s.table().index(id) }
 
 // allocVersion returns the version a mutation commits under: the next
 // sequencer value normally, or the forced original version during WAL
@@ -162,34 +168,6 @@ func (s *Store) TaskShard(id model.TaskID) int { return s.shardIndex(string(id))
 // ContributionShard returns the index of the shard owning the contribution.
 func (s *Store) ContributionShard(id model.ContributionID) int { return s.shardIndex(string(id)) }
 
-func (s *Store) workerShard(id model.WorkerID) *shard {
-	return s.shards[s.shardIndex(string(id))]
-}
-func (s *Store) requesterShard(id model.RequesterID) *shard {
-	return s.shards[s.shardIndex(string(id))]
-}
-func (s *Store) taskShard(id model.TaskID) *shard {
-	return s.shards[s.shardIndex(string(id))]
-}
-func (s *Store) contribShard(id model.ContributionID) *shard {
-	return s.shards[s.shardIndex(string(id))]
-}
-
-// rlockAll acquires every shard's read lock in index order (writers only
-// ever hold one shard lock, so any consistent order is deadlock-free) for
-// readers that need a cross-shard view in one critical section.
-func (s *Store) rlockAll() {
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-	}
-}
-
-func (s *Store) runlockAll() {
-	for _, sh := range s.shards {
-		sh.mu.RUnlock()
-	}
-}
-
 // --- Workers ---
 
 // PutWorker validates and inserts a worker. The store keeps its own clone,
@@ -198,16 +176,16 @@ func (s *Store) PutWorker(w *model.Worker) error {
 	if err := w.Validate(s.universe); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	sh := s.workerShard(w.ID)
-	sh.mu.Lock()
+	sh := s.lockOwner(string(w.ID))
 	defer sh.mu.Unlock()
-	return s.putWorkerLocked(sh, w, 0)
+	return s.putWorkerLocked(sh, w, 0, 0)
 }
 
 // putWorkerLocked inserts under the held shard lock. ver is 0 for live
 // mutations (allocate the next version) and the original version during
-// WAL replay.
-func (s *Store) putWorkerLocked(sh *shard, w *model.Worker, ver uint64) error {
+// WAL replay; epoch likewise is 0 to stamp the owning shard's epoch and
+// the original epoch during replay.
+func (s *Store) putWorkerLocked(sh *shard, w *model.Worker, ver, epoch uint64) error {
 	if _, dup := sh.workers[w.ID]; dup {
 		return fmt.Errorf("worker %s: %w", w.ID, ErrDuplicate)
 	}
@@ -217,9 +195,12 @@ func (s *Store) putWorkerLocked(sh *shard, w *model.Worker, ver uint64) error {
 		sh.workersBySkill[i] = insertSortedID(sh.workersBySkill[i], c.ID)
 	}
 	v := s.allocVersion(ver)
+	if epoch == 0 {
+		epoch = sh.epoch
+	}
 	sh.workerRev[c.ID] = v
 	return sh.record(Mutation{
-		Change: Change{Version: v, Op: OpInsert, Entity: EntityWorker, Worker: c.ID},
+		Change: Change{Version: v, Epoch: epoch, Op: OpInsert, Entity: EntityWorker, Worker: c.ID},
 		Worker: c,
 	})
 }
@@ -229,13 +210,12 @@ func (s *Store) UpdateWorker(w *model.Worker) error {
 	if err := w.Validate(s.universe); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	sh := s.workerShard(w.ID)
-	sh.mu.Lock()
+	sh := s.lockOwner(string(w.ID))
 	defer sh.mu.Unlock()
-	return s.updateWorkerLocked(sh, w, 0)
+	return s.updateWorkerLocked(sh, w, 0, 0)
 }
 
-func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker, ver uint64) error {
+func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker, ver, epoch uint64) error {
 	old, ok := sh.workers[w.ID]
 	if !ok {
 		return fmt.Errorf("worker %s: %w", w.ID, ErrNotFound)
@@ -251,17 +231,19 @@ func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker, ver uint64) error
 	c := w.Clone()
 	sh.workers[w.ID] = c
 	v := s.allocVersion(ver)
+	if epoch == 0 {
+		epoch = sh.epoch
+	}
 	sh.workerRev[w.ID] = v
 	return sh.record(Mutation{
-		Change: Change{Version: v, Op: OpUpdate, Entity: EntityWorker, Worker: w.ID},
+		Change: Change{Version: v, Epoch: epoch, Op: OpUpdate, Entity: EntityWorker, Worker: w.ID},
 		Worker: c,
 	})
 }
 
 // Worker returns a copy of the worker with the given id.
 func (s *Store) Worker(id model.WorkerID) (*model.Worker, error) {
-	sh := s.workerShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	w, ok := sh.workers[id]
 	sh.mu.RUnlock()
 	if !ok {
@@ -274,25 +256,24 @@ func (s *Store) Worker(id model.WorkerID) (*model.Worker, error) {
 
 // Workers returns copies of all workers sorted by id.
 func (s *Store) Workers() []*model.Worker {
-	return s.workersSlice(false, false)
+	return s.workersSlice(false, nil)
 }
 
 // workersSlice gathers per-shard sorted runs (optionally shard-parallel)
-// and merges them into the id-sorted result. locked callers already hold
-// every shard's read lock.
-func (s *Store) workersSlice(parallel, locked bool) []*model.Worker {
-	per := make([][]*model.Worker, len(s.shards))
+// and merges them into the id-sorted result. held, when non-nil, is the
+// locked view an enclosing critical section (Checkpoint) already pinned;
+// nil callers acquire their own.
+func (s *Store) workersSlice(parallel bool, held []*shard) []*model.Worker {
+	shs, release := held, func() {}
+	if shs == nil {
+		shs, release = s.rlockView()
+	}
+	per := make([][]*model.Worker, len(shs))
 	gather := func(i int) {
-		sh := s.shards[i]
-		if !locked {
-			sh.mu.RLock()
-		}
+		sh := shs[i]
 		out := make([]*model.Worker, 0, len(sh.workers))
 		for _, w := range sh.workers {
 			out = append(out, w)
-		}
-		if !locked {
-			sh.mu.RUnlock()
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, w := range out {
@@ -301,35 +282,39 @@ func (s *Store) workersSlice(parallel, locked bool) []*model.Worker {
 		per[i] = out
 	}
 	if parallel {
-		par.Do(len(s.shards), 0, gather)
+		par.Do(len(shs), 0, gather)
 	} else {
-		for i := range s.shards {
+		for i := range shs {
 			gather(i)
 		}
 	}
+	release()
 	return mergeSorted(per, func(a, b *model.Worker) bool { return a.ID < b.ID })
 }
 
 // WorkerCount returns the number of workers without copying them.
 func (s *Store) WorkerCount() int {
+	shs, release := s.rlockView()
 	n := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
+	for _, sh := range shs {
 		n += len(sh.workers)
-		sh.mu.RUnlock()
 	}
+	release()
 	return n
 }
 
 // WorkersWithSkill returns the ids of workers whose vector sets the given
 // skill index, sorted. The result is a fresh slice owned by the caller.
 func (s *Store) WorkersWithSkill(skill int) []model.WorkerID {
-	per := make([][]model.WorkerID, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.RLock()
+	shs, release := s.rlockView()
+	per := make([][]model.WorkerID, len(shs))
+	for i, sh := range shs {
+		if sh.retired {
+			continue
+		}
 		per[i] = append([]model.WorkerID(nil), sh.workersBySkill[skill]...)
-		sh.mu.RUnlock()
 	}
+	release()
 	return mergeSorted(per, func(a, b model.WorkerID) bool { return a < b })
 }
 
@@ -345,27 +330,8 @@ func (s *Store) BulkPutWorkers(ws []*model.Worker) error {
 			return fmt.Errorf("%w: %v", ErrInvalid, err)
 		}
 	}
-	groups := make([][]*model.Worker, len(s.shards))
-	for _, w := range ws {
-		i := s.shardIndex(string(w.ID))
-		groups[i] = append(groups[i], w)
-	}
-	errs := make([]error, len(s.shards))
-	par.Do(len(s.shards), 0, func(i int) {
-		if len(groups[i]) == 0 {
-			return
-		}
-		sh := s.shards[i]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		for _, w := range groups[i] {
-			if err := s.putWorkerLocked(sh, w, 0); err != nil {
-				errs[i] = err
-				return
-			}
-		}
-	})
-	return errors.Join(errs...)
+	return s.bulkApply(len(ws), func(k int) string { return string(ws[k].ID) },
+		func(sh *shard, k int) error { return s.putWorkerLocked(sh, ws[k], 0, 0) })
 }
 
 // BulkUpdateWorkers applies many worker updates, fanning out across shards
@@ -377,21 +343,45 @@ func (s *Store) BulkUpdateWorkers(ws []*model.Worker) error {
 			return fmt.Errorf("%w: %v", ErrInvalid, err)
 		}
 	}
-	groups := make([][]*model.Worker, len(s.shards))
-	for _, w := range ws {
-		i := s.shardIndex(string(w.ID))
-		groups[i] = append(groups[i], w)
+	return s.bulkApply(len(ws), func(k int) string { return string(ws[k].ID) },
+		func(sh *shard, k int) error { return s.updateWorkerLocked(sh, ws[k], 0, 0) })
+}
+
+// bulkApply groups n items by owning shard under the current route table
+// and applies each group under a single lock acquisition, in parallel
+// across shards. If a group's shard was retired by a concurrent reshard
+// between grouping and locking, that group falls back to per-item routed
+// application — correctness never depends on the grouping staying fresh.
+func (s *Store) bulkApply(n int, id func(k int) string, apply func(sh *shard, k int) error) error {
+	rt := s.table()
+	groups := make([][]int, rt.width())
+	for k := 0; k < n; k++ {
+		i := rt.index(id(k))
+		groups[i] = append(groups[i], k)
 	}
-	errs := make([]error, len(s.shards))
-	par.Do(len(s.shards), 0, func(i int) {
+	errs := make([]error, len(groups))
+	par.Do(len(groups), 0, func(i int) {
 		if len(groups[i]) == 0 {
 			return
 		}
-		sh := s.shards[i]
+		sh := rt.shards[i]
 		sh.mu.Lock()
+		if sh.retired {
+			sh.mu.Unlock()
+			for _, k := range groups[i] {
+				osh := s.lockOwner(id(k))
+				err := apply(osh, k)
+				osh.mu.Unlock()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			return
+		}
 		defer sh.mu.Unlock()
-		for _, w := range groups[i] {
-			if err := s.updateWorkerLocked(sh, w, 0); err != nil {
+		for _, k := range groups[i] {
+			if err := apply(sh, k); err != nil {
 				errs[i] = err
 				return
 			}
@@ -407,29 +397,30 @@ func (s *Store) PutRequester(r *model.Requester) error {
 	if err := r.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	sh := s.requesterShard(r.ID)
-	sh.mu.Lock()
+	sh := s.lockOwner(string(r.ID))
 	defer sh.mu.Unlock()
-	return s.putRequesterLocked(sh, r, 0)
+	return s.putRequesterLocked(sh, r, 0, 0)
 }
 
-func (s *Store) putRequesterLocked(sh *shard, r *model.Requester, ver uint64) error {
+func (s *Store) putRequesterLocked(sh *shard, r *model.Requester, ver, epoch uint64) error {
 	if _, dup := sh.requesters[r.ID]; dup {
 		return fmt.Errorf("requester %s: %w", r.ID, ErrDuplicate)
 	}
 	c := *r
 	sh.requesters[r.ID] = &c
 	v := s.allocVersion(ver)
+	if epoch == 0 {
+		epoch = sh.epoch
+	}
 	return sh.record(Mutation{
-		Change:    Change{Version: v, Op: OpInsert, Entity: EntityRequester, Requester: r.ID},
+		Change:    Change{Version: v, Epoch: epoch, Op: OpInsert, Entity: EntityRequester, Requester: r.ID},
 		Requester: &c,
 	})
 }
 
 // Requester returns a copy of the requester with the given id.
 func (s *Store) Requester(id model.RequesterID) (*model.Requester, error) {
-	sh := s.requesterShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	r, ok := sh.requesters[id]
 	sh.mu.RUnlock()
 	if !ok {
@@ -441,21 +432,19 @@ func (s *Store) Requester(id model.RequesterID) (*model.Requester, error) {
 
 // Requesters returns copies of all requesters sorted by id.
 func (s *Store) Requesters() []*model.Requester {
-	return s.requestersSlice(false)
+	return s.requestersSlice(nil)
 }
 
-func (s *Store) requestersSlice(locked bool) []*model.Requester {
-	per := make([][]*model.Requester, len(s.shards))
-	for i, sh := range s.shards {
-		if !locked {
-			sh.mu.RLock()
-		}
+func (s *Store) requestersSlice(held []*shard) []*model.Requester {
+	shs, release := held, func() {}
+	if shs == nil {
+		shs, release = s.rlockView()
+	}
+	per := make([][]*model.Requester, len(shs))
+	for i, sh := range shs {
 		out := make([]*model.Requester, 0, len(sh.requesters))
 		for _, r := range sh.requesters {
 			out = append(out, r)
-		}
-		if !locked {
-			sh.mu.RUnlock()
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, r := range out {
@@ -464,12 +453,12 @@ func (s *Store) requestersSlice(locked bool) []*model.Requester {
 		}
 		per[i] = out
 	}
+	release()
 	return mergeSorted(per, func(a, b *model.Requester) bool { return a.ID < b.ID })
 }
 
 func (s *Store) hasRequester(id model.RequesterID) bool {
-	sh := s.requesterShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	_, ok := sh.requesters[id]
 	sh.mu.RUnlock()
 	return ok
@@ -487,13 +476,12 @@ func (s *Store) PutTask(t *model.Task) error {
 	if !s.hasRequester(t.Requester) {
 		return fmt.Errorf("task %s: requester %s: %w", t.ID, t.Requester, ErrNotFound)
 	}
-	sh := s.taskShard(t.ID)
-	sh.mu.Lock()
+	sh := s.lockOwner(string(t.ID))
 	defer sh.mu.Unlock()
-	return s.putTaskLocked(sh, t, 0)
+	return s.putTaskLocked(sh, t, 0, 0)
 }
 
-func (s *Store) putTaskLocked(sh *shard, t *model.Task, ver uint64) error {
+func (s *Store) putTaskLocked(sh *shard, t *model.Task, ver, epoch uint64) error {
 	if _, dup := sh.tasks[t.ID]; dup {
 		return fmt.Errorf("task %s: %w", t.ID, ErrDuplicate)
 	}
@@ -504,9 +492,12 @@ func (s *Store) putTaskLocked(sh *shard, t *model.Task, ver uint64) error {
 	}
 	sh.tasksByReq[c.Requester] = insertSortedID(sh.tasksByReq[c.Requester], c.ID)
 	v := s.allocVersion(ver)
+	if epoch == 0 {
+		epoch = sh.epoch
+	}
 	sh.taskRev[c.ID] = v
 	return sh.record(Mutation{
-		Change: Change{Version: v, Op: OpInsert, Entity: EntityTask, Task: c.ID, Requester: c.Requester},
+		Change: Change{Version: v, Epoch: epoch, Op: OpInsert, Entity: EntityTask, Task: c.ID, Requester: c.Requester},
 		Task:   c,
 	})
 }
@@ -522,33 +513,13 @@ func (s *Store) BulkPutTasks(ts []*model.Task) error {
 			return fmt.Errorf("task %s: requester %s: %w", t.ID, t.Requester, ErrNotFound)
 		}
 	}
-	groups := make([][]*model.Task, len(s.shards))
-	for _, t := range ts {
-		i := s.shardIndex(string(t.ID))
-		groups[i] = append(groups[i], t)
-	}
-	errs := make([]error, len(s.shards))
-	par.Do(len(s.shards), 0, func(i int) {
-		if len(groups[i]) == 0 {
-			return
-		}
-		sh := s.shards[i]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		for _, t := range groups[i] {
-			if err := s.putTaskLocked(sh, t, 0); err != nil {
-				errs[i] = err
-				return
-			}
-		}
-	})
-	return errors.Join(errs...)
+	return s.bulkApply(len(ts), func(k int) string { return string(ts[k].ID) },
+		func(sh *shard, k int) error { return s.putTaskLocked(sh, ts[k], 0, 0) })
 }
 
 // Task returns a copy of the task with the given id.
 func (s *Store) Task(id model.TaskID) (*model.Task, error) {
-	sh := s.taskShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	t, ok := sh.tasks[id]
 	sh.mu.RUnlock()
 	if !ok {
@@ -559,22 +530,20 @@ func (s *Store) Task(id model.TaskID) (*model.Task, error) {
 
 // Tasks returns copies of all tasks sorted by id.
 func (s *Store) Tasks() []*model.Task {
-	return s.tasksSlice(false, false)
+	return s.tasksSlice(false, nil)
 }
 
-func (s *Store) tasksSlice(parallel, locked bool) []*model.Task {
-	per := make([][]*model.Task, len(s.shards))
+func (s *Store) tasksSlice(parallel bool, held []*shard) []*model.Task {
+	shs, release := held, func() {}
+	if shs == nil {
+		shs, release = s.rlockView()
+	}
+	per := make([][]*model.Task, len(shs))
 	gather := func(i int) {
-		sh := s.shards[i]
-		if !locked {
-			sh.mu.RLock()
-		}
+		sh := shs[i]
 		out := make([]*model.Task, 0, len(sh.tasks))
 		for _, t := range sh.tasks {
 			out = append(out, t)
-		}
-		if !locked {
-			sh.mu.RUnlock()
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, t := range out {
@@ -583,45 +552,49 @@ func (s *Store) tasksSlice(parallel, locked bool) []*model.Task {
 		per[i] = out
 	}
 	if parallel {
-		par.Do(len(s.shards), 0, gather)
+		par.Do(len(shs), 0, gather)
 	} else {
-		for i := range s.shards {
+		for i := range shs {
 			gather(i)
 		}
 	}
+	release()
 	return mergeSorted(per, func(a, b *model.Task) bool { return a.ID < b.ID })
 }
 
 // TaskCount returns the number of tasks.
 func (s *Store) TaskCount() int {
+	shs, release := s.rlockView()
 	n := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
+	for _, sh := range shs {
 		n += len(sh.tasks)
-		sh.mu.RUnlock()
 	}
+	release()
 	return n
 }
 
 // TasksByRequester returns ids of tasks posted by the requester, sorted.
 func (s *Store) TasksByRequester(id model.RequesterID) []model.TaskID {
-	per := make([][]model.TaskID, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.RLock()
+	shs, release := s.rlockView()
+	per := make([][]model.TaskID, len(shs))
+	for i, sh := range shs {
 		per[i] = append([]model.TaskID(nil), sh.tasksByReq[id]...)
-		sh.mu.RUnlock()
 	}
+	release()
 	return mergeSorted(per, func(a, b model.TaskID) bool { return a < b })
 }
 
 // TasksWithSkill returns ids of tasks requiring the given skill index, sorted.
 func (s *Store) TasksWithSkill(skill int) []model.TaskID {
-	per := make([][]model.TaskID, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.RLock()
+	shs, release := s.rlockView()
+	per := make([][]model.TaskID, len(shs))
+	for i, sh := range shs {
+		if sh.retired {
+			continue
+		}
 		per[i] = append([]model.TaskID(nil), sh.tasksBySkill[skill]...)
-		sh.mu.RUnlock()
 	}
+	release()
 	return mergeSorted(per, func(a, b model.TaskID) bool { return a < b })
 }
 
@@ -637,22 +610,19 @@ func (s *Store) PutContribution(c *model.Contribution) error {
 	if err := s.checkContribRefs(c); err != nil {
 		return err
 	}
-	sh := s.contribShard(c.ID)
-	sh.mu.Lock()
+	sh := s.lockOwner(string(c.ID))
 	defer sh.mu.Unlock()
-	return s.putContributionLocked(sh, c, 0)
+	return s.putContributionLocked(sh, c, 0, 0)
 }
 
 func (s *Store) checkContribRefs(c *model.Contribution) error {
-	tsh := s.taskShard(c.Task)
-	tsh.mu.RLock()
+	tsh := s.rlockOwner(string(c.Task))
 	_, ok := tsh.tasks[c.Task]
 	tsh.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("contribution %s: task %s: %w", c.ID, c.Task, ErrNotFound)
 	}
-	wsh := s.workerShard(c.Worker)
-	wsh.mu.RLock()
+	wsh := s.rlockOwner(string(c.Worker))
 	_, ok = wsh.workers[c.Worker]
 	wsh.mu.RUnlock()
 	if !ok {
@@ -661,7 +631,7 @@ func (s *Store) checkContribRefs(c *model.Contribution) error {
 	return nil
 }
 
-func (s *Store) putContributionLocked(sh *shard, c *model.Contribution, ver uint64) error {
+func (s *Store) putContributionLocked(sh *shard, c *model.Contribution, ver, epoch uint64) error {
 	if _, dup := sh.contribs[c.ID]; dup {
 		return fmt.Errorf("contribution %s: %w", c.ID, ErrDuplicate)
 	}
@@ -670,10 +640,13 @@ func (s *Store) putContributionLocked(sh *shard, c *model.Contribution, ver uint
 	sh.contribsByTask[cc.Task] = insertContribID(sh.contribsByTask[cc.Task], sh.contribs, cc.ID)
 	sh.contribsByWorker[cc.Worker] = insertContribID(sh.contribsByWorker[cc.Worker], sh.contribs, cc.ID)
 	v := s.allocVersion(ver)
+	if epoch == 0 {
+		epoch = sh.epoch
+	}
 	sh.contribRev[cc.ID] = v
 	return sh.record(Mutation{
 		Change: Change{
-			Version: v, Op: OpInsert, Entity: EntityContribution,
+			Version: v, Epoch: epoch, Op: OpInsert, Entity: EntityContribution,
 			Contribution: cc.ID, Task: cc.Task, Worker: cc.Worker,
 		},
 		Contribution: cc,
@@ -691,27 +664,8 @@ func (s *Store) BulkPutContributions(cs []*model.Contribution) error {
 			return err
 		}
 	}
-	groups := make([][]*model.Contribution, len(s.shards))
-	for _, c := range cs {
-		i := s.shardIndex(string(c.ID))
-		groups[i] = append(groups[i], c)
-	}
-	errs := make([]error, len(s.shards))
-	par.Do(len(s.shards), 0, func(i int) {
-		if len(groups[i]) == 0 {
-			return
-		}
-		sh := s.shards[i]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		for _, c := range groups[i] {
-			if err := s.putContributionLocked(sh, c, 0); err != nil {
-				errs[i] = err
-				return
-			}
-		}
-	})
-	return errors.Join(errs...)
+	return s.bulkApply(len(cs), func(k int) string { return string(cs[k].ID) },
+		func(sh *shard, k int) error { return s.putContributionLocked(sh, cs[k], 0, 0) })
 }
 
 // UpdateContribution replaces an existing contribution (e.g. after the
@@ -720,13 +674,12 @@ func (s *Store) UpdateContribution(c *model.Contribution) error {
 	if err := c.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	sh := s.contribShard(c.ID)
-	sh.mu.Lock()
+	sh := s.lockOwner(string(c.ID))
 	defer sh.mu.Unlock()
-	return s.updateContributionLocked(sh, c, 0)
+	return s.updateContributionLocked(sh, c, 0, 0)
 }
 
-func (s *Store) updateContributionLocked(sh *shard, c *model.Contribution, ver uint64) error {
+func (s *Store) updateContributionLocked(sh *shard, c *model.Contribution, ver, epoch uint64) error {
 	old, ok := sh.contribs[c.ID]
 	if !ok {
 		return fmt.Errorf("contribution %s: %w", c.ID, ErrNotFound)
@@ -747,10 +700,13 @@ func (s *Store) updateContributionLocked(sh *shard, c *model.Contribution, ver u
 		sh.contribs[c.ID] = cc
 	}
 	v := s.allocVersion(ver)
+	if epoch == 0 {
+		epoch = sh.epoch
+	}
 	sh.contribRev[c.ID] = v
 	return sh.record(Mutation{
 		Change: Change{
-			Version: v, Op: OpUpdate, Entity: EntityContribution,
+			Version: v, Epoch: epoch, Op: OpUpdate, Entity: EntityContribution,
 			Contribution: c.ID, Task: c.Task, Worker: c.Worker,
 		},
 		Contribution: cc,
@@ -759,8 +715,7 @@ func (s *Store) updateContributionLocked(sh *shard, c *model.Contribution, ver u
 
 // Contribution returns a copy of the contribution with the given id.
 func (s *Store) Contribution(id model.ContributionID) (*model.Contribution, error) {
-	sh := s.contribShard(id)
-	sh.mu.RLock()
+	sh := s.rlockOwner(string(id))
 	c, ok := sh.contribs[id]
 	sh.mu.RUnlock()
 	if !ok {
@@ -771,22 +726,20 @@ func (s *Store) Contribution(id model.ContributionID) (*model.Contribution, erro
 
 // Contributions returns copies of all contributions sorted by id.
 func (s *Store) Contributions() []*model.Contribution {
-	return s.contributionsSlice(false, false)
+	return s.contributionsSlice(false, nil)
 }
 
-func (s *Store) contributionsSlice(parallel, locked bool) []*model.Contribution {
-	per := make([][]*model.Contribution, len(s.shards))
+func (s *Store) contributionsSlice(parallel bool, held []*shard) []*model.Contribution {
+	shs, release := held, func() {}
+	if shs == nil {
+		shs, release = s.rlockView()
+	}
+	per := make([][]*model.Contribution, len(shs))
 	gather := func(i int) {
-		sh := s.shards[i]
-		if !locked {
-			sh.mu.RLock()
-		}
+		sh := shs[i]
 		out := make([]*model.Contribution, 0, len(sh.contribs))
 		for _, c := range sh.contribs {
 			out = append(out, c)
-		}
-		if !locked {
-			sh.mu.RUnlock()
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 		for k, c := range out {
@@ -795,12 +748,13 @@ func (s *Store) contributionsSlice(parallel, locked bool) []*model.Contribution 
 		per[i] = out
 	}
 	if parallel {
-		par.Do(len(s.shards), 0, gather)
+		par.Do(len(shs), 0, gather)
 	} else {
-		for i := range s.shards {
+		for i := range shs {
 			gather(i)
 		}
 	}
+	release()
 	return mergeSorted(per, func(a, b *model.Contribution) bool { return a.ID < b.ID })
 }
 
@@ -817,19 +771,21 @@ func contribOrderLess(a, b *model.Contribution) bool {
 // ordered by submission time then id. Per-shard index runs are maintained
 // in that order at insert time, so the read is a merge, not a sort.
 func (s *Store) ContributionsByTask(id model.TaskID) []*model.Contribution {
-	per := make([][]*model.Contribution, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.RLock()
+	shs, release := s.rlockView()
+	per := make([][]*model.Contribution, len(shs))
+	for i, sh := range shs {
 		ids := sh.contribsByTask[id]
 		out := make([]*model.Contribution, len(ids))
 		for k, cid := range ids {
 			out[k] = sh.contribs[cid]
 		}
-		sh.mu.RUnlock()
-		for k, c := range out {
-			out[k] = c.Clone()
-		}
 		per[i] = out
+	}
+	release()
+	for _, run := range per {
+		for k, c := range run {
+			run[k] = c.Clone()
+		}
 	}
 	return mergeSorted(per, contribOrderLess)
 }
@@ -837,19 +793,21 @@ func (s *Store) ContributionsByTask(id model.TaskID) []*model.Contribution {
 // ContributionsByWorker returns copies of the contributions by a worker,
 // ordered by submission time then id.
 func (s *Store) ContributionsByWorker(id model.WorkerID) []*model.Contribution {
-	per := make([][]*model.Contribution, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.RLock()
+	shs, release := s.rlockView()
+	per := make([][]*model.Contribution, len(shs))
+	for i, sh := range shs {
 		ids := sh.contribsByWorker[id]
 		out := make([]*model.Contribution, len(ids))
 		for k, cid := range ids {
 			out[k] = sh.contribs[cid]
 		}
-		sh.mu.RUnlock()
-		for k, c := range out {
-			out[k] = c.Clone()
-		}
 		per[i] = out
+	}
+	release()
+	for _, run := range per {
+		for k, c := range run {
+			run[k] = c.Clone()
+		}
 	}
 	return mergeSorted(per, contribOrderLess)
 }

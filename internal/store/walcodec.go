@@ -9,9 +9,10 @@ import (
 
 // Compact binary codec for WAL mutation records. The record's version
 // travels as the WAL frame key, so the payload carries only the op, the
-// entity kind, the touched ids, and the mutated entity's post-image:
+// entity kind, the routing epoch, the touched ids, and the mutated
+// entity's post-image:
 //
-//	[op byte][entity byte]
+//	[op byte][entity byte][epoch uvarint]
 //	[worker][requester][task][contribution]   (length-prefixed id strings)
 //	[entity post-image]                       (schema per Entity kind)
 //
@@ -104,6 +105,7 @@ func decodeStrings(d *wal.Dec) []string {
 func encodeMutation(b []byte, m Mutation) []byte {
 	c := m.Change
 	b = append(b, byte(c.Op), byte(c.Entity))
+	b = wal.AppendUvarint(b, c.Epoch)
 	b = wal.AppendString(b, string(c.Worker))
 	b = wal.AppendString(b, string(c.Requester))
 	b = wal.AppendString(b, string(c.Task))
@@ -143,6 +145,7 @@ func decodeMutation(version uint64, payload []byte) (Mutation, error) {
 	m.Change.Version = version
 	m.Change.Op = Op(d.Byte())
 	m.Change.Entity = Entity(d.Byte())
+	m.Change.Epoch = d.Uvarint()
 	m.Change.Worker = model.WorkerID(d.String())
 	m.Change.Requester = model.RequesterID(d.String())
 	m.Change.Task = model.TaskID(d.String())

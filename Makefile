@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-shuffle vet lint fmt-check bench bench-store bench-wal bench-reshard sweep clean
+.PHONY: all build test test-race test-shuffle vet lint fmt-check bench bench-store bench-wal bench-reshard bench-lsh sweep clean
 
 all: build test
 
@@ -56,6 +56,12 @@ bench-wal:
 # write rate with catch-up time once writes stop.
 bench-reshard:
 	$(GO) run ./cmd/benchrunner -reshardbench
+
+# Candidate-generation benchmarks: exact inverted-index vs MinHash/LSH
+# pruning, cold first-audit latency and incremental churn, written to
+# BENCH_lsh.json. The 1M-worker point runs LSH only (exact is gated).
+bench-lsh:
+	$(GO) run ./cmd/benchrunner -lshbench -lshout BENCH_lsh.json
 
 # Quick demonstration of the parallel sweep engine.
 sweep:

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// lshBenchOpts are the -lshbench knobs.
+type lshBenchOpts struct {
+	sizes       string
+	exactMax    int
+	churnMax    int
+	churnRounds int
+	churnMuts   int
+	out         string
+	seed        uint64
+}
+
+// lshBenchReport is the machine-readable result (BENCH_lsh.json).
+type lshBenchReport struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Seed       uint64             `json:"seed"`
+	ExactMax   int                `json:"exact_max"`
+	FirstAudit []lshFirstAuditRow `json:"first_audit"`
+	Churn      []lshChurnRow      `json:"churn"`
+	Speedups   []lshSpeedupRow    `json:"speedups"`
+}
+
+// lshFirstAuditRow measures one (size, backend) cold full scan — Axioms 1
+// and 2 through the plain checkers, the pair-heavy paths where candidate
+// generation dominates.
+type lshFirstAuditRow struct {
+	Workers    int     `json:"workers"`
+	Tasks      int     `json:"tasks"`
+	Backend    string  `json:"backend"`
+	Seconds    float64 `json:"seconds"`
+	Checked    int     `json:"checked"`
+	Violations int     `json:"violations"`
+	Skipped    bool    `json:"skipped,omitempty"`
+	SkipReason string  `json:"skip_reason,omitempty"`
+}
+
+// lshChurnRow measures one (size, backend) incremental-engine run: the
+// cold pass, then churnRounds delta passes of churnMuts mutations each.
+type lshChurnRow struct {
+	Workers          int     `json:"workers"`
+	Backend          string  `json:"backend"`
+	ColdSeconds      float64 `json:"cold_seconds"`
+	Rounds           int     `json:"rounds"`
+	MutationsPerPass int     `json:"mutations_per_pass"`
+	MeanDeltaSeconds float64 `json:"mean_delta_seconds"`
+	MaxDeltaSeconds  float64 `json:"max_delta_seconds"`
+	Skipped          bool    `json:"skipped,omitempty"`
+	SkipReason       string  `json:"skip_reason,omitempty"`
+}
+
+// lshSpeedupRow is the headline ratio per size where both backends ran.
+type lshSpeedupRow struct {
+	Workers           int     `json:"workers"`
+	FirstAuditSpeedup float64 `json:"first_audit_speedup,omitempty"`
+	ChurnSpeedup      float64 `json:"churn_speedup,omitempty"`
+}
+
+// lshPopulation builds the candidate-generation stress workload: workers
+// come in clusters of 20 sharing a 3-skill niche core (the truly similar
+// pairs), every worker additionally holds one skill from a small popular
+// pool — the token the exact inverted index over-generates on, pairing
+// workers whose full similarity is far below threshold — plus per-worker
+// jitter (an occasional extra skill, a nudged acceptance ratio). Offers are
+// cluster-affine with a sparse dropout so some similar pairs genuinely see
+// different tasks. The structural point: exact candidates grow ~n²/|popular
+// pool| while truly similar pairs grow ~n, which is exactly the regime
+// sub-quadratic pruning exists for.
+func lshPopulation(n int, seed uint64, withContribs bool) (*store.Store, *eventlog.Log, error) {
+	const (
+		popularPool = 200
+		nichePool   = 2300
+		clusterSize = 20
+		coreSkills  = 3
+	)
+	names := make([]string, popularPool+nichePool)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%04d", i)
+	}
+	u := model.MustUniverse(names...)
+	st := store.New(u)
+	rng := stats.NewRNG(seed)
+	for _, r := range []model.RequesterID{"r1", "r2", "r3"} {
+		if err := st.PutRequester(&model.Requester{ID: r}); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	clusters := (n + clusterSize - 1) / clusterSize
+	cores := make([][]int, clusters)
+	for c := range cores {
+		for j := 0; j < coreSkills; j++ {
+			cores[c] = append(cores[c], popularPool+rng.Intn(nichePool))
+		}
+	}
+	countries := []string{"jp", "fr", "br", "in", "us"}
+
+	workers := make([]*model.Worker, n)
+	for i := 0; i < n; i++ {
+		c := i / clusterSize
+		skills := model.NewSkillVector(len(names))
+		for _, k := range cores[c] {
+			skills[k] = true
+		}
+		skills[rng.Intn(popularPool)] = true
+		if rng.Bool(0.25) {
+			skills[popularPool+rng.Intn(nichePool)] = true
+		}
+		workers[i] = &model.Worker{
+			ID:       model.WorkerID(fmt.Sprintf("w%07d", i)),
+			Declared: model.Attributes{"country": model.Str(countries[c%len(countries)])},
+			Computed: model.Attributes{
+				model.AttrAcceptanceRatio: model.Num(0.4 + 0.01*float64(c%40) + 0.004*rng.Float64()),
+			},
+			Skills: skills,
+		}
+	}
+	if err := st.BulkPutWorkers(workers); err != nil {
+		return nil, nil, err
+	}
+
+	// Two tasks per cluster from alternating requesters at near-equal
+	// rewards: the Axiom 2 candidate surface, clustered like the workers.
+	tasks := 2 * clusters
+	for j := 0; j < tasks; j++ {
+		c := j / 2
+		skills := model.NewSkillVector(len(names))
+		for _, k := range cores[c] {
+			skills[k] = true
+		}
+		t := &model.Task{
+			ID:        model.TaskID(fmt.Sprintf("t%07d", j)),
+			Requester: []model.RequesterID{"r1", "r2", "r3"}[j%3],
+			Skills:    skills,
+			Reward:    []float64{1.0, 1.005}[j%2],
+		}
+		if err := st.PutTask(t); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	log := eventlog.New()
+	for i := 0; i < n; i++ {
+		c := i / clusterSize
+		for d := 0; d < 2; d++ {
+			if d == 1 && i%100 == 0 {
+				continue // sparse dropout: similar workers, different offers
+			}
+			log.MustAppend(eventlog.Event{
+				Type:   eventlog.TaskOffered,
+				Worker: model.WorkerID(fmt.Sprintf("w%07d", i)),
+				Task:   model.TaskID(fmt.Sprintf("t%07d", 2*c+d)),
+			})
+		}
+	}
+
+	if withContribs {
+		fillers := []string{"carefully", "quickly", "reliably"}
+		cn := 0
+		for j := 0; j < tasks; j += 4 { // a quarter of the tasks draw contributions
+			c := j / 2
+			for k := 0; k < 3; k++ {
+				cn++
+				contrib := &model.Contribution{
+					ID:     model.ContributionID(fmt.Sprintf("c%07d", cn)),
+					Task:   model.TaskID(fmt.Sprintf("t%07d", j)),
+					Worker: model.WorkerID(fmt.Sprintf("w%07d", (c*clusterSize+k)%n)),
+					Text:   fmt.Sprintf("the answer for task %d is assembled %s from the cluster corpus", j, fillers[rng.Intn(len(fillers))]),
+					Paid:   []float64{0.5, 0.5, 2.0}[rng.Intn(3)],
+				}
+				if err := st.PutContribution(contrib); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return st, log, nil
+}
+
+// lshBenchConfig returns the audit config for one backend.
+func lshBenchConfig(backend string, seed uint64) fairness.Config {
+	cfg := fairness.DefaultConfig()
+	if backend == fairness.CandidateLSH {
+		cfg.CandidateIndex = fairness.CandidateLSH
+		cfg.LSHSeed = seed
+	}
+	return cfg
+}
+
+// runLSHBench measures exact vs LSH candidate generation two ways. The
+// first-audit phase times a cold full scan of Axioms 1 and 2 through the
+// plain checkers at each population size — the pure pair-enumeration cost,
+// with no engine state. The churn phase runs the incremental engine (cold
+// pass, then delta passes over a steady mutation trickle) to show the LSH
+// index's incremental maintenance keeps delta audits at least as fast as
+// the exact backend's. Sizes beyond -lshexactmax skip the exact backend
+// (its candidate set grows ~n²/|popular pool|); skips are recorded in the
+// report, never silently dropped.
+func runLSHBench(o lshBenchOpts, stdout io.Writer) error {
+	var sizes []int
+	for _, s := range strings.Split(o.sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < clusterFloor {
+			return fmt.Errorf("bad -lshsizes entry %q (want integers >= %d)", s, clusterFloor)
+		}
+		sizes = append(sizes, v)
+	}
+	if o.churnRounds < 1 || o.churnMuts < 1 {
+		return fmt.Errorf("-lshchurnrounds and -lshchurnmuts must be >= 1")
+	}
+	rep := &lshBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       o.seed,
+		ExactMax:   o.exactMax,
+	}
+	backends := []string{fairness.CandidateExact, fairness.CandidateLSH}
+
+	for _, n := range sizes {
+		fmt.Fprintf(stdout, "# %d workers\n", n)
+		withContribs := n <= o.churnMax
+		st, log, err := lshPopulation(n, o.seed, withContribs)
+		if err != nil {
+			return err
+		}
+		ix := fairness.AccessIndexFromLog(log)
+
+		speedup := lshSpeedupRow{Workers: n}
+		var firstAuditSecs [2]float64
+		for bi, backend := range backends {
+			row := lshFirstAuditRow{Workers: n, Tasks: st.TaskCount(), Backend: backend}
+			if backend == fairness.CandidateExact && n > o.exactMax {
+				row.Skipped = true
+				row.SkipReason = fmt.Sprintf("exact backend gated above -lshexactmax=%d workers", o.exactMax)
+				fmt.Fprintf(stdout, "  first-audit %-5s  SKIPPED (%s)\n", backend, row.SkipReason)
+				rep.FirstAudit = append(rep.FirstAudit, row)
+				continue
+			}
+			cfg := lshBenchConfig(backend, o.seed)
+			runtime.GC() // don't bill this cell for the previous cell's garbage
+			start := time.Now()
+			r1 := fairness.CheckAxiom1Indexed(st, ix, cfg)
+			r2 := fairness.CheckAxiom2Indexed(st, ix, cfg)
+			row.Seconds = time.Since(start).Seconds()
+			row.Checked = r1.Checked + r2.Checked
+			row.Violations = len(r1.Violations) + len(r2.Violations)
+			firstAuditSecs[bi] = row.Seconds
+			fmt.Fprintf(stdout, "  first-audit %-5s  %10.3fs  checked %12d  violations %8d\n",
+				backend, row.Seconds, row.Checked, row.Violations)
+			rep.FirstAudit = append(rep.FirstAudit, row)
+		}
+		if firstAuditSecs[0] > 0 && firstAuditSecs[1] > 0 {
+			speedup.FirstAuditSpeedup = firstAuditSecs[0] / firstAuditSecs[1]
+			fmt.Fprintf(stdout, "  first-audit speedup: %.2fx (exact/lsh)\n", speedup.FirstAuditSpeedup)
+		}
+
+		var churnMeans [2]float64
+		if n <= o.churnMax {
+			rng := stats.NewRNG(o.seed ^ 0xc4a21 ^ uint64(n))
+			for bi, backend := range backends {
+				row := lshChurnRow{
+					Workers: n, Backend: backend,
+					Rounds: o.churnRounds, MutationsPerPass: o.churnMuts,
+				}
+				if backend == fairness.CandidateExact && n > o.exactMax {
+					row.Skipped = true
+					row.SkipReason = fmt.Sprintf("exact backend gated above -lshexactmax=%d workers", o.exactMax)
+					fmt.Fprintf(stdout, "  churn       %-5s  SKIPPED (%s)\n", backend, row.SkipReason)
+					rep.Churn = append(rep.Churn, row)
+					continue
+				}
+				cfg := lshBenchConfig(backend, o.seed)
+				eng := audit.New(st, log, cfg)
+				runtime.GC() // don't bill this cell for the previous cell's garbage
+				start := time.Now()
+				eng.Audit()
+				row.ColdSeconds = time.Since(start).Seconds()
+				var total float64
+				for round := 0; round < o.churnRounds; round++ {
+					for m := 0; m < o.churnMuts; m++ {
+						id := model.WorkerID(fmt.Sprintf("w%07d", rng.Intn(n)))
+						w, err := st.Worker(id)
+						if err != nil {
+							return err
+						}
+						w.Computed[model.AttrAcceptanceRatio] = model.Num(0.4 + 0.004*rng.Float64())
+						if err := st.UpdateWorker(w); err != nil {
+							return err
+						}
+					}
+					t0 := time.Now()
+					eng.Audit()
+					el := time.Since(t0).Seconds()
+					total += el
+					if el > row.MaxDeltaSeconds {
+						row.MaxDeltaSeconds = el
+					}
+				}
+				row.MeanDeltaSeconds = total / float64(o.churnRounds)
+				churnMeans[bi] = row.MeanDeltaSeconds
+				fmt.Fprintf(stdout, "  churn       %-5s  cold %8.3fs  delta mean %8.4fs  max %8.4fs\n",
+					backend, row.ColdSeconds, row.MeanDeltaSeconds, row.MaxDeltaSeconds)
+				rep.Churn = append(rep.Churn, row)
+			}
+			if churnMeans[0] > 0 && churnMeans[1] > 0 {
+				speedup.ChurnSpeedup = churnMeans[0] / churnMeans[1]
+				fmt.Fprintf(stdout, "  churn speedup: %.2fx (exact/lsh delta mean)\n", speedup.ChurnSpeedup)
+			}
+		} else {
+			fmt.Fprintf(stdout, "  churn: skipped above -lshchurnmax=%d workers\n", o.churnMax)
+		}
+		rep.Speedups = append(rep.Speedups, speedup)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if o.out != "" {
+		if err := os.WriteFile(o.out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", o.out)
+		return nil
+	}
+	stdout.Write(blob)
+	return nil
+}
+
+// clusterFloor is the smallest population -lshbench accepts (one full
+// cluster).
+const clusterFloor = 20

@@ -46,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,10 +101,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 	reshardBench := fs.Bool("reshardbench", false, "measure mutation latency during a live shard split and replica catch-up lag vs write rate")
 	reshardFrom := fs.Int("reshardfrom", 8, "shard count before the -reshardbench split")
 	reshardTo := fs.Int("reshardto", 16, "shard count after the -reshardbench split")
+	lshBench := fs.Bool("lshbench", false, "measure exact vs MinHash/LSH candidate generation: first-audit latency and incremental churn")
+	lshSizes := fs.String("lshsizes", "10000,100000,1000000", "comma-separated population sizes for -lshbench")
+	lshExactMax := fs.Int("lshexactmax", 200000, "largest population the exact backend runs at in -lshbench (larger sizes record a skip)")
+	lshChurnMax := fs.Int("lshchurnmax", 100000, "largest population the -lshbench churn phase runs at")
+	lshChurnRounds := fs.Int("lshchurnrounds", 5, "delta passes per -lshbench churn cell")
+	lshChurnMuts := fs.Int("lshchurnmuts", 200, "worker mutations per -lshbench delta pass")
+	lshOut := fs.String("lshout", "", "write the -lshbench JSON report to this file (default: stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected benchmark to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *lshBench {
+		return runLSHBench(lshBenchOpts{
+			sizes: *lshSizes, exactMax: *lshExactMax,
+			churnMax: *lshChurnMax, churnRounds: *lshChurnRounds, churnMuts: *lshChurnMuts,
+			out: *lshOut, seed: *seed,
+		}, stdout)
+	}
 	if *storeBench {
 		return runStoreBench(*shardList, *goroutines, *ops, stdout)
 	}

@@ -307,7 +307,9 @@ func sameAuditConfig(a, b AuditConfig) bool {
 		a.RewardTolerance == b.RewardTolerance &&
 		a.ContributionThreshold == b.ContributionThreshold &&
 		a.PayTolerance == b.PayTolerance &&
-		a.Exhaustive == b.Exhaustive
+		a.Exhaustive == b.Exhaustive &&
+		a.CandidateKind() == b.CandidateKind() &&
+		(a.CandidateKind() != fairness.CandidateLSH || a.LSHSeed == b.LSHSeed)
 }
 
 // sameAttrPolicy deep-compares two attribute policies, including the

@@ -33,6 +33,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/model"
 	"repro/internal/par"
+	"repro/internal/similarity"
 	"repro/internal/store"
 )
 
@@ -47,6 +48,7 @@ type Engine struct {
 	log   *eventlog.Log
 	cfg   fairness.Config
 	cache *Cache
+	plan  fairness.IndexPlan
 
 	primed  bool
 	cursors []uint64 // per-shard changelog positions
@@ -54,6 +56,17 @@ type Engine struct {
 	access  *fairness.AccessIndex
 	flagged map[model.WorkerID]bool
 	ax5     *fairness.Axiom5Stream
+
+	// Candidate indexes for the Axiom 1/2 checkers, owned by the engine
+	// and advanced incrementally from the same per-shard changelog deltas
+	// that drive the dirty sets — an entity mutation re-tokenises exactly
+	// that entity. Built shard-parallel on rebuild, serialised in State
+	// for warm restarts, and keyed by entity id, so Reshard's cursor
+	// remaps never touch them. Contribution candidates are generated
+	// transiently per dirty task (see fairness.IndexPlan.ContribCandidates)
+	// and need no engine state.
+	workerIx similarity.CandidateIndex
+	taskIx   similarity.CandidateIndex
 
 	// Maintained verdicts. Axioms 1/2 keep their violations as a sorted
 	// slice — delta passes filter out entries touching dirty subjects and
@@ -126,11 +139,15 @@ func (p *pairSet) add(pairs [][2]string) {
 
 // New returns an engine over the given trace. cfg parameterises the
 // checkers exactly as in fairness.CheckAll; the engine attaches its own
-// similarity cache (any caller-provided cfg.Memo is replaced) and turns on
-// candidate-pair recording for the Checked census.
+// similarity cache (any caller-provided cfg.Memo is replaced), its own
+// incrementally maintained candidate provider (any caller-provided
+// cfg.Candidates is replaced), and turns on candidate-pair recording for
+// the Checked census.
 func New(st *store.Store, log *eventlog.Log, cfg fairness.Config) *Engine {
 	e := &Engine{st: st, log: log, cache: NewCache(st)}
+	e.plan = cfg.Plan()
 	cfg.Memo = e.cache
+	cfg.Candidates = engineProvider{e}
 	cfg.RecordCheckedPairs = true
 	e.cfg = cfg
 	e.reset()
@@ -140,8 +157,57 @@ func New(st *store.Store, log *eventlog.Log, cfg fairness.Config) *Engine {
 // Cache exposes the engine's similarity cache (for stats and cap tuning).
 func (e *Engine) Cache() *Cache { return e.cache }
 
+// PairScores scores every contribution pair in similarity.PairAt order
+// through the engine's cache — the hook pay.SimilarityFair.PairScores
+// expects. With the exact backend every pair is scored; with the LSH
+// backend only the index's candidate pairs are scored and the rest are
+// zero (below any threshold), so payment-side clustering reuses the same
+// pruned candidate generation as the audit. The pay scheme's similarity
+// threshold must be at or above the audit's ContributionThreshold for the
+// pruning to be sound.
+func (e *Engine) PairScores(contribs []*model.Contribution) []float64 {
+	if e.plan.Kind != fairness.CandidateLSH {
+		return e.cache.PairScores(contribs)
+	}
+	ks, _ := e.plan.ContribCandidates(contribs)
+	return e.cache.pairScoresFiltered(contribs, ks)
+}
+
+// engineProvider adapts the engine's maintained indexes to
+// fairness.CandidateProvider. It is only consulted by checkers the engine
+// itself invokes while holding e.mu (or from the per-task Axiom 3 fold,
+// which touches no index state), so reads never race index maintenance.
+type engineProvider struct{ e *Engine }
+
+// WorkerPairs implements fairness.CandidateProvider.
+func (p engineProvider) WorkerPairs(yield func(a, b model.WorkerID)) {
+	p.e.workerIx.Pairs(func(a, b string) { yield(model.WorkerID(a), model.WorkerID(b)) })
+}
+
+// WorkerPartners implements fairness.CandidateProvider.
+func (p engineProvider) WorkerPartners(id model.WorkerID, yield func(q model.WorkerID)) {
+	p.e.workerIx.Partners(string(id), func(q string) { yield(model.WorkerID(q)) })
+}
+
+// TaskPairs implements fairness.CandidateProvider.
+func (p engineProvider) TaskPairs(yield func(a, b model.TaskID)) {
+	p.e.taskIx.Pairs(func(a, b string) { yield(model.TaskID(a), model.TaskID(b)) })
+}
+
+// TaskPartners implements fairness.CandidateProvider.
+func (p engineProvider) TaskPartners(id model.TaskID, yield func(q model.TaskID)) {
+	p.e.taskIx.Partners(string(id), func(q string) { yield(model.TaskID(q)) })
+}
+
+// ContribPairs implements fairness.CandidateProvider.
+func (p engineProvider) ContribPairs(_ model.TaskID, contribs []*model.Contribution) ([]int, bool) {
+	return p.e.plan.ContribCandidates(contribs)
+}
+
 func (e *Engine) reset() {
 	e.primed = false
+	e.workerIx = nil
+	e.taskIx = nil
 	e.cursors = make([]uint64, e.st.ShardCount())
 	e.cursor = eventlog.NewCursor(e.log)
 	e.access = fairness.NewAccessIndex()
@@ -224,6 +290,11 @@ func (e *Engine) Audit() []*fairness.Report {
 			dirtyT3[c.Task] = true
 		}
 	}
+	// Re-tokenise exactly the entities the changelog touched, before any
+	// checker consults the indexes. Offer events (below) dirty workers and
+	// tasks too, but offers never change an entity's tokens, so only
+	// changelog deltas reach the indexes.
+	e.refreshIndexes(dirtyW1, dirtyT2)
 	for _, ev := range e.cursor.Next() {
 		if e.access.Observe(ev) {
 			dirtyW1[ev.Worker] = true
@@ -276,6 +347,7 @@ func (e *Engine) rebuild() []*fairness.Report {
 		}
 		e.ax5.Observe(ev)
 	}
+	e.buildIndexes()
 	e.primed = true
 
 	rep1 := fairness.CheckAxiom1Indexed(e.st, e.access, e.cfg)
@@ -297,6 +369,46 @@ func (e *Engine) rebuild() []*fairness.Report {
 	e.foldTasks(allTasks)
 	e.foldWorkers(allWorkers)
 	return []*fairness.Report{rep1, rep2, e.report3(), e.report4(), e.ax5.Report()}
+}
+
+// buildIndexes constructs the worker and task candidate indexes from the
+// current store snapshots, fanning LSH signature hashing out on the
+// bounded pool. Any entity mutated after the snapshot is above a shard
+// watermark read earlier, so its change is re-delivered to the next pass
+// and the index upsert reconciles then.
+func (e *Engine) buildIndexes() {
+	ws := e.st.Workers()
+	wix := e.plan.NewWorkerIndex()
+	fairness.PopulateIndex(wix, len(ws), func(i int) string { return string(ws[i].ID) },
+		func(i int) []uint64 { return e.plan.WorkerTokens(ws[i]) })
+	e.workerIx = wix
+	ts := e.st.Tasks()
+	tix := e.plan.NewTaskIndex()
+	fairness.PopulateIndex(tix, len(ts), func(i int) string { return string(ts[i].ID) },
+		func(i int) []uint64 { return e.plan.TaskTokens(ts[i]) })
+	e.taskIx = tix
+}
+
+// refreshIndexes re-tokenises the entities one delta pass found changed.
+// Signatures are pure functions of entity content (plus the seed), so an
+// incremental upsert leaves the index exactly as a from-scratch build over
+// the current state would — the property that keeps delta audits equal to
+// full ones and warm restarts equal to cold starts.
+func (e *Engine) refreshIndexes(workers map[model.WorkerID]bool, tasks map[model.TaskID]bool) {
+	for id := range workers {
+		if w, err := e.st.Worker(id); err == nil {
+			e.workerIx.Upsert(string(id), e.plan.WorkerTokens(w))
+		} else {
+			e.workerIx.Remove(string(id))
+		}
+	}
+	for id := range tasks {
+		if t, err := e.st.Task(id); err == nil {
+			e.taskIx.Upsert(string(id), e.plan.TaskTokens(t))
+		} else {
+			e.taskIx.Remove(string(id))
+		}
+	}
 }
 
 // mergePairReport folds a delta pass into the maintained sorted violation

@@ -5,16 +5,27 @@ import (
 
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/similarity"
 	"repro/internal/store"
 )
 
 // DefaultCacheCap bounds each of the cache's three tables. One entry is a
 // few dozen bytes, so the default keeps the whole cache under ~100 MB even
-// when every table fills; overflowing tables are dropped wholesale (the
-// next pass re-warms them) rather than tracked with an eviction policy the
-// audit workload would never exercise.
+// when every table fills.
 const DefaultCacheCap = 1 << 20
+
+// CacheStats is the cache's cumulative counter snapshot.
+type CacheStats struct {
+	// Hits and Misses count lookups that found / did not find a
+	// revision-valid entry.
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries removed by the capacity sweep (entries
+	// invalidated by revision mismatch are overwritten in place and do not
+	// count here).
+	Evictions uint64
+}
 
 // Cache memoizes the pairwise similarity scores of Axioms 1–3 across audit
 // passes. Entries are keyed by the canonical id pair and validated against
@@ -23,6 +34,17 @@ const DefaultCacheCap = 1 << 20
 // update, pay change — silently invalidates every pair the entity takes
 // part in. Invalidation therefore costs nothing at mutation time; the
 // changelog-driven dirty sets decide which pairs get looked up again.
+//
+// Each table is bounded by the cap, with deterministic generational
+// eviction: every entry is stamped with the pass generation that last
+// read or wrote it, and when a write finds its table full, every entry not
+// touched in the current generation is evicted in one sweep — at most one
+// sweep per table per generation, since the sweep leaves only
+// current-generation entries behind. If the table is still full after the
+// sweep (the working set of one pass exceeds the cap), the new entry is
+// simply not cached. Which entries survive is a
+// pure function of the operation sequence — never of map iteration order —
+// so two identical runs hit, miss, and evict identically.
 //
 // To stay sound under audits racing store mutations, entries are only
 // written when both revisions are at or below the version bracket the
@@ -36,11 +58,21 @@ type Cache struct {
 	mu       sync.Mutex
 	cap      int
 	pass     uint64
-	workers  map[workerKey]workerEntry
-	tasks    map[taskKey]taskEntry
-	contribs map[contribKey]contribEntry
-	hits     uint64
-	misses   uint64
+	gen      uint64
+	workers  map[workerKey]*workerEntry
+	tasks    map[taskKey]*taskEntry
+	contribs map[contribKey]*contribEntry
+	// workersSwept/tasksSwept/contribsSwept record the generation of each
+	// table's last capacity sweep. After a sweep, every survivor carries the
+	// current generation, so a second sweep in the same generation cannot
+	// evict anything — skipping it keeps a working set larger than the cap
+	// at one O(cap) sweep per pass instead of one per overflowing write.
+	workersSwept  uint64
+	tasksSwept    uint64
+	contribsSwept uint64
+	hits          uint64
+	misses        uint64
+	evictions     uint64
 }
 
 type workerKey struct{ a, b model.WorkerID }
@@ -49,14 +81,17 @@ type contribKey struct{ a, b model.ContributionID }
 
 type workerEntry struct {
 	ra, rb uint64
+	gen    uint64
 	scores fairness.WorkerPairScores
 }
 type taskEntry struct {
 	ra, rb uint64
+	gen    uint64
 	score  float64
 }
 type contribEntry struct {
 	ra, rb uint64
+	gen    uint64
 	score  float64
 }
 
@@ -65,9 +100,9 @@ func NewCache(st *store.Store) *Cache {
 	return &Cache{
 		st:       st,
 		cap:      DefaultCacheCap,
-		workers:  make(map[workerKey]workerEntry),
-		tasks:    make(map[taskKey]taskEntry),
-		contribs: make(map[contribKey]contribEntry),
+		workers:  make(map[workerKey]*workerEntry),
+		tasks:    make(map[taskKey]*taskEntry),
+		contribs: make(map[contribKey]*contribEntry),
 	}
 }
 
@@ -79,12 +114,15 @@ func (c *Cache) SetCap(n int) {
 }
 
 // BeginPass declares the store version the next audit pass read before
-// taking its entity snapshots. Scores computed during the pass are cached
-// only for entities whose revisions do not exceed this bracket.
+// taking its entity snapshots, and advances the eviction generation:
+// entries untouched since the previous BeginPass become eviction
+// candidates once a table fills. Scores computed during the pass are
+// cached only for entities whose revisions do not exceed this bracket.
 func (c *Cache) BeginPass(version uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pass = version
+	c.gen++
 }
 
 // Stats returns the cumulative hit and miss counts.
@@ -92,6 +130,34 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Counters returns the full counter snapshot, including evictions.
+func (c *Cache) Counters() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// Len returns the number of live entries across all three tables.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers) + len(c.tasks) + len(c.contribs)
+}
+
+// sweepStale deletes every entry whose generation predates cur, returning
+// the eviction count. Eviction is per-entry and order-independent, so the
+// surviving set never depends on map iteration order.
+func sweepStale[K comparable, V any](m map[K]V, gen func(V) uint64, cur uint64) uint64 {
+	var evicted uint64
+	for k, v := range m {
+		if gen(v) < cur {
+			delete(m, k)
+			evicted++
+		}
+	}
+	return evicted
 }
 
 // WorkerPair implements fairness.PairMemo.
@@ -105,6 +171,7 @@ func (c *Cache) WorkerPair(a, b model.WorkerID, compute func() fairness.WorkerPa
 	pass := c.pass
 	if e, ok := c.workers[k]; ok && e.ra == ra && e.rb == rb {
 		c.hits++
+		e.gen = c.gen
 		c.mu.Unlock()
 		return e.scores
 	}
@@ -114,10 +181,13 @@ func (c *Cache) WorkerPair(a, b model.WorkerID, compute func() fairness.WorkerPa
 	if ra <= pass && rb <= pass {
 		c.mu.Lock()
 		if c.cap > 0 {
-			if len(c.workers) >= c.cap {
-				c.workers = make(map[workerKey]workerEntry)
+			if _, ok := c.workers[k]; !ok && len(c.workers) >= c.cap && c.workersSwept != c.gen {
+				c.workersSwept = c.gen
+				c.evictions += sweepStale(c.workers, func(e *workerEntry) uint64 { return e.gen }, c.gen)
 			}
-			c.workers[k] = workerEntry{ra, rb, sc}
+			if _, ok := c.workers[k]; ok || len(c.workers) < c.cap {
+				c.workers[k] = &workerEntry{ra, rb, c.gen, sc}
+			}
 		}
 		c.mu.Unlock()
 	}
@@ -135,6 +205,7 @@ func (c *Cache) TaskPair(a, b model.TaskID, compute func() float64) float64 {
 	pass := c.pass
 	if e, ok := c.tasks[k]; ok && e.ra == ra && e.rb == rb {
 		c.hits++
+		e.gen = c.gen
 		c.mu.Unlock()
 		return e.score
 	}
@@ -144,10 +215,13 @@ func (c *Cache) TaskPair(a, b model.TaskID, compute func() float64) float64 {
 	if ra <= pass && rb <= pass {
 		c.mu.Lock()
 		if c.cap > 0 {
-			if len(c.tasks) >= c.cap {
-				c.tasks = make(map[taskKey]taskEntry)
+			if _, ok := c.tasks[k]; !ok && len(c.tasks) >= c.cap && c.tasksSwept != c.gen {
+				c.tasksSwept = c.gen
+				c.evictions += sweepStale(c.tasks, func(e *taskEntry) uint64 { return e.gen }, c.gen)
 			}
-			c.tasks[k] = taskEntry{ra, rb, s}
+			if _, ok := c.tasks[k]; ok || len(c.tasks) < c.cap {
+				c.tasks[k] = &taskEntry{ra, rb, c.gen, s}
+			}
 		}
 		c.mu.Unlock()
 	}
@@ -157,19 +231,20 @@ func (c *Cache) TaskPair(a, b model.TaskID, compute func() float64) float64 {
 // PairScores scores every contribution pair through the revision-keyed
 // cache, in similarity.PairAt order — a drop-in replacement for
 // similarity.ContributionPairScores, and the hook pay.SimilarityFair's
-// PairScores field expects (internal/sim wires it up whenever in-loop
-// auditing is enabled). Unlike the PairMemo entry points, which bracket
-// cache writes at the audit pass's declared version, PairScores brackets
-// each call at the current store version; the caller must therefore pass
-// contribution values that are current at call time, with no concurrent
-// mutation of those contributions during the call — the natural contract
-// for a pay scheme holding the authoritative contribution set. Repeated
-// calls over unchanged contributions are then cache hits. Note the limit
-// of pay/audit sharing in the simulator's loop: recording the payment
-// bumps each contribution's revision, so the Axiom 3 audit that follows
-// settlement keys its own entries at the post-payment revisions rather
-// than reusing pay-time scores — the win here is the shared, memoizing
-// kernel, not cross-phase reuse.
+// PairScores field expects (internal/sim wires it up — via
+// Engine.PairScores — whenever in-loop auditing is enabled). Unlike the
+// PairMemo entry points, which bracket cache writes at the audit pass's
+// declared version, PairScores brackets each call at the current store
+// version; the caller must therefore pass contribution values that are
+// current at call time, with no concurrent mutation of those contributions
+// during the call — the natural contract for a pay scheme holding the
+// authoritative contribution set. Repeated calls over unchanged
+// contributions are then cache hits. Note the limit of pay/audit sharing
+// in the simulator's loop: recording the payment bumps each contribution's
+// revision, so the Axiom 3 audit that follows settlement keys its own
+// entries at the post-payment revisions rather than reusing pay-time
+// scores — the win here is the shared, memoizing kernel, not cross-phase
+// reuse.
 func (c *Cache) PairScores(contribs []*model.Contribution) []float64 {
 	bracket := c.st.Version() // read before any revision or value, like BeginPass
 	return similarity.ScorePairs(len(contribs), func(i, j int) float64 {
@@ -178,6 +253,25 @@ func (c *Cache) PairScores(contribs []*model.Contribution) []float64 {
 			return similarity.ContributionSimilarity(a, b)
 		})
 	})
+}
+
+// pairScoresFiltered is PairScores restricted to the candidate pairs named
+// by ks (ascending linear pair indices over len(contribs)); every other
+// slot is zero. It is the pruned scoring path Engine.PairScores uses when
+// the LSH index is active: non-candidate pairs sit below the similarity
+// threshold with the index's recall guarantee, and a zero score is exactly
+// "below threshold" to every consumer of the slice.
+func (c *Cache) pairScoresFiltered(contribs []*model.Contribution, ks []int) []float64 {
+	bracket := c.st.Version()
+	out := make([]float64, similarity.PairCount(len(contribs)))
+	par.For(len(ks), 0, func(x int) {
+		i, j := similarity.PairAt(len(contribs), ks[x])
+		a, b := contribs[i], contribs[j]
+		out[ks[x]] = c.contribPair(a.ID, b.ID, bracket, func() float64 {
+			return similarity.ContributionSimilarity(a, b)
+		})
+	})
+	return out
 }
 
 // ContribPair implements fairness.PairMemo.
@@ -197,6 +291,7 @@ func (c *Cache) contribPair(a, b model.ContributionID, pass uint64, compute func
 	c.mu.Lock()
 	if e, ok := c.contribs[k]; ok && e.ra == ra && e.rb == rb {
 		c.hits++
+		e.gen = c.gen
 		c.mu.Unlock()
 		return e.score
 	}
@@ -206,10 +301,13 @@ func (c *Cache) contribPair(a, b model.ContributionID, pass uint64, compute func
 	if ra <= pass && rb <= pass {
 		c.mu.Lock()
 		if c.cap > 0 {
-			if len(c.contribs) >= c.cap {
-				c.contribs = make(map[contribKey]contribEntry)
+			if _, ok := c.contribs[k]; !ok && len(c.contribs) >= c.cap && c.contribsSwept != c.gen {
+				c.contribsSwept = c.gen
+				c.evictions += sweepStale(c.contribs, func(e *contribEntry) uint64 { return e.gen }, c.gen)
 			}
-			c.contribs[k] = contribEntry{ra, rb, s}
+			if _, ok := c.contribs[k]; ok || len(c.contribs) < c.cap {
+				c.contribs[k] = &contribEntry{ra, rb, c.gen, s}
+			}
 		}
 		c.mu.Unlock()
 	}

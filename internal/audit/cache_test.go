@@ -82,3 +82,122 @@ func TestCachePairScoresMemoizes(t *testing.T) {
 		t.Fatalf("post-mutation hits = %d, want %d", hits2, wantHit)
 	}
 }
+
+// TestCacheEvictionIsGenerationalAndDeterministic pins the bounded-cache
+// contract: entries untouched since the previous BeginPass are swept when a
+// full table takes a write, entries read or written in the current
+// generation survive, and a working set exceeding the cap leaves the
+// overflow entry uncached without counting an eviction. Every decision is
+// per-entry, so the counters are reproducible run to run.
+func TestCacheEvictionIsGenerationalAndDeterministic(t *testing.T) {
+	u := model.MustUniverse("go")
+	st := store.NewSharded(u, 4)
+	if err := st.PutRequester(&model.Requester{ID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutWorker(&model.Worker{ID: "w1", Skills: u.MustVector("go")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutTask(&model.Task{ID: "t1", Requester: "r1", Skills: u.MustVector("go")}); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]model.ContributionID, 6)
+	for i := range ids {
+		ids[i] = model.ContributionID(fmt.Sprintf("c%d", i))
+		err := st.PutContribution(&model.Contribution{ID: ids[i], Task: "t1", Worker: "w1", Text: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair := func(c *Cache, i int) float64 {
+		// Pair each id with a fixed partner so every i is a distinct key.
+		return c.ContribPair(ids[i], ids[5], func() float64 { return float64(i) })
+	}
+
+	c := NewCache(st)
+	c.SetCap(2)
+	c.BeginPass(st.Version()) // generation 1
+	pair(c, 0)
+	pair(c, 1)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("len after two writes = %d, want 2", got)
+	}
+
+	// Generation 2: a write into the full table sweeps both untouched
+	// entries, then caches the newcomer.
+	c.BeginPass(st.Version())
+	pair(c, 2)
+	if got := c.Counters().Evictions; got != 2 {
+		t.Fatalf("evictions after sweep = %d, want 2", got)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("len after sweep = %d, want 1", got)
+	}
+
+	// Generation 3: a hit re-stamps its entry, so the next sweep spares it.
+	pair(c, 3) // fill the table back to cap (gen 2)
+	c.BeginPass(st.Version())
+	pair(c, 2) // hit → gen 3
+	pair(c, 4) // write into full table: sweeps only entry 3
+	s := c.Counters()
+	if s.Evictions != 3 {
+		t.Fatalf("evictions after second sweep = %d, want 3", s.Evictions)
+	}
+	if s.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", s.Hits)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("len after second sweep = %d, want 2", got)
+	}
+
+	// Still within generation 3 the table is full of current-generation
+	// entries: an overflow write is simply not cached — no eviction counted,
+	// and the overflow key misses again on re-lookup.
+	pair(c, 0)
+	if got := c.Counters().Evictions; got != 3 {
+		t.Fatalf("overflow counted as eviction: %d", got)
+	}
+	missesBefore := c.Counters().Misses
+	pair(c, 0)
+	if got := c.Counters().Misses; got != missesBefore+1 {
+		t.Fatalf("overflow entry was cached: misses %d, want %d", got, missesBefore+1)
+	}
+	// The resident entries still hit.
+	hitsBefore := c.Counters().Hits
+	pair(c, 2)
+	pair(c, 4)
+	if got := c.Counters().Hits; got != hitsBefore+2 {
+		t.Fatalf("resident entries missed: hits %d, want %d", got, hitsBefore+2)
+	}
+}
+
+// TestCacheCapZeroDisables pins that a non-positive cap turns the cache
+// into a pass-through: every lookup misses, nothing is stored.
+func TestCacheCapZeroDisables(t *testing.T) {
+	u := model.MustUniverse("go")
+	st := store.NewSharded(u, 2)
+	if err := st.PutRequester(&model.Requester{ID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutWorker(&model.Worker{ID: "w1", Skills: u.MustVector("go")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutTask(&model.Task{ID: "t1", Requester: "r1", Skills: u.MustVector("go")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []model.ContributionID{"a", "b"} {
+		if err := st.PutContribution(&model.Contribution{ID: id, Task: "t1", Worker: "w1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCache(st)
+	c.SetCap(0)
+	c.BeginPass(st.Version())
+	for i := 0; i < 3; i++ {
+		c.ContribPair("a", "b", func() float64 { return 1 })
+	}
+	s := c.Counters()
+	if s.Hits != 0 || s.Misses != 3 || c.Len() != 0 {
+		t.Fatalf("disabled cache: hits %d, misses %d, len %d", s.Hits, s.Misses, c.Len())
+	}
+}

@@ -1,0 +1,169 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// lshConfig is the default config switched to the LSH candidate backend.
+func lshConfig(seed uint64) fairness.Config {
+	cfg := fairness.DefaultConfig()
+	cfg.CandidateIndex = fairness.CandidateLSH
+	cfg.LSHSeed = seed
+	return cfg
+}
+
+// The engine's incrementally maintained LSH indexes must generate exactly
+// the candidate sets the checkers' transient per-call indexes generate —
+// signatures are pure functions of entity content plus the seed — so the
+// incremental engine under LSH matches fairness.CheckAll under LSH across
+// arbitrary mutation streams, violations and Checked counts alike.
+func TestIncrementalLSHMatchesCheckAllLSH(t *testing.T) {
+	for _, seed := range []uint64{4, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := newScenario(t, seed)
+			s.seed(50, 20, 250, 30)
+			cfg := lshConfig(seed * 1013)
+			eng := New(s.st, s.log, cfg)
+			for round := 0; round < 8; round++ {
+				for i := 0; i < 15; i++ {
+					s.mutate()
+				}
+				inc := eng.Audit()
+				full := fairness.CheckAll(s.st, s.log, cfg)
+				requireEquivalent(t, round, inc, full)
+				for i := range inc {
+					if inc[i].Checked != full[i].Checked {
+						t.Fatalf("round %d, %s: checked %d (incremental) vs %d (full)",
+							round, inc[i].Axiom, inc[i].Checked, full[i].Checked)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A warm restart under the LSH backend must equal a cold start: the
+// serialised signatures restore the banded index without re-tokenising a
+// single entity, and the first warm delta pass reports exactly what a cold
+// full scan reports.
+func TestResumeWarmEqualsColdLSH(t *testing.T) {
+	dir := t.TempDir()
+	opts := wal.Options{SegmentBytes: 8 << 10}
+	s := durableScenario(t, 31, dir, opts)
+	s.seed(60, 30, 300, 50)
+	cfg := lshConfig(777)
+	eng := New(s.st, s.log, cfg)
+	eng.Audit()
+	for i := 0; i < 60; i++ {
+		s.mutate()
+	}
+	eng.Audit()
+
+	// The saved image must actually carry the signatures (the warm path),
+	// not just the kind tag.
+	state := eng.State()
+	if state.Index == nil || state.Index.Kind != fairness.CandidateLSH {
+		t.Fatalf("state.Index = %+v, want LSH image", state.Index)
+	}
+	if len(state.Index.Workers) != s.wn || len(state.Index.Tasks) != s.tn {
+		t.Fatalf("index image has %d workers / %d tasks, store has %d / %d",
+			len(state.Index.Workers), len(state.Index.Tasks), s.wn, s.tn)
+	}
+
+	checkpointWithAudit(t, s.st, s.log, eng, cfg)
+	for i := 0; i < 40; i++ {
+		s.mutate()
+	}
+	if err := s.st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, man, err := store.Open(dir, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	log2, err := eventlog.OpenDurable(store.EventsDir(dir), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+
+	warm := resumeFromManifest(t, st2, log2, cfg, man)
+	warmReports := warm.Audit()
+	full := fairness.CheckAll(st2, log2, cfg)
+	requireEquivalent(t, 0, warmReports, full)
+	for i := range warmReports {
+		if warmReports[i].Checked != full[i].Checked {
+			t.Fatalf("%s: warm checked %d, full %d",
+				warmReports[i].Axiom, warmReports[i].Checked, full[i].Checked)
+		}
+	}
+}
+
+// A state saved under one LSH seed resumed under another must fall back to
+// a from-scratch index build (stored signatures are useless under a
+// different hash family) and still audit correctly.
+func TestResumeLSHSeedMismatchFallsBack(t *testing.T) {
+	s := newScenario(t, 8)
+	s.seed(40, 20, 150, 30)
+	cfg := lshConfig(1)
+	eng := New(s.st, s.log, cfg)
+	eng.Audit()
+	blob, err := json.Marshal(eng.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state State
+	if err := json.Unmarshal(blob, &state); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one signature and shift the recorded seed; both paths must
+	// route to buildIndexes without error.
+	state.Index.Seed++
+	for id := range state.Index.Workers {
+		state.Index.Workers[id] = "not base64!"
+		break
+	}
+	cfg2 := lshConfig(2)
+	warm, err := Resume(s.st, s.log, cfg2, &state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.mutate()
+	}
+	requireEquivalent(t, 0, warm.Audit(), fairness.CheckAll(s.st, s.log, cfg2))
+}
+
+// ConfigSig must separate configs that differ only in candidate backend or
+// LSH seed — resuming LSH-computed verdicts under exact (or another seed)
+// must read as a config change, not a warm match.
+func TestConfigSigSeparatesCandidateBackends(t *testing.T) {
+	exact := fairness.DefaultConfig()
+	lshA := lshConfig(1)
+	lshB := lshConfig(2)
+	sigs := map[string]string{
+		"exact": ConfigSig(exact),
+		"lshA":  ConfigSig(lshA),
+		"lshB":  ConfigSig(lshB),
+	}
+	for a, sa := range sigs {
+		for b, sb := range sigs {
+			if a != b && sa == sb {
+				t.Fatalf("ConfigSig(%s) == ConfigSig(%s): %q", a, b, sa)
+			}
+		}
+	}
+}

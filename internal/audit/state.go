@@ -1,6 +1,8 @@
 package audit
 
 import (
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/similarity"
 	"repro/internal/store"
 )
 
@@ -48,6 +51,10 @@ func ConfigSig(cfg fairness.Config) string {
 	fmt.Fprintf(&b, "skill=%s@%v;attrT=%v;access=%v;reward=%v;contrib=%v;pay=%v;exh=%v",
 		cfg.SkillMeasure.Name, cfg.SkillThreshold, cfg.AttrThreshold, cfg.AccessThreshold,
 		cfg.RewardTolerance, cfg.ContributionThreshold, cfg.PayTolerance, cfg.Exhaustive)
+	fmt.Fprintf(&b, ";cand=%s", cfg.CandidateKind())
+	if cfg.CandidateKind() == fairness.CandidateLSH {
+		fmt.Fprintf(&b, "@%d", cfg.LSHSeed)
+	}
 	if p := cfg.AttrPolicy; p != nil {
 		fmt.Fprintf(&b, ";attr=%v/%v", p.NumTolerance, p.MissingPenalty)
 		keys := make([]string, 0, len(p.FieldTolerance))
@@ -111,6 +118,124 @@ type State struct {
 
 	Ax4Violations map[model.WorkerID]fairness.Violation `json:"ax4_violations,omitempty"`
 	Ax4Eligible   []model.WorkerID                      `json:"ax4_eligible,omitempty"`
+
+	// Index is the serialised candidate-index image (nil in states saved
+	// before the candidate layer existed; Resume then rebuilds linearly).
+	Index *IndexState `json:"index,omitempty"`
+}
+
+// IndexState is the warm-start image of the engine's candidate indexes.
+// For the LSH backend it carries every entity's MinHash signature
+// (base64-encoded little-endian uint32s), so Resume restores the banded
+// buckets by re-bucketing stored signatures — linear in entity count, with
+// no token re-hashing and no pairwise work. For the exact backend only the
+// kind is recorded: rebuilding the inverted index from store snapshots is
+// already linear, and its token lists are bulkier than the entities
+// themselves. If the recorded shape (kind, seed, band/row geometry) does
+// not match the resuming config's plan, or a signature fails to decode,
+// Resume falls back to a from-scratch build — correctness never depends on
+// the image being usable.
+type IndexState struct {
+	Kind string `json:"kind"`
+	Seed uint64 `json:"seed,omitempty"`
+
+	WorkerBands int `json:"worker_bands,omitempty"`
+	WorkerRows  int `json:"worker_rows,omitempty"`
+	TaskBands   int `json:"task_bands,omitempty"`
+	TaskRows    int `json:"task_rows,omitempty"`
+
+	// Workers and Tasks map entity id → encoded signature (LSH only).
+	Workers map[string]string `json:"workers,omitempty"`
+	Tasks   map[string]string `json:"tasks,omitempty"`
+}
+
+// encodeSig packs a MinHash signature as base64 over little-endian
+// uint32s — compact, JSON-safe, and byte-deterministic for a given
+// signature.
+func encodeSig(sig []uint32) string {
+	buf := make([]byte, 4*len(sig))
+	for i, v := range sig {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// decodeSig inverts encodeSig, checking that the payload holds exactly k
+// slots.
+func decodeSig(s string, k int) ([]uint32, bool) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil || len(buf) != 4*k {
+		return nil, false
+	}
+	sig := make([]uint32, k)
+	for i := range sig {
+		sig[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return sig, true
+}
+
+// indexState exports the engine's candidate indexes for serialisation.
+// Caller holds e.mu.
+func (e *Engine) indexState() *IndexState {
+	ix := &IndexState{Kind: e.plan.Kind}
+	if e.plan.Kind != fairness.CandidateLSH {
+		return ix
+	}
+	ix.Seed = e.plan.Seed
+	ix.WorkerBands, ix.WorkerRows = e.plan.Worker.Bands, e.plan.Worker.Rows
+	ix.TaskBands, ix.TaskRows = e.plan.Task.Bands, e.plan.Task.Rows
+	if w, ok := e.workerIx.(*similarity.LSHIndex); ok {
+		ix.Workers = make(map[string]string, w.Len())
+		w.Signatures(func(id string, sig []uint32) { ix.Workers[id] = encodeSig(sig) })
+	}
+	if t, ok := e.taskIx.(*similarity.LSHIndex); ok {
+		ix.Tasks = make(map[string]string, t.Len())
+		t.Signatures(func(id string, sig []uint32) { ix.Tasks[id] = encodeSig(sig) })
+	}
+	return ix
+}
+
+// restoreIndexes installs candidate indexes from a serialised image,
+// falling back to a from-scratch build when the image is missing, is for a
+// different plan shape, or holds an undecodable signature. Caller holds
+// e.mu. Both paths are linear in entity count; neither enumerates pairs.
+func (e *Engine) restoreIndexes(ix *IndexState) {
+	if ix == nil || ix.Kind != e.plan.Kind {
+		e.buildIndexes()
+		return
+	}
+	if e.plan.Kind != fairness.CandidateLSH {
+		// Exact images carry no payload; rebuild the inverted index from the
+		// store (linear in total token count).
+		e.buildIndexes()
+		return
+	}
+	if ix.Seed != e.plan.Seed ||
+		ix.WorkerBands != e.plan.Worker.Bands || ix.WorkerRows != e.plan.Worker.Rows ||
+		ix.TaskBands != e.plan.Task.Bands || ix.TaskRows != e.plan.Task.Rows {
+		e.buildIndexes()
+		return
+	}
+	wix := similarity.NewLSHIndex(e.plan.Worker)
+	for id, enc := range ix.Workers {
+		sig, ok := decodeSig(enc, e.plan.Worker.K())
+		if !ok {
+			e.buildIndexes()
+			return
+		}
+		wix.UpsertSignature(id, sig)
+	}
+	tix := similarity.NewLSHIndex(e.plan.Task)
+	for id, enc := range ix.Tasks {
+		sig, ok := decodeSig(enc, e.plan.Task.K())
+		if !ok {
+			e.buildIndexes()
+			return
+		}
+		tix.UpsertSignature(id, sig)
+	}
+	e.workerIx = wix
+	e.taskIx = tix
 }
 
 // pairs lists the census adjacency set once per pair, deterministically
@@ -154,6 +279,7 @@ func (e *Engine) State() *State {
 		Ax3Violations: make(map[model.TaskID][]fairness.Violation, len(e.ax3)),
 		Ax3Checked:    make(map[model.TaskID]int, len(e.ax3Checked)),
 		Ax4Violations: make(map[model.WorkerID]fairness.Violation, len(e.ax4)),
+		Index:         e.indexState(),
 	}
 	for id, vs := range e.ax3 {
 		st.Ax3Violations[id] = append([]fairness.Violation(nil), vs...)
@@ -233,6 +359,7 @@ func Resume(st *store.Store, log *eventlog.Log, cfg fairness.Config, state *Stat
 	for _, id := range state.Ax4Eligible {
 		e.ax4Eligible[id] = true
 	}
+	e.restoreIndexes(state.Index)
 	e.primed = true
 	return e, nil
 }

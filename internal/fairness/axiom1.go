@@ -22,9 +22,12 @@ import (
 // Offer sets are deduplicated: repeating the same offer neither changes the
 // overlap nor the reported set sizes.
 //
-// Candidate pairs come from the store's skill inverted index unless
-// cfg.Exhaustive is set; pairs of workers with empty skill vectors are
-// always compared exhaustively since the index cannot see them.
+// Candidate pairs come from the config's candidate index (an exact
+// inverted token index by default, MinHash/LSH pruning when
+// cfg.CandidateIndex selects it) unless cfg.Exhaustive forces the O(n²)
+// scan. Workers with empty skill vectors carry a sentinel token, so they
+// pair with each other (they are trivially skill-similar) and nothing
+// else.
 func CheckAxiom1(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 	return checkAxiom1(st, AccessIndexFromLog(log), cfg, nil, true)
 }
@@ -58,12 +61,6 @@ func CheckAxiom1Indexed(st *store.Store, ix *AccessIndex, cfg Config) *Report {
 // otherwise only pairs touching dirty are examined.
 func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.WorkerID]bool, full bool) *Report {
 	rep := &Report{Axiom: Axiom1WorkerAssignment}
-	workers := st.Workers()
-	byID := make(map[model.WorkerID]*model.Worker, len(workers))
-	for _, w := range workers {
-		byID[w.ID] = w
-	}
-
 	skillThr := orDefault(cfg.SkillThreshold, 0.9)
 	attrThr := orDefault(cfg.AttrThreshold, 0.9)
 	accessThr := orDefault(cfg.AccessThreshold, 1.0)
@@ -114,103 +111,82 @@ func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.W
 		})
 	}
 
-	var skillless []*model.Worker
-	for _, w := range workers {
-		if w.Skills.Count() == 0 {
-			skillless = append(skillless, w)
-		}
-	}
-
 	switch {
-	case full && cfg.Exhaustive:
-		for i := 0; i < len(workers); i++ {
-			for j := i + 1; j < len(workers); j++ {
-				check(workers[i], workers[j])
-			}
+	case full || cfg.Exhaustive:
+		// Full and exhaustive passes touch (nearly) every worker, so one
+		// bulk snapshot is the cheap shape.
+		workers := st.Workers()
+		byID := make(map[model.WorkerID]*model.Worker, len(workers))
+		for _, w := range workers {
+			byID[w.ID] = w
 		}
-	case full:
-		for _, pair := range st.CandidateWorkerPairs() {
-			a, b := byID[pair[0]], byID[pair[1]]
-			if a == nil || b == nil {
-				// Inserted after the worker snapshot was taken (audit racing
-				// mutation); the insert is still pending for the next pass.
-				continue
-			}
-			check(a, b)
-		}
-		// Workers with no skills share no index entry; compare them among
-		// themselves (they are trivially skill-similar to each other).
-		for i := 0; i < len(skillless); i++ {
-			for j := i + 1; j < len(skillless); j++ {
-				check(skillless[i], skillless[j])
-			}
-		}
-	case cfg.Exhaustive:
-		for i := 0; i < len(workers); i++ {
-			for j := i + 1; j < len(workers); j++ {
-				if dirty[workers[i].ID] || dirty[workers[j].ID] {
+		switch {
+		case full && cfg.Exhaustive:
+			for i := 0; i < len(workers); i++ {
+				for j := i + 1; j < len(workers); j++ {
 					check(workers[i], workers[j])
+				}
+			}
+		case full:
+			cfg.provider(st).WorkerPairs(func(ai, bi model.WorkerID) {
+				a, b := byID[ai], byID[bi]
+				if a == nil || b == nil {
+					// The index saw a worker the snapshot lacks (audit racing
+					// mutation); the insert is still pending for the next pass.
+					return
+				}
+				check(a, b)
+			})
+		default:
+			for i := 0; i < len(workers); i++ {
+				for j := i + 1; j < len(workers); j++ {
+					if dirty[workers[i].ID] || dirty[workers[j].ID] {
+						check(workers[i], workers[j])
+					}
 				}
 			}
 		}
 	default:
+		// Delta passes touch only dirty workers and their candidate
+		// partners, so entities are fetched (and cloned) per id on first
+		// use — a bulk snapshot here would cost O(n) per pass and dominate
+		// small deltas at large populations.
+		known := make(map[model.WorkerID]*model.Worker, 2*len(dirty))
+		lookup := func(id model.WorkerID) *model.Worker {
+			if w, ok := known[id]; ok {
+				return w
+			}
+			w, err := st.Worker(id)
+			if err != nil {
+				w = nil // deleted, or indexed ahead of this pass
+			}
+			known[id] = w
+			return w
+		}
 		dirtyIDs := make([]model.WorkerID, 0, len(dirty))
 		for id := range dirty {
-			if byID[id] != nil {
+			if lookup(id) != nil {
 				dirtyIDs = append(dirtyIDs, id)
 			}
 		}
 		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
-		// Partner candidates come from an inverted index built over the
-		// pass's own worker snapshot (workers are id-sorted, so buckets
-		// are too), populated only for the skills dirty workers actually
-		// have: one O(set bits) build beats per-dirty-worker queries
-		// against the store's sharded index, and a snapshot-consistent
-		// bucket can never name a worker the snapshot lacks.
-		var bySkill [][]model.WorkerID
-		if len(dirtyIDs) > 0 {
-			needed := make([]bool, st.Universe().Size())
-			for _, did := range dirtyIDs {
-				for _, skill := range byID[did].Skills.Indices() {
-					needed[skill] = true
-				}
-			}
-			bySkill = make([][]model.WorkerID, len(needed))
-			for _, w := range workers {
-				for _, skill := range w.Skills.Indices() {
-					if needed[skill] {
-						bySkill[skill] = append(bySkill[skill], w.ID)
-					}
-				}
-			}
-		}
+		prov := cfg.provider(st)
 		for _, did := range dirtyIDs {
-			d := byID[did]
-			seen := map[model.WorkerID]bool{did: true}
-			for _, skill := range d.Skills.Indices() {
-				for _, pid := range bySkill[skill] {
-					if seen[pid] {
-						continue
-					}
-					seen[pid] = true
-					p := byID[pid]
-					if dirty[pid] && pid < did {
-						continue // the partner's own delta pass owns this pair
-					}
-					a, b := d, p
-					if b.ID < a.ID {
-						a, b = b, a
-					}
-					check(a, b)
+			d := lookup(did)
+			prov.WorkerPartners(did, func(pid model.WorkerID) {
+				p := lookup(pid)
+				if p == nil {
+					return
 				}
-			}
-		}
-		for i := 0; i < len(skillless); i++ {
-			for j := i + 1; j < len(skillless); j++ {
-				if dirty[skillless[i].ID] || dirty[skillless[j].ID] {
-					check(skillless[i], skillless[j])
+				if dirty[pid] && pid < did {
+					return // the partner's own delta pass owns this pair
 				}
-			}
+				a, b := d, p
+				if b.ID < a.ID {
+					a, b = b, a
+				}
+				check(a, b)
+			})
 		}
 	}
 	sortViolations(rep.Violations)

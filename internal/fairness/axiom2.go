@@ -48,12 +48,6 @@ func CheckAxiom2Indexed(st *store.Store, ix *AccessIndex, cfg Config) *Report {
 
 func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.TaskID]bool, full bool) *Report {
 	rep := &Report{Axiom: Axiom2RequesterAssignment}
-	tasks := st.Tasks()
-	byID := make(map[model.TaskID]*model.Task, len(tasks))
-	for _, t := range tasks {
-		byID[t.ID] = t
-	}
-
 	skillThr := orDefault(cfg.SkillThreshold, 0.9)
 	rewardTol := orDefault(cfg.RewardTolerance, 0.1)
 	accessThr := orDefault(cfg.AccessThreshold, 1.0)
@@ -93,113 +87,96 @@ func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.T
 		})
 	}
 
-	var skillless []*model.Task
-	for _, t := range tasks {
-		if t.Skills.Count() == 0 {
-			skillless = append(skillless, t)
-		}
-	}
-
 	switch {
-	case full && cfg.Exhaustive:
-		for i := 0; i < len(tasks); i++ {
-			for j := i + 1; j < len(tasks); j++ {
-				if tasks[i].Requester == tasks[j].Requester {
-					continue
-				}
-				check(tasks[i], tasks[j])
-			}
+	case full || cfg.Exhaustive:
+		// Full and exhaustive passes touch (nearly) every task, so one bulk
+		// snapshot is the cheap shape.
+		tasks := st.Tasks()
+		byID := make(map[model.TaskID]*model.Task, len(tasks))
+		for _, t := range tasks {
+			byID[t.ID] = t
 		}
-	case full:
-		for _, pair := range st.CandidateTaskPairs() {
-			a, b := byID[pair[0]], byID[pair[1]]
-			if a == nil || b == nil {
-				// Posted after the task snapshot was taken (audit racing
-				// mutation); the insert is still pending for the next pass.
-				continue
-			}
-			check(a, b)
-		}
-		for i := 0; i < len(skillless); i++ {
-			for j := i + 1; j < len(skillless); j++ {
-				if skillless[i].Requester == skillless[j].Requester {
-					continue
-				}
-				check(skillless[i], skillless[j])
-			}
-		}
-	case cfg.Exhaustive:
-		for i := 0; i < len(tasks); i++ {
-			for j := i + 1; j < len(tasks); j++ {
-				if tasks[i].Requester == tasks[j].Requester {
-					continue
-				}
-				if dirty[tasks[i].ID] || dirty[tasks[j].ID] {
+		switch {
+		case full && cfg.Exhaustive:
+			for i := 0; i < len(tasks); i++ {
+				for j := i + 1; j < len(tasks); j++ {
+					if tasks[i].Requester == tasks[j].Requester {
+						continue
+					}
 					check(tasks[i], tasks[j])
+				}
+			}
+		case full:
+			// The index knows nothing of requesters — same-requester pairs
+			// are filtered here, as the axiom quantifies over distinct
+			// requesters.
+			cfg.provider(st).TaskPairs(func(ai, bi model.TaskID) {
+				a, b := byID[ai], byID[bi]
+				if a == nil || b == nil {
+					// Posted after the task snapshot was taken (audit racing
+					// mutation); the insert is still pending for the next
+					// pass.
+					return
+				}
+				if a.Requester == b.Requester {
+					return
+				}
+				check(a, b)
+			})
+		default:
+			for i := 0; i < len(tasks); i++ {
+				for j := i + 1; j < len(tasks); j++ {
+					if tasks[i].Requester == tasks[j].Requester {
+						continue
+					}
+					if dirty[tasks[i].ID] || dirty[tasks[j].ID] {
+						check(tasks[i], tasks[j])
+					}
 				}
 			}
 		}
 	default:
+		// Delta passes touch only dirty tasks and their candidate partners;
+		// fetch per id on first use rather than snapshotting all n tasks.
+		known := make(map[model.TaskID]*model.Task, 2*len(dirty))
+		lookup := func(id model.TaskID) *model.Task {
+			if t, ok := known[id]; ok {
+				return t
+			}
+			t, err := st.Task(id)
+			if err != nil {
+				t = nil // deleted, or indexed ahead of this pass
+			}
+			known[id] = t
+			return t
+		}
 		dirtyIDs := make([]model.TaskID, 0, len(dirty))
 		for id := range dirty {
-			if byID[id] != nil {
+			if lookup(id) != nil {
 				dirtyIDs = append(dirtyIDs, id)
 			}
 		}
 		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
-		// As in checkAxiom1: snapshot-derived skill buckets for just the
-		// dirty tasks' skills, built once per pass, replace per-dirty-task
-		// store index queries.
-		var bySkill [][]model.TaskID
-		if len(dirtyIDs) > 0 {
-			needed := make([]bool, st.Universe().Size())
-			for _, did := range dirtyIDs {
-				for _, skill := range byID[did].Skills.Indices() {
-					needed[skill] = true
-				}
-			}
-			bySkill = make([][]model.TaskID, len(needed))
-			for _, task := range tasks {
-				for _, skill := range task.Skills.Indices() {
-					if needed[skill] {
-						bySkill[skill] = append(bySkill[skill], task.ID)
-					}
-				}
-			}
-		}
+		prov := cfg.provider(st)
 		for _, did := range dirtyIDs {
-			d := byID[did]
-			seen := map[model.TaskID]bool{did: true}
-			for _, skill := range d.Skills.Indices() {
-				for _, pid := range bySkill[skill] {
-					if seen[pid] {
-						continue
-					}
-					seen[pid] = true
-					p := byID[pid]
-					if p.Requester == d.Requester {
-						continue
-					}
-					if dirty[pid] && pid < did {
-						continue // the partner's own delta pass owns this pair
-					}
-					a, b := d, p
-					if b.ID < a.ID {
-						a, b = b, a
-					}
-					check(a, b)
+			d := lookup(did)
+			prov.TaskPartners(did, func(pid model.TaskID) {
+				p := lookup(pid)
+				if p == nil {
+					return
 				}
-			}
-		}
-		for i := 0; i < len(skillless); i++ {
-			for j := i + 1; j < len(skillless); j++ {
-				if skillless[i].Requester == skillless[j].Requester {
-					continue
+				if p.Requester == d.Requester {
+					return
 				}
-				if dirty[skillless[i].ID] || dirty[skillless[j].ID] {
-					check(skillless[i], skillless[j])
+				if dirty[pid] && pid < did {
+					return // the partner's own delta pass owns this pair
 				}
-			}
+				a, b := d, p
+				if b.ID < a.ID {
+					a, b = b, a
+				}
+				check(a, b)
+			})
 		}
 	}
 	sortViolations(rep.Violations)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/similarity"
 	"repro/internal/store"
 )
@@ -22,8 +23,9 @@ import (
 // cfg.PayTolerance (relative) of each other.
 func CheckAxiom3(st *store.Store, cfg Config) *Report {
 	rep := &Report{Axiom: Axiom3Compensation}
+	prov := cfg.provider(st)
 	for _, t := range st.Tasks() {
-		checked, vs := checkAxiom3Task(st, cfg, t.ID)
+		checked, vs := checkAxiom3Task(st, cfg, prov, t.ID)
 		rep.Checked += checked
 		rep.Violations = append(rep.Violations, vs...)
 	}
@@ -44,8 +46,9 @@ func CheckAxiom3Delta(st *store.Store, cfg Config, dirty map[model.TaskID]bool) 
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	prov := cfg.provider(st)
 	for _, id := range ids {
-		checked, vs := checkAxiom3Task(st, cfg, id)
+		checked, vs := checkAxiom3Task(st, cfg, prov, id)
 		rep.Checked += checked
 		rep.Violations = append(rep.Violations, vs...)
 	}
@@ -54,47 +57,32 @@ func CheckAxiom3Delta(st *store.Store, cfg Config, dirty map[model.TaskID]bool) 
 }
 
 // checkAxiom3Task runs the pairwise compensation audit over one task's
-// contributions. Without a memo the pair scores come from the parallel
-// kernel; with one, each pair is routed through the cache (the memoized
-// path is the incremental engine's, where most pairs are warm).
-func checkAxiom3Task(st *store.Store, cfg Config, tid model.TaskID) (int, []Violation) {
+// contributions. The exact backend scores every pair (pruned=false from
+// the provider) on the parallel kernel; the LSH backend scores only the
+// index's candidate pairs, walked in the same serial pair order. Without a
+// memo scores are computed directly; with one, each pair is routed through
+// the cache (the memoized path is the incremental engine's, where most
+// pairs are warm). Exhaustive mode forces the all-pairs path.
+func checkAxiom3Task(st *store.Store, cfg Config, prov CandidateProvider, tid model.TaskID) (int, []Violation) {
 	simThr := orDefault(cfg.ContributionThreshold, 0.8)
 	payTol := orDefault(cfg.PayTolerance, 0.01)
 	contribs := st.ContributionsByTask(tid)
 
-	// Score every pair up front on the parallel kernel — profile
-	// construction dominates audit cost on text-heavy tasks — then walk the
-	// scores in the kernel's serial pair order so the report is identical
-	// to the old nested loop. With a memo attached each score routes
-	// through the (concurrency-safe) cache, so warm pairs are lookups and
-	// cold tasks still fan out.
-	var sims []float64
-	if cfg.Memo == nil {
-		sims = similarity.ContributionPairScores(contribs)
-	} else {
-		sims = similarity.ScorePairs(len(contribs), func(i, j int) float64 {
-			a, b := contribs[i], contribs[j]
-			return cfg.Memo.ContribPair(a.ID, b.ID, func() float64 {
-				return similarity.ContributionSimilarity(a, b)
-			})
-		})
-	}
-
+	// emit scores one pair against the thresholds.
 	checked := 0
 	var out []Violation
-	for k := 0; k < similarity.PairCount(len(contribs)); k++ {
+	emit := func(k int, sim float64) {
 		i, j := similarity.PairAt(len(contribs), k)
 		a, b := contribs[i], contribs[j]
 		if a.Worker == b.Worker {
-			continue // the axiom quantifies over distinct workers
+			return // the axiom quantifies over distinct workers
 		}
 		checked++
-		sim := sims[k]
 		if sim < simThr {
-			continue
+			return
 		}
 		if equalPay(a.Paid, b.Paid, payTol) {
-			continue
+			return
 		}
 		gap := math.Abs(a.Paid - b.Paid)
 		hi := math.Max(a.Paid, b.Paid)
@@ -111,6 +99,43 @@ func checkAxiom3Task(st *store.Store, cfg Config, tid model.TaskID) (int, []Viol
 				tid, sim*100, a.Paid, b.Paid),
 			Severity: sev,
 		})
+	}
+
+	score := func(i, j int) float64 {
+		a, b := contribs[i], contribs[j]
+		if cfg.Memo != nil {
+			return cfg.Memo.ContribPair(a.ID, b.ID, func() float64 {
+				return similarity.ContributionSimilarity(a, b)
+			})
+		}
+		return similarity.ContributionSimilarity(a, b)
+	}
+
+	var ks []int
+	pruned := false
+	if !cfg.Exhaustive {
+		ks, pruned = prov.ContribPairs(tid, contribs)
+	}
+	if !pruned {
+		// Score every pair up front on the parallel kernel — profile
+		// construction dominates audit cost on text-heavy tasks — then walk
+		// the scores in the kernel's serial pair order so the report is
+		// identical to the old nested loop.
+		sims := similarity.ScorePairs(len(contribs), score)
+		for k := range sims {
+			emit(k, sims[k])
+		}
+		return checked, out
+	}
+	// Pruned path: score only the candidate pairs, still on the parallel
+	// pool, then walk them in ascending pair order.
+	sims := make([]float64, len(ks))
+	par.For(len(ks), 0, func(x int) {
+		i, j := similarity.PairAt(len(contribs), ks[x])
+		sims[x] = score(i, j)
+	})
+	for x, k := range ks {
+		emit(k, sims[x])
 	}
 	return checked, out
 }

@@ -1,0 +1,370 @@
+package fairness
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/par"
+	"repro/internal/similarity"
+)
+
+// Candidate-index kinds accepted by Config.CandidateIndex.
+const (
+	// CandidateExact is the inverted-token-index backend: full recall,
+	// byte-identical to the pre-index inline scans — the escape hatch and
+	// the determinism oracle LSH is validated against.
+	CandidateExact = "exact"
+	// CandidateLSH is the MinHash/LSH banding backend: sub-quadratic
+	// candidate generation with recall ≥ ~0.98 at the configured
+	// thresholds (band/row parameters are derived from them).
+	CandidateLSH = "lsh"
+)
+
+// CandidateKind normalises Config.CandidateIndex: the empty string means
+// CandidateExact. It panics on an unknown kind — a configuration error, not
+// a runtime condition.
+func (c *Config) CandidateKind() string {
+	switch c.CandidateIndex {
+	case "", CandidateExact:
+		return CandidateExact
+	case CandidateLSH:
+		return CandidateLSH
+	default:
+		panic("fairness: unknown candidate index kind " + c.CandidateIndex)
+	}
+}
+
+// CandidateProvider supplies pruned candidate pairs to the Axiom 1–3
+// checkers. The full-pass enumerations and the per-entity Partners views
+// must describe the same pair set, and pair membership must depend only on
+// the two endpoints' current contents — the properties that keep delta
+// audits equivalent to full ones. internal/audit injects an incrementally
+// maintained provider; when Config.Candidates is nil the checkers build a
+// transient one per call from the store snapshot.
+type CandidateProvider interface {
+	// WorkerPairs yields every candidate worker pair, a < b, each once.
+	WorkerPairs(yield func(a, b model.WorkerID))
+	// WorkerPartners yields every candidate partner of one worker, each
+	// once, never the worker itself.
+	WorkerPartners(id model.WorkerID, yield func(p model.WorkerID))
+	// TaskPairs yields every candidate task pair, a < b, each once.
+	TaskPairs(yield func(a, b model.TaskID))
+	// TaskPartners yields every candidate partner of one task.
+	TaskPartners(id model.TaskID, yield func(p model.TaskID))
+	// ContribPairs returns the candidate pairs among one task's
+	// contributions as ascending linear pair indices (similarity.PairAt
+	// order over len(contribs)). pruned=false means "every pair is a
+	// candidate" and ks is meaningless — the exact backend's answer, which
+	// keeps Axiom 3's all-pairs kernel path intact.
+	ContribPairs(tid model.TaskID, contribs []*model.Contribution) (ks []int, pruned bool)
+}
+
+// IndexPlan is the concrete index recipe a Config implies: which backend,
+// which seeds and band/row parameters, and how each entity kind is
+// tokenised. It is the shared vocabulary between the transient providers
+// built by the checkers and the long-lived, incrementally maintained
+// indexes owned by internal/audit — both construct indexes from the same
+// plan, which is why their candidate sets (and therefore reports) agree.
+type IndexPlan struct {
+	// Kind is CandidateExact or CandidateLSH.
+	Kind string
+	// Seed is the root LSH seed (meaningful only for CandidateLSH).
+	Seed uint64
+	// Worker, Task and Contrib are the per-entity-kind LSH parameters
+	// (zero-valued for CandidateExact).
+	Worker  similarity.LSHParams
+	Task    similarity.LSHParams
+	Contrib similarity.LSHParams
+
+	policy similarity.AttrPolicy
+	ngramN int
+}
+
+// Plan derives the index recipe from the config's kind, seed and
+// thresholds. Worker and task indexes are parameterised by SkillThreshold,
+// contribution indexes by ContributionThreshold.
+func (c *Config) Plan() IndexPlan {
+	p := IndexPlan{
+		Kind:   c.CandidateKind(),
+		Seed:   c.LSHSeed,
+		policy: c.attrPolicy(),
+		ngramN: 3,
+	}
+	if p.Kind == CandidateLSH {
+		skillThr := orDefault(c.SkillThreshold, 0.9)
+		contribThr := orDefault(c.ContributionThreshold, 0.8)
+		p.Worker = similarity.ChooseLSHParams(skillThr, deriveSeed(c.LSHSeed, "worker"))
+		p.Task = similarity.ChooseLSHParams(skillThr, deriveSeed(c.LSHSeed, "task"))
+		p.Contrib = similarity.ChooseLSHParams(contribThr, deriveSeed(c.LSHSeed, "contrib"))
+	}
+	return p
+}
+
+// deriveSeed gives each entity kind an independent hash family from one
+// root seed.
+func deriveSeed(seed uint64, scope string) uint64 {
+	return similarity.Mix64(seed ^ similarity.HashToken("lsh:"+scope))
+}
+
+// NewWorkerIndex returns an empty index for worker candidates.
+func (p IndexPlan) NewWorkerIndex() similarity.CandidateIndex {
+	if p.Kind == CandidateLSH {
+		return similarity.NewLSHIndex(p.Worker)
+	}
+	return similarity.NewExactIndex()
+}
+
+// NewTaskIndex returns an empty index for task candidates.
+func (p IndexPlan) NewTaskIndex() similarity.CandidateIndex {
+	if p.Kind == CandidateLSH {
+		return similarity.NewLSHIndex(p.Task)
+	}
+	return similarity.NewExactIndex()
+}
+
+// Sentinel tokens. Entities the similarity measures treat as trivially
+// similar when "empty" (skill-less workers/tasks, empty-text contributions)
+// must still share a token, or the index would never pair them; a dedicated
+// sentinel pairs them with each other and nothing else — exactly the
+// semantics of the old explicit skill-less comparison loops.
+var (
+	skilllessToken = similarity.HashToken("fairness:no-skills")
+	emptyTextToken = similarity.HashToken("fairness:empty-contribution")
+)
+
+// lshSkillWeight is how many salted copies of each skill token the LSH
+// worker tokenisation emits. Skill similarity is the most selective of
+// Axiom 1's three conditions, but a worker has few attribute fields and
+// coarse attribute buckets are shared by large population fractions —
+// unweighted, the handful of near-universal attribute tokens would
+// dominate the Jaccard estimate and pull every pair's signature agreement
+// toward the bucket-sharing rate, flooding the index with dissimilar
+// candidates. Replicating each skill token keeps set overlap dominated by
+// the skill dimension while the attribute tokens still contribute
+// (attribute-dissimilar pairs rank strictly lower).
+const lshSkillWeight = 4
+
+var lshSkillSalts = [lshSkillWeight]uint64{
+	similarity.HashToken("fairness:skill-copy-0"),
+	similarity.HashToken("fairness:skill-copy-1"),
+	similarity.HashToken("fairness:skill-copy-2"),
+	similarity.HashToken("fairness:skill-copy-3"),
+}
+
+// WorkerTokens tokenises a worker for its candidate index: skill indices
+// (or the skill-less sentinel), plus — for LSH only — bucketed declared and
+// computed attributes, with skill tokens weighted by replication so the
+// signature reflects every similarity dimension Axiom 1 thresholds without
+// letting the few coarse attribute tokens drown the skill overlap. The
+// exact backend indexes plain skills alone, reproducing the store's
+// skill-sharing candidate generation byte-for-byte.
+func (p IndexPlan) WorkerTokens(w *model.Worker) []uint64 {
+	toks := skillTokens(w.Skills)
+	if p.Kind == CandidateLSH {
+		weighted := make([]uint64, 0, lshSkillWeight*len(toks)+8)
+		for _, t := range toks {
+			for _, salt := range &lshSkillSalts {
+				weighted = append(weighted, similarity.Mix64(t^salt))
+			}
+		}
+		toks = p.appendAttrTokens(weighted, "d:", w.Declared)
+		toks = p.appendAttrTokens(toks, "c:", w.Computed)
+	}
+	return toks
+}
+
+// TaskTokens tokenises a task: its required-skill indices (or the
+// skill-less sentinel). Rewards are not tokenised — reward comparability is
+// a cheap filter the Axiom 2 checker applies per candidate.
+func (p IndexPlan) TaskTokens(t *model.Task) []uint64 {
+	return skillTokens(t.Skills)
+}
+
+// ContribTokens tokenises a contribution: hashed ranking items for ranked
+// payloads, hashed character n-grams for text (the same preprocessing as
+// the n-gram similarity the checker scores with), and the empty-text
+// sentinel otherwise so trivially identical empty contributions still pair.
+func (p IndexPlan) ContribTokens(c *model.Contribution) []uint64 {
+	if len(c.Ranking) > 0 {
+		out := make([]uint64, len(c.Ranking))
+		for i, item := range c.Ranking {
+			out[i] = similarity.HashToken("rank:" + item)
+		}
+		return out
+	}
+	toks := similarity.TextNGramTokens(c.Text, p.ngramN)
+	if len(toks) == 0 {
+		return []uint64{emptyTextToken}
+	}
+	return toks
+}
+
+func skillTokens(v model.SkillVector) []uint64 {
+	idx := v.Indices()
+	if len(idx) == 0 {
+		return []uint64{skilllessToken}
+	}
+	out := make([]uint64, len(idx))
+	for i, s := range idx {
+		out[i] = uint64(s)
+	}
+	return out
+}
+
+// appendAttrTokens emits tokens for one attribute set. Categorical values
+// token on (field, value). Numeric values are bucketed at width 2×tolerance
+// and emit both their bucket and its right neighbour: any pair with
+// per-field similarity > 0 (|a−b| < 2·tol) lands within one bucket of each
+// other and therefore shares a token, so bucketing never hides a pair the
+// attribute threshold could accept. Zero tolerance tokens on exact bits.
+func (p IndexPlan) appendAttrTokens(out []uint64, side string, attrs model.Attributes) []uint64 {
+	for name, v := range attrs {
+		if p.policy.IgnoreFields[name] {
+			continue
+		}
+		field := similarity.HashToken(side + name)
+		if v.Kind == model.AttrStr {
+			out = append(out, similarity.Mix64(field^similarity.HashToken(v.Str)))
+			continue
+		}
+		tol := p.policy.NumTolerance
+		if t, ok := p.policy.FieldTolerance[name]; ok {
+			tol = t
+		}
+		if tol <= 0 {
+			out = append(out, similarity.Mix64(field^math.Float64bits(v.Num)))
+			continue
+		}
+		b := uint64(int64(math.Floor(v.Num / (2 * tol))))
+		out = append(out, similarity.Mix64(field^b), similarity.Mix64(field^(b+1)))
+	}
+	return out
+}
+
+// PopulateIndex fills an index with n entities, computing LSH signatures on
+// the parallel pool (signature hashing dominates LSH build cost) before
+// installing them serially. For exact indexes it upserts directly. The
+// result is identical to n sequential Upserts.
+func PopulateIndex(ix similarity.CandidateIndex, n int, id func(int) string, tokens func(int) []uint64) {
+	if lsh, ok := ix.(*similarity.LSHIndex); ok {
+		sigs := make([][]uint32, n)
+		par.For(n, 0, func(i int) {
+			sigs[i] = lsh.Hasher().Signature(tokens(i))
+		})
+		for i := 0; i < n; i++ {
+			lsh.UpsertSignature(id(i), sigs[i])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		ix.Upsert(id(i), tokens(i))
+	}
+}
+
+// ContribCandidates prunes one task's contribution pairs: it builds a
+// transient LSH index over the contributions and returns the candidate
+// pairs as ascending linear pair indices. For the exact backend it reports
+// pruned=false — Axiom 3 keeps its all-pairs scoring kernel. The index is
+// transient by design: contributions are only ever compared within one
+// task, and a dirty task is always re-audited against its current
+// contribution set, so there is no cross-pass state to maintain.
+func (p IndexPlan) ContribCandidates(contribs []*model.Contribution) (ks []int, pruned bool) {
+	if p.Kind != CandidateLSH {
+		return nil, false
+	}
+	n := len(contribs)
+	if n < 2 {
+		return []int{}, true
+	}
+	ix := similarity.NewLSHIndex(p.Contrib)
+	PopulateIndex(ix, n, func(i int) string { return string(contribs[i].ID) },
+		func(i int) []uint64 { return p.ContribTokens(contribs[i]) })
+	pos := make(map[string]int, n)
+	for i, c := range contribs {
+		pos[string(c.ID)] = i
+	}
+	ks = make([]int, 0, n)
+	ix.Pairs(func(a, b string) {
+		i, j := pos[a], pos[b]
+		if j < i {
+			i, j = j, i
+		}
+		ks = append(ks, similarity.PairIndex(n, i, j))
+	})
+	sort.Ints(ks)
+	return ks, true
+}
+
+// provider resolves the candidate source for one checker pass: the injected
+// provider if any, otherwise a transient snapshot-built one.
+func (c *Config) provider(src snapshotSource) CandidateProvider {
+	if c.Candidates != nil {
+		return c.Candidates
+	}
+	return &snapshotProvider{plan: c.Plan(), src: src}
+}
+
+// snapshotSource is the slice of the store API the transient provider
+// needs (satisfied by *store.Store).
+type snapshotSource interface {
+	Workers() []*model.Worker
+	Tasks() []*model.Task
+}
+
+// snapshotProvider builds indexes on demand from the current store
+// snapshot — the candidate source for one-shot checker calls (CheckAll and
+// friends). Each index is built at most once per pass.
+type snapshotProvider struct {
+	plan     IndexPlan
+	src      snapshotSource
+	workerIx similarity.CandidateIndex
+	taskIx   similarity.CandidateIndex
+}
+
+func (sp *snapshotProvider) workers() similarity.CandidateIndex {
+	if sp.workerIx == nil {
+		ws := sp.src.Workers()
+		ix := sp.plan.NewWorkerIndex()
+		PopulateIndex(ix, len(ws), func(i int) string { return string(ws[i].ID) },
+			func(i int) []uint64 { return sp.plan.WorkerTokens(ws[i]) })
+		sp.workerIx = ix
+	}
+	return sp.workerIx
+}
+
+func (sp *snapshotProvider) tasks() similarity.CandidateIndex {
+	if sp.taskIx == nil {
+		ts := sp.src.Tasks()
+		ix := sp.plan.NewTaskIndex()
+		PopulateIndex(ix, len(ts), func(i int) string { return string(ts[i].ID) },
+			func(i int) []uint64 { return sp.plan.TaskTokens(ts[i]) })
+		sp.taskIx = ix
+	}
+	return sp.taskIx
+}
+
+// WorkerPairs implements CandidateProvider.
+func (sp *snapshotProvider) WorkerPairs(yield func(a, b model.WorkerID)) {
+	sp.workers().Pairs(func(a, b string) { yield(model.WorkerID(a), model.WorkerID(b)) })
+}
+
+// WorkerPartners implements CandidateProvider.
+func (sp *snapshotProvider) WorkerPartners(id model.WorkerID, yield func(p model.WorkerID)) {
+	sp.workers().Partners(string(id), func(p string) { yield(model.WorkerID(p)) })
+}
+
+// TaskPairs implements CandidateProvider.
+func (sp *snapshotProvider) TaskPairs(yield func(a, b model.TaskID)) {
+	sp.tasks().Pairs(func(a, b string) { yield(model.TaskID(a), model.TaskID(b)) })
+}
+
+// TaskPartners implements CandidateProvider.
+func (sp *snapshotProvider) TaskPartners(id model.TaskID, yield func(p model.TaskID)) {
+	sp.tasks().Partners(string(id), func(p string) { yield(model.TaskID(p)) })
+}
+
+// ContribPairs implements CandidateProvider.
+func (sp *snapshotProvider) ContribPairs(_ model.TaskID, contribs []*model.Contribution) ([]int, bool) {
+	return sp.plan.ContribCandidates(contribs)
+}

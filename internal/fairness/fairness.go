@@ -105,8 +105,26 @@ type Config struct {
 	// similar contributions (Axiom 3; default 0.01).
 	PayTolerance float64
 	// Exhaustive forces the O(n²) pair scan instead of the index-pruned
-	// candidate generation (the E7 ablation switch).
+	// candidate generation (the E7 ablation switch). It overrides
+	// CandidateIndex and Candidates.
 	Exhaustive bool
+	// CandidateIndex selects the candidate-generation backend for the
+	// Axiom 1–3 checkers: CandidateExact (the default; inverted token
+	// index, full recall, byte-identical reports to the inline scans it
+	// replaced) or CandidateLSH (MinHash/LSH banding, sub-quadratic, with
+	// band/row parameters derived from the configured thresholds for
+	// recall ≥ ~0.98 on violating pairs). Ignored when Exhaustive is set.
+	CandidateIndex string
+	// LSHSeed seeds the MinHash hash families when CandidateIndex is
+	// CandidateLSH. The same seed and config give byte-identical candidate
+	// sets — and therefore byte-identical reports — run to run.
+	LSHSeed uint64
+	// Candidates, when non-nil, supplies candidate pairs directly instead
+	// of a transient per-call index build — internal/audit injects its
+	// incrementally maintained provider here. The provider must be built
+	// from this config's Plan() so its candidate sets match what the
+	// checkers would build themselves.
+	Candidates CandidateProvider
 	// Memo, when non-nil, memoizes the pairwise similarity scores of Axioms
 	// 1–3 across audit passes (internal/audit supplies a revision-keyed
 	// cache). Implementations must be safe for concurrent use. With a memo
@@ -117,7 +135,11 @@ type Config struct {
 	// pair they examine in Report.CheckedPairs. Incremental auditors
 	// (internal/audit) use the lists to maintain an exact candidate-pair
 	// census across delta passes, so their reported Checked counts stay
-	// equal to a full scan's.
+	// equal to a full scan's. The census is of *candidate* pairs, not all
+	// pairs: when pruning is active (CandidateLSH) a pair appears iff the
+	// index currently proposes it, so the census — like Checked — shrinks
+	// with the pruned candidate set, and delta and full passes still agree
+	// because a pair's candidacy depends only on its two endpoints.
 	RecordCheckedPairs bool
 }
 
@@ -189,7 +211,10 @@ func orDefault(v, def float64) float64 {
 type Report struct {
 	Axiom Axiom
 	// Checked is the number of candidate units examined (pairs for Axioms
-	// 1–3, workers/starts for 4–5).
+	// 1–3, workers/starts for 4–5). Under pruned candidate generation
+	// (Config.CandidateIndex = CandidateLSH) this counts only the pairs
+	// the index proposed — a deterministic subset of the exact backend's
+	// count, not the number of all entity pairs.
 	Checked int
 	// Violations lists every failure found, deterministically ordered.
 	Violations []Violation

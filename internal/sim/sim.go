@@ -76,6 +76,13 @@ type Config struct {
 	// AuditConfig parameterises the in-loop audits (zero value: the
 	// DefaultConfig thresholds).
 	AuditConfig fairness.Config
+	// CandidateIndex selects the audit's candidate-generation backend —
+	// fairness.CandidateExact (the default) or fairness.CandidateLSH for
+	// sub-quadratic MinHash/LSH pruning. It overrides
+	// AuditConfig.CandidateIndex when non-empty; under the LSH backend an
+	// unset AuditConfig.LSHSeed is derived from Seed, so the whole run
+	// stays a function of one root seed.
+	CandidateIndex string
 	// StoreShards sets the store's hash-partition count (0 or negative:
 	// store.DefaultShardCount). One shard reproduces the old single-lock
 	// layout; results are identical for every value — only contention
@@ -213,15 +220,24 @@ func Run(cfg Config) (*Result, error) {
 		contracts: make(map[model.WorkerID]*pay.BonusContract),
 	}
 	if cfg.AuditEvery > 0 {
-		r.auditor = audit.New(st, log, cfg.AuditConfig)
+		ac := cfg.AuditConfig
+		if cfg.CandidateIndex != "" {
+			ac.CandidateIndex = cfg.CandidateIndex
+		}
+		if ac.CandidateKind() == fairness.CandidateLSH && ac.LSHSeed == 0 {
+			ac.LSHSeed = cfg.Seed + 0x15b
+		}
+		r.cfg.AuditConfig = ac
+		r.auditor = audit.New(st, log, ac)
 		// Route similarity-fair payment equalisation through the audit
-		// engine's revision-keyed cache: one shared, memoizing scoring
-		// kernel for pay and audits. (Payments bump contribution revisions
-		// before the end-of-round Axiom 3 pass, so each phase keys its own
-		// entries — the kernel is shared, not the per-round scores.)
-		// Schemes with a caller-injected kernel are left alone.
+		// engine's scoring kernel: one shared, memoizing (and, under LSH,
+		// candidate-pruned) kernel for pay and audits. (Payments bump
+		// contribution revisions before the end-of-round Axiom 3 pass, so
+		// each phase keys its own cache entries — the kernel is shared, not
+		// the per-round scores.) Schemes with a caller-injected kernel are
+		// left alone.
 		if sf, ok := r.cfg.PayScheme.(pay.SimilarityFair); ok && sf.PairScores == nil {
-			sf.PairScores = r.auditor.Cache().PairScores
+			sf.PairScores = r.auditor.PairScores
 			r.cfg.PayScheme = sf
 		}
 	}

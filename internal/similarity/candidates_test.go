@@ -1,0 +1,325 @@
+package similarity
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// collectPairs drains an index's Pairs enumeration into a sorted,
+// canonical "a|b" key list, failing on ordering or duplicate violations.
+func collectPairs(t *testing.T, ix CandidateIndex) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	ix.Pairs(func(a, b string) {
+		if a >= b {
+			t.Fatalf("Pairs yielded (%q, %q): not ordered a < b", a, b)
+		}
+		key := a + "|" + b
+		if seen[key] {
+			t.Fatalf("Pairs yielded (%q, %q) twice", a, b)
+		}
+		seen[key] = true
+	})
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectPartners drains Partners(id) into a sorted list, failing on
+// duplicates or self-emission.
+func collectPartners(t *testing.T, ix CandidateIndex, id string) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	ix.Partners(id, func(p string) {
+		if p == id {
+			t.Fatalf("Partners(%q) yielded the id itself", id)
+		}
+		if seen[p] {
+			t.Fatalf("Partners(%q) yielded %q twice", id, p)
+		}
+		seen[p] = true
+	})
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// randomTokenSets builds n token sets drawn from a small universe so
+// overlaps are common.
+func randomTokenSets(rng *rand.Rand, n, universe, maxLen int) map[string][]uint64 {
+	sets := make(map[string][]uint64, n)
+	for i := 0; i < n; i++ {
+		ln := rng.Intn(maxLen + 1)
+		toks := make([]uint64, 0, ln)
+		for j := 0; j < ln; j++ {
+			toks = append(toks, uint64(rng.Intn(universe)))
+		}
+		sets[fmt.Sprintf("e%03d", i)] = toks
+	}
+	return sets
+}
+
+func TestExactIndexMatchesSharedTokenOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sets := randomTokenSets(rng, 60, 12, 5)
+	ix := NewExactIndex()
+	for id, toks := range sets {
+		ix.Upsert(id, toks)
+	}
+	if ix.Len() != len(sets) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(sets))
+	}
+
+	var want []string
+	ids := make([]string, 0, len(sets))
+	for id := range sets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if smallestSharedToken(normaliseTokens(sets[ids[i]]), normaliseTokens(sets[ids[j]])) != emptyTokenSentinel {
+				want = append(want, ids[i]+"|"+ids[j])
+			}
+		}
+	}
+
+	got := collectPairs(t, ix)
+	if !equalStrings(got, want) {
+		t.Fatalf("ExactIndex pairs = %d, oracle = %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+
+	// Partners must describe exactly the same pair set as Pairs.
+	for _, id := range ids {
+		var want []string
+		for _, other := range ids {
+			if other == id {
+				continue
+			}
+			a, b := id, other
+			if a > b {
+				a, b = b, a
+			}
+			if contains(got, a+"|"+b) {
+				want = append(want, other)
+			}
+		}
+		sort.Strings(want)
+		if ps := collectPartners(t, ix, id); !equalStrings(ps, want) {
+			t.Fatalf("Partners(%q) = %v, want %v", id, ps, want)
+		}
+	}
+}
+
+func TestExactIndexUpsertReplacesAndRemoveDeletes(t *testing.T) {
+	ix := NewExactIndex()
+	ix.Upsert("a", []uint64{1, 2})
+	ix.Upsert("b", []uint64{1, 2})
+	ix.Upsert("c", []uint64{3})
+	if got := collectPairs(t, ix); !equalStrings(got, []string{"a|b"}) {
+		t.Fatalf("initial pairs = %v", got)
+	}
+	// Re-describing a moves it away from b and next to c.
+	ix.Upsert("a", []uint64{3})
+	if got := collectPairs(t, ix); !equalStrings(got, []string{"a|c"}) {
+		t.Fatalf("after upsert pairs = %v", got)
+	}
+	ix.Remove("c")
+	if got := collectPairs(t, ix); len(got) != 0 {
+		t.Fatalf("after remove pairs = %v, want none", got)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+	ix.Remove("zzz") // unknown id: no-op
+}
+
+func TestLSHIndexIncrementalEqualsBatch(t *testing.T) {
+	params := LSHParams{Bands: 8, Rows: 4, Seed: 99}
+	rng := rand.New(rand.NewSource(3))
+	sets := randomTokenSets(rng, 80, 30, 8)
+
+	batch := NewLSHIndex(params)
+	for id, toks := range sets {
+		batch.Upsert(id, toks)
+	}
+
+	// Incremental: insert everything with garbage tokens first, churn with
+	// removals, then upsert the real sets one at a time.
+	inc := NewLSHIndex(params)
+	for id := range sets {
+		inc.Upsert(id, []uint64{^uint64(0) - 1})
+	}
+	ids := make([]string, 0, len(sets))
+	for id := range sets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for i, id := range ids {
+		if i%3 == 0 {
+			inc.Remove(id)
+		}
+		inc.Upsert(id, sets[id])
+	}
+
+	gb, gi := collectPairs(t, batch), collectPairs(t, inc)
+	if !equalStrings(gb, gi) {
+		t.Fatalf("batch build yields %d pairs, incremental %d", len(gb), len(gi))
+	}
+
+	// Same seed + same data => identical candidate sets on a fresh index.
+	again := NewLSHIndex(params)
+	for id, toks := range sets {
+		again.Upsert(id, toks)
+	}
+	if ga := collectPairs(t, again); !equalStrings(ga, gb) {
+		t.Fatal("identical seed and data gave different candidate sets")
+	}
+
+	// Partners view must agree with the Pairs view.
+	for _, id := range ids[:20] {
+		var want []string
+		for _, other := range ids {
+			if other == id {
+				continue
+			}
+			a, b := id, other
+			if a > b {
+				a, b = b, a
+			}
+			if contains(gb, a+"|"+b) {
+				want = append(want, other)
+			}
+		}
+		sort.Strings(want)
+		if ps := collectPartners(t, batch, id); !equalStrings(ps, want) {
+			t.Fatalf("Partners(%q) = %v, want %v", id, ps, want)
+		}
+	}
+}
+
+func TestLSHIndexUpsertSignatureMatchesUpsert(t *testing.T) {
+	params := LSHParams{Bands: 6, Rows: 4, Seed: 5}
+	rng := rand.New(rand.NewSource(11))
+	sets := randomTokenSets(rng, 40, 20, 6)
+
+	direct := NewLSHIndex(params)
+	viaSig := NewLSHIndex(params)
+	for id, toks := range sets {
+		direct.Upsert(id, toks)
+		viaSig.UpsertSignature(id, viaSig.Hasher().Signature(toks))
+	}
+	if got, want := collectPairs(t, viaSig), collectPairs(t, direct); !equalStrings(got, want) {
+		t.Fatalf("UpsertSignature pairs %d != Upsert pairs %d", len(got), len(want))
+	}
+	if direct.Signature("e000") == nil {
+		t.Fatal("Signature lookup returned nil for an indexed id")
+	}
+	if direct.Signature("missing") != nil {
+		t.Fatal("Signature lookup returned non-nil for an unknown id")
+	}
+}
+
+func TestMinHashDeterminismAndJaccard(t *testing.T) {
+	a := NewMinHasher(128, 42)
+	b := NewMinHasher(128, 42)
+	toks := []uint64{1, 5, 9, 1 << 40}
+	sa, sb := a.Signature(toks), b.Signature(toks)
+	if !sigsEqual(sa, sb) {
+		t.Fatal("same seed gave different signatures")
+	}
+	c := NewMinHasher(128, 43)
+	if sigsEqual(sa, c.Signature(toks)) {
+		t.Fatal("different seeds gave identical signatures (astronomically unlikely)")
+	}
+	if got := EstimateJaccard(sa, sb); got != 1 {
+		t.Fatalf("identical sets: estimate = %v, want 1", got)
+	}
+
+	// Estimate should track true Jaccard within MinHash error bounds.
+	x := make([]uint64, 0, 200)
+	y := make([]uint64, 0, 200)
+	for i := uint64(0); i < 200; i++ {
+		x = append(x, i)
+		y = append(y, i+100) // overlap 100..199: true J = 100/300
+	}
+	h := NewMinHasher(512, 7)
+	est := EstimateJaccard(h.Signature(x), h.Signature(y))
+	if est < 0.25 || est > 0.42 {
+		t.Fatalf("estimate %v too far from true Jaccard 0.333", est)
+	}
+
+	// Empty sets collide only with each other.
+	empty := h.Signature(nil)
+	if EstimateJaccard(empty, h.Signature(nil)) != 1 {
+		t.Fatal("two empty sets should estimate 1")
+	}
+	if EstimateJaccard(empty, h.Signature(x)) != 0 {
+		t.Fatal("empty vs non-empty should estimate 0")
+	}
+}
+
+func TestChooseLSHParams(t *testing.T) {
+	p9 := ChooseLSHParams(0.9, 1)
+	if p9.Rows < 3 || p9.Rows > 8 || p9.Bands < 4 || p9.Bands > 128 {
+		t.Fatalf("params at 0.9 out of range: %+v", p9)
+	}
+	p8 := ChooseLSHParams(0.8, 1)
+	if p8.Rows >= p9.Rows {
+		// Higher thresholds afford sharper (more-row) bands within the
+		// fixed band budget.
+		t.Fatalf("lower threshold should use fewer rows: t=0.8 -> %d, t=0.9 -> %d", p8.Rows, p9.Rows)
+	}
+	// At the engineered margin s0 = 0.8 t², a pair must be caught with
+	// probability >= 0.999 by construction.
+	s0 := 0.8 * 0.9 * 0.9
+	if p := p9.CandidateProbability(s0); p < 0.999 {
+		t.Fatalf("candidate probability at margin = %v, want >= 0.999", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChooseLSHParams(0, ...) should panic")
+		}
+	}()
+	ChooseLSHParams(0, 1)
+}
+
+func TestHashTokenSpreads(t *testing.T) {
+	seen := make(map[uint64]string)
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("skill-%d", i)
+		h := HashToken(s)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("HashToken collision: %q and %q", prev, s)
+		}
+		seen[h] = s
+	}
+	if HashToken("go") != HashToken("go") {
+		t.Fatal("HashToken is not deterministic")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}

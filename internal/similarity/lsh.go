@@ -1,0 +1,266 @@
+package similarity
+
+import (
+	"math"
+	"sort"
+)
+
+// LSHParams fixes the shape of a banded MinHash index: Bands × Rows hash
+// functions, signature sliced into Bands bands of Rows slots each, and a
+// pair becomes a candidate iff some band hashes identically for both
+// entities. The candidate probability for Jaccard similarity j is
+// 1 − (1 − j^Rows)^Bands. Seed derives the hash family; all three fields
+// must match for two indexes to generate the same candidate sets.
+type LSHParams struct {
+	Bands int
+	Rows  int
+	Seed  uint64
+}
+
+// K returns the signature length Bands × Rows.
+func (p LSHParams) K() int { return p.Bands * p.Rows }
+
+// CandidateProbability returns the probability that a pair with Jaccard
+// similarity j lands in at least one shared band.
+func (p LSHParams) CandidateProbability(j float64) float64 {
+	return 1 - math.Pow(1-math.Pow(j, float64(p.Rows)), float64(p.Bands))
+}
+
+// ChooseLSHParams picks band/row parameters from a cosine similarity
+// threshold t in (0, 1]. The worst-case Jaccard of a pair at cosine t over
+// token sets is t² (attained by nested sets), so the parameters are sized
+// to catch Jaccard s₀ = 0.8·t² — a safety margin below the worst case —
+// with miss probability ≤ 0.1% per pair:
+//
+//	bands = ceil(ln(0.001) / ln(1 − s₀^rows))
+//
+// Rows are chosen adaptively: the largest row count in [3, 8] whose band
+// requirement fits the 128-band budget. More rows per band sharpen the
+// S-curve — dissimilar pairs fall off as J^rows — so high thresholds,
+// which can afford them, generate far fewer spurious candidates on
+// populations where many entities share a single common token (t = 0.9 →
+// 6 rows × 90 bands; t = 0.8 → 4 rows × 98 bands).
+func ChooseLSHParams(threshold float64, seed uint64) LSHParams {
+	if threshold <= 0 || threshold > 1 {
+		panic("similarity: LSH threshold must be in (0, 1]")
+	}
+	s0 := 0.8 * threshold * threshold
+	bandsFor := func(rows int) int {
+		return int(math.Ceil(math.Log(0.001) / math.Log(1-math.Pow(s0, float64(rows)))))
+	}
+	rows := 3
+	for r := 8; r > 3; r-- {
+		if bandsFor(r) <= 128 {
+			rows = r
+			break
+		}
+	}
+	bands := bandsFor(rows)
+	if bands < 4 {
+		bands = 4
+	}
+	if bands > 128 {
+		bands = 128
+	}
+	return LSHParams{Bands: bands, Rows: rows, Seed: seed}
+}
+
+// LSHIndex is the banded-MinHash CandidateIndex. Each entity's token set is
+// reduced to a signature once on Upsert; candidate generation then touches
+// only bucket maps, never token sets, so an entity update re-hashes exactly
+// one entity and full-pass enumeration is linear in the number of occupied
+// buckets plus emitted pairs.
+type LSHIndex struct {
+	params LSHParams
+	hasher *MinHasher
+	// sigs holds each id's full signature (kept for EstimateJaccard-style
+	// introspection and for serialization).
+	sigs map[string][]uint32
+	// bandHashes caches each id's per-band bucket keys so Remove and the
+	// first-shared-band dedup never recompute them.
+	bandHashes map[string][]uint64
+	// buckets[b] maps a band-b hash to the ids currently in that bucket,
+	// kept sorted. Slices instead of member maps keep index construction
+	// allocation-light (one growing slice per occupied bucket rather than
+	// millions of small maps) and give Pairs pre-sorted members for free;
+	// buckets stay small under any reasonable banding, so the O(len)
+	// sorted insert and delete are cheaper than map bookkeeping.
+	buckets []map[uint64][]string
+}
+
+// NewLSHIndex returns an empty index with the given parameters.
+func NewLSHIndex(params LSHParams) *LSHIndex {
+	if params.Bands < 1 || params.Rows < 1 {
+		panic("similarity: LSH bands and rows must be >= 1")
+	}
+	ix := &LSHIndex{
+		params:     params,
+		hasher:     NewMinHasher(params.K(), params.Seed),
+		sigs:       make(map[string][]uint32),
+		bandHashes: make(map[string][]uint64),
+		buckets:    make([]map[uint64][]string, params.Bands),
+	}
+	for b := range ix.buckets {
+		ix.buckets[b] = make(map[uint64][]string)
+	}
+	return ix
+}
+
+// Params returns the index's parameters.
+func (x *LSHIndex) Params() LSHParams { return x.params }
+
+// Name implements CandidateIndex.
+func (x *LSHIndex) Name() string { return "lsh" }
+
+// Len implements CandidateIndex.
+func (x *LSHIndex) Len() int { return len(x.sigs) }
+
+// Upsert implements CandidateIndex.
+func (x *LSHIndex) Upsert(id string, tokens []uint64) {
+	x.UpsertSignature(id, x.hasher.Signature(tokens))
+}
+
+// UpsertSignature installs a precomputed signature (as produced by this
+// index's Hasher) — the restore path for serialized state and the batch
+// path for shard-parallel rebuilds, where signatures are computed off the
+// index's goroutine. It panics on signature length mismatch.
+func (x *LSHIndex) UpsertSignature(id string, sig []uint32) {
+	if len(sig) != x.params.K() {
+		panic("similarity: signature length does not match LSH params")
+	}
+	if old, ok := x.sigs[id]; ok {
+		if sigsEqual(old, sig) {
+			return
+		}
+		x.dropFromBuckets(id)
+	}
+	bh := x.bandHashesOf(sig)
+	x.sigs[id] = sig
+	x.bandHashes[id] = bh
+	for b, h := range bh {
+		bucket := x.buckets[b][h]
+		i := sort.SearchStrings(bucket, id)
+		bucket = append(bucket, "")
+		copy(bucket[i+1:], bucket[i:])
+		bucket[i] = id
+		x.buckets[b][h] = bucket
+	}
+}
+
+// Hasher exposes the index's hash family so callers can compute signatures
+// in parallel and feed them to UpsertSignature.
+func (x *LSHIndex) Hasher() *MinHasher { return x.hasher }
+
+// Signature returns the stored signature for id (nil if absent). The
+// returned slice is the index's own storage; callers must not mutate it.
+func (x *LSHIndex) Signature(id string) []uint32 { return x.sigs[id] }
+
+// Signatures calls yield for every indexed (id, signature) pair, in
+// unspecified order — the export hook for serialising the index. The
+// yielded slices are the index's own storage; callers must not mutate
+// them.
+func (x *LSHIndex) Signatures(yield func(id string, sig []uint32)) {
+	for id, sig := range x.sigs {
+		yield(id, sig)
+	}
+}
+
+// Remove implements CandidateIndex.
+func (x *LSHIndex) Remove(id string) {
+	if _, ok := x.sigs[id]; !ok {
+		return
+	}
+	x.dropFromBuckets(id)
+	delete(x.sigs, id)
+	delete(x.bandHashes, id)
+}
+
+func (x *LSHIndex) dropFromBuckets(id string) {
+	for b, h := range x.bandHashes[id] {
+		bucket := x.buckets[b][h]
+		i := sort.SearchStrings(bucket, id)
+		if i >= len(bucket) || bucket[i] != id {
+			continue
+		}
+		if len(bucket) == 1 {
+			delete(x.buckets[b], h)
+			continue
+		}
+		x.buckets[b][h] = append(bucket[:i], bucket[i+1:]...)
+	}
+}
+
+// bandHashesOf collapses each band of a signature to one uint64 bucket key
+// via a running mix (band index seeds the chain so identical row values in
+// different bands hash apart).
+func (x *LSHIndex) bandHashesOf(sig []uint32) []uint64 {
+	bh := make([]uint64, x.params.Bands)
+	for b := 0; b < x.params.Bands; b++ {
+		h := mix64(uint64(b) + 0x51_7c_c1_b7_27_22_0a_95)
+		for r := 0; r < x.params.Rows; r++ {
+			h = mix64(h ^ uint64(sig[b*x.params.Rows+r]))
+		}
+		bh[b] = h
+	}
+	return bh
+}
+
+// Pairs implements CandidateIndex. A pair sharing several bands is emitted
+// only from the first band it shares, so enumeration needs no cross-bucket
+// dedup set — per-pair dedup is an O(Bands) scan of the two cached
+// band-hash vectors. Buckets are maintained sorted, so members enumerate
+// in order with no per-bucket sort.
+func (x *LSHIndex) Pairs(yield func(a, b string)) {
+	for b, bandBuckets := range x.buckets {
+		for _, members := range bandBuckets {
+			for i := 0; i < len(members); i++ {
+				bhI := x.bandHashes[members[i]]
+				for j := i + 1; j < len(members); j++ {
+					if firstSharedBand(bhI, x.bandHashes[members[j]]) == b {
+						yield(members[i], members[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Partners implements CandidateIndex.
+func (x *LSHIndex) Partners(id string, yield func(partner string)) {
+	bh, ok := x.bandHashes[id]
+	if !ok {
+		return
+	}
+	seen := map[string]bool{id: true}
+	for b, h := range bh {
+		for _, p := range x.buckets[b][h] {
+			if !seen[p] {
+				seen[p] = true
+				yield(p)
+			}
+		}
+	}
+}
+
+// firstSharedBand returns the lowest band index at which the two band-hash
+// vectors agree, or -1 if none.
+func firstSharedBand(a, b []uint64) int {
+	for i := range a {
+		if a[i] == b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func sigsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

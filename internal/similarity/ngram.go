@@ -73,6 +73,19 @@ func (p *NGramProfile) Similarity(q *NGramProfile) float64 {
 	return dot / (p.norm * q.norm)
 }
 
+// TextNGramTokens returns the hashed distinct n-grams of text under the
+// same preprocessing as NewNGramProfile — the token-set view of a text
+// that candidate indexes consume. An empty (or whitespace-only) text
+// yields no tokens.
+func TextNGramTokens(text string, n int) []uint64 {
+	p := NewNGramProfile(text, n)
+	out := make([]uint64, 0, len(p.counts))
+	for g := range p.counts {
+		out = append(out, HashToken(g))
+	}
+	return out
+}
+
 // TextSimilarity is a convenience wrapper: the n-gram cosine similarity of
 // two texts with the conventional n=3 (trigram) profile.
 func TextSimilarity(a, b string) float64 {

@@ -46,10 +46,11 @@ bench-store:
 	$(GO) run ./cmd/benchrunner -storebench
 
 # WAL persistence benchmarks: segmented-log append throughput per fsync
-# policy, recovery time vs trace length, warm vs cold first-audit latency
-# (with a built-in warm==cold determinism check).
+# policy, the group-commit sweep (appender concurrency × sync policy,
+# written to BENCH_wal.json), recovery time vs trace length, and warm vs
+# cold first-audit latency (with a built-in warm==cold determinism check).
 bench-wal:
-	$(GO) run ./cmd/benchrunner -walbench
+	$(GO) run ./cmd/benchrunner -walbench -walout BENCH_wal.json
 
 # Epoch-routed store benchmarks: mutation latency during a live shard
 # split under concurrent writers, and WAL-shipping replica staleness vs

@@ -14,6 +14,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/similarity"
 	"repro/internal/stats"
 	"repro/internal/store"
 )
@@ -35,8 +36,20 @@ type lshBenchReport struct {
 	Seed       uint64             `json:"seed"`
 	ExactMax   int                `json:"exact_max"`
 	FirstAudit []lshFirstAuditRow `json:"first_audit"`
+	IndexBuild []lshBuildRow      `json:"index_build"`
 	Churn      []lshChurnRow      `json:"churn"`
 	Speedups   []lshSpeedupRow    `json:"speedups"`
+}
+
+// lshBuildRow measures one (size, mode) full rebuild of the worker LSH
+// index. Mode "serial" is the per-entity Signature + UpsertSignature loop;
+// mode "parallel" is the PopulateIndex path — pooled signature hashing
+// followed by BulkUpsertSignatures' band-parallel bucket fill. The two
+// builds produce identical indexes; only wall time differs.
+type lshBuildRow struct {
+	Workers int     `json:"workers"`
+	Mode    string  `json:"mode"`
+	Seconds float64 `json:"seconds"`
 }
 
 // lshFirstAuditRow measures one (size, backend) cold full scan — Axioms 1
@@ -71,6 +84,7 @@ type lshChurnRow struct {
 type lshSpeedupRow struct {
 	Workers           int     `json:"workers"`
 	FirstAuditSpeedup float64 `json:"first_audit_speedup,omitempty"`
+	IndexBuildSpeedup float64 `json:"index_build_speedup,omitempty"`
 	ChurnSpeedup      float64 `json:"churn_speedup,omitempty"`
 }
 
@@ -269,6 +283,39 @@ func runLSHBench(o lshBenchOpts, stdout io.Writer) error {
 		if firstAuditSecs[0] > 0 && firstAuditSecs[1] > 0 {
 			speedup.FirstAuditSpeedup = firstAuditSecs[0] / firstAuditSecs[1]
 			fmt.Fprintf(stdout, "  first-audit speedup: %.2fx (exact/lsh)\n", speedup.FirstAuditSpeedup)
+		}
+
+		// Index-build phase: full worker-index rebuild, serial vs pooled
+		// (PopulateIndex = parallel signature hashing + band-parallel
+		// BulkUpsertSignatures). Same data, byte-identical result.
+		{
+			cfg := lshBenchConfig(fairness.CandidateLSH, o.seed)
+			plan := cfg.Plan()
+			ws := st.Workers()
+			runtime.GC()
+			start := time.Now()
+			six := similarity.NewLSHIndex(plan.Worker)
+			for _, w := range ws {
+				six.UpsertSignature(string(w.ID), six.Hasher().Signature(plan.WorkerTokens(w)))
+			}
+			serialSecs := time.Since(start).Seconds()
+			runtime.GC()
+			start = time.Now()
+			pix := similarity.NewLSHIndex(plan.Worker)
+			fairness.PopulateIndex(pix, len(ws), func(i int) string { return string(ws[i].ID) },
+				func(i int) []uint64 { return plan.WorkerTokens(ws[i]) })
+			parSecs := time.Since(start).Seconds()
+			if six.Len() != pix.Len() {
+				return fmt.Errorf("index-build mismatch: serial %d entities, parallel %d", six.Len(), pix.Len())
+			}
+			rep.IndexBuild = append(rep.IndexBuild,
+				lshBuildRow{Workers: n, Mode: "serial", Seconds: serialSecs},
+				lshBuildRow{Workers: n, Mode: "parallel", Seconds: parSecs})
+			if parSecs > 0 {
+				speedup.IndexBuildSpeedup = serialSecs / parSecs
+			}
+			fmt.Fprintf(stdout, "  index-build serial %8.3fs  parallel %8.3fs  speedup %.2fx\n",
+				serialSecs, parSecs, speedup.IndexBuildSpeedup)
 		}
 
 		var churnMeans [2]float64

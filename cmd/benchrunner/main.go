@@ -98,6 +98,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	walSegKB := fs.Int("walsegkb", 512, "WAL segment size in KiB for -walbench")
 	walWorkers := fs.Int("walworkers", 300, "population size for the -walbench trace")
 	walRounds := fs.Int("walrounds", 8, "simulation rounds for the -walbench trace")
+	walConc := fs.String("walconc", "1,8,64,256", "comma-separated appender concurrencies for the -walbench group-commit sweep")
+	walOps := fs.Int("walops", 8000, "appends per -walbench group-commit sweep cell")
+	walOut := fs.String("walout", "", "write the -walbench group-commit sweep JSON report to this file")
 	reshardBench := fs.Bool("reshardbench", false, "measure mutation latency during a live shard split and replica catch-up lag vs write rate")
 	reshardFrom := fs.Int("reshardfrom", 8, "shard count before the -reshardbench split")
 	reshardTo := fs.Int("reshardto", 16, "shard count after the -reshardbench split")
@@ -148,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runWALBench(walBenchOpts{
 			dir: *walDir, sync: pol, segKB: *walSegKB,
 			workers: *walWorkers, rounds: *walRounds, seed: *seed,
+			conc: *walConc, gcOps: *walOps, out: *walOut,
 		}, stdout)
 	}
 	if *sweepSel == "" && *seedList == "" && *scaleList == "" {
@@ -480,6 +484,9 @@ type walBenchOpts struct {
 	workers int
 	rounds  int
 	seed    uint64
+	conc    string
+	gcOps   int
+	out     string
 }
 
 func (o walBenchOpts) walOptions() wal.Options {
@@ -525,10 +532,14 @@ func runWALBench(o walBenchOpts, stdout io.Writer) error {
 		root = tmp
 	}
 
-	// Phase 1: raw segmented-log append throughput per fsync policy.
+	// Phase 1: raw segmented-log append throughput per fsync policy, with
+	// one serial appender. SyncInterval acks immediately (durability rides
+	// the background ticker), so it tracks SyncNever; serial SyncAlways
+	// pays a full fsync per append — the baseline the group-commit sweep
+	// of phase 2 exists to beat.
 	payload := bytes.Repeat([]byte{0xab}, 120)
 	fmt.Fprintf(stdout, "wal append throughput (120-byte records, %d KiB segments):\n", o.segKB)
-	for _, pol := range []wal.SyncPolicy{wal.SyncNever, wal.SyncOnRotate, wal.SyncAlways} {
+	for _, pol := range []wal.SyncPolicy{wal.SyncNever, wal.SyncOnRotate, wal.SyncInterval(0), wal.SyncAlways} {
 		n := 50000
 		if pol == wal.SyncAlways {
 			n = 300 // every append fsyncs; keep the sample small
@@ -552,11 +563,17 @@ func runWALBench(o walBenchOpts, stdout io.Writer) error {
 			return err
 		}
 		el := time.Since(start)
-		fmt.Fprintf(stdout, "  %-6s  %6d recs in %10s  %12.0f recs/s\n",
+		fmt.Fprintf(stdout, "  %-12s  %6d recs in %10s  %12.0f recs/s\n",
 			pol, n, el.Round(time.Microsecond), float64(n)/el.Seconds())
 	}
 
-	// Phase 2: durable simulation + recovery time across trace lengths.
+	// Phase 2: group-commit sweep — appender concurrency × sync policy
+	// against a durable store (emits BENCH_wal.json via -walout).
+	if err := runWALSweep(o, root, stdout); err != nil {
+		return err
+	}
+
+	// Phase 3: durable simulation + recovery time across trace lengths.
 	fmt.Fprintf(stdout, "\ndurable simulation and recovery (sync=%s, %d workers):\n", o.sync, o.workers)
 	fmt.Fprintf(stdout, "  %6s  %8s  %9s  %10s  %10s\n", "rounds", "events", "versions", "sim", "recovery")
 	type recovered struct {
@@ -611,7 +628,7 @@ func runWALBench(o walBenchOpts, stdout io.Writer) error {
 	defer last.st.Close()
 	defer last.log.Close()
 
-	// Phase 3: warm vs cold first audit over the recovered trace.
+	// Phase 4: warm vs cold first audit over the recovered trace.
 	fmt.Fprintf(stdout, "\nfirst audit after restart (largest trace):\n")
 	coldStart := time.Now()
 	coldEng := audit.New(last.st, last.log, last.cfg.AuditConfig)

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// walSweepReport is the machine-readable group-commit result
+// (BENCH_wal.json): one cell per (appender concurrency × sync policy),
+// measured against a fresh durable store so every appended mutation rides
+// the real shard/WAL path, not a synthetic log.
+type walSweepReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Seed       uint64         `json:"seed"`
+	Shards     int            `json:"shards"`
+	OpsPerCell int            `json:"ops_per_cell"`
+	SegmentKB  int            `json:"segment_kb"`
+	Cells      []walSweepCell `json:"cells"`
+}
+
+// walSweepCell is one sweep measurement. AppendsPerSync is the group-commit
+// payoff: how many durable appends each fsync covered. SlowdownVsNever is
+// the cell's throughput cost relative to the SyncNever cell at the same
+// concurrency (1.0 = free durability); it is the acceptance headline for
+// the ≥64-appender SyncAlways cells.
+type walSweepCell struct {
+	Concurrency     int     `json:"concurrency"`
+	Policy          string  `json:"policy"`
+	Ops             int     `json:"ops"`
+	Seconds         float64 `json:"seconds"`
+	AppendsPerSec   float64 `json:"appends_per_sec"`
+	P50Micros       float64 `json:"p50_micros"`
+	P99Micros       float64 `json:"p99_micros"`
+	WALAppends      uint64  `json:"wal_appends"`
+	WALBatches      uint64  `json:"wal_batches"`
+	WALSyncs        uint64  `json:"wal_syncs"`
+	AppendsPerSync  float64 `json:"appends_per_sync,omitempty"`
+	SlowdownVsNever float64 `json:"slowdown_vs_never,omitempty"`
+}
+
+// runWALSweep drives the group-commit sweep: for each appender concurrency
+// in concList and each sync policy, `conc` goroutines hammer disjoint
+// worker sets with UpdateWorker against a fresh durable store, and the
+// cell records wall throughput, per-append latency percentiles, and the
+// writer's append/batch/fsync counters. Under SyncAlways every UpdateWorker
+// blocks until a covering group fsync, so rising concurrency should hold
+// throughput roughly flat while batch sizes grow — the whole point of the
+// leader/follower commit path.
+func runWALSweep(o walBenchOpts, root string, stdout io.Writer) error {
+	var concs []int
+	for _, s := range strings.Split(o.conc, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad -walconc entry %q (want integers >= 1)", s)
+		}
+		concs = append(concs, v)
+	}
+	if o.gcOps < 1 {
+		return fmt.Errorf("-walops must be >= 1")
+	}
+	const shards = 4
+	rng := stats.NewRNG(o.seed ^ 0x9c0fee)
+	pop := workload.GeneratePopulation(workload.PopulationSpec{
+		Workers: 2048, Archetypes: 8,
+	}, rng.Split())
+
+	rep := &walSweepReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       o.seed,
+		Shards:     shards,
+		OpsPerCell: o.gcOps,
+		SegmentKB:  o.segKB,
+	}
+	policies := []wal.SyncPolicy{wal.SyncNever, wal.SyncInterval(0), wal.SyncAlways}
+
+	fmt.Fprintf(stdout, "\ngroup-commit sweep (%d-shard durable store, %d ops/cell, %d KiB segments):\n",
+		shards, o.gcOps, o.segKB)
+	fmt.Fprintf(stdout, "  %4s  %-12s  %12s  %10s  %10s  %9s  %11s  %9s\n",
+		"conc", "policy", "appends/s", "p50", "p99", "fsyncs", "app/fsync", "vs never")
+	for _, conc := range concs {
+		var neverThr float64
+		for _, pol := range policies {
+			conc := conc
+			if conc > len(pop.Workers) {
+				conc = len(pop.Workers)
+			}
+			dir := filepath.Join(root, fmt.Sprintf("gc-%d-%s", conc, strings.ReplaceAll(pol.String(), ":", "_")))
+			st, err := store.NewDurable(pop.Universe, shards, dir,
+				wal.Options{SegmentBytes: int64(o.segKB) << 10, Sync: pol})
+			if err != nil {
+				return err
+			}
+			if err := st.BulkPutWorkers(pop.Workers); err != nil {
+				return err
+			}
+			groups := make([][]*model.Worker, conc)
+			for i, w := range pop.Workers {
+				groups[i%conc] = append(groups[i%conc], w)
+			}
+			perG := o.gcOps / conc
+			if perG < 1 {
+				perG = 1
+			}
+			lats := make([][]time.Duration, conc)
+			before := st.WALStats()
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					ws := groups[g]
+					ls := make([]time.Duration, 0, perG)
+					for i := 0; i < perG; i++ {
+						w := ws[i%len(ws)]
+						t0 := time.Now()
+						w.Computed[model.AttrAcceptanceRatio] = model.Num(float64(i%100) / 100)
+						if err := st.UpdateWorker(w); err != nil {
+							panic(err) // disjoint pre-inserted workers: cannot fail
+						}
+						ls = append(ls, time.Since(t0))
+					}
+					lats[g] = ls
+				}(g)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			after := st.WALStats()
+			if err := st.Close(); err != nil {
+				return err
+			}
+			var all []time.Duration
+			for _, ls := range lats {
+				all = append(all, ls...)
+			}
+			cell := walSweepCell{
+				Concurrency:   conc,
+				Policy:        pol.String(),
+				Ops:           perG * conc,
+				Seconds:       wall.Seconds(),
+				AppendsPerSec: float64(perG*conc) / wall.Seconds(),
+				P50Micros:     float64(pct(all, 0.50)) / float64(time.Microsecond),
+				P99Micros:     float64(pct(all, 0.99)) / float64(time.Microsecond),
+				WALAppends:    after.Appends - before.Appends,
+				WALBatches:    after.Batches - before.Batches,
+				WALSyncs:      after.Syncs - before.Syncs,
+			}
+			if cell.WALSyncs > 0 {
+				cell.AppendsPerSync = float64(cell.WALAppends) / float64(cell.WALSyncs)
+			}
+			if pol == wal.SyncNever {
+				neverThr = cell.AppendsPerSec
+			} else if neverThr > 0 && cell.AppendsPerSec > 0 {
+				cell.SlowdownVsNever = neverThr / cell.AppendsPerSec
+			}
+			rep.Cells = append(rep.Cells, cell)
+			vs := "-"
+			if cell.SlowdownVsNever > 0 {
+				vs = fmt.Sprintf("%.2fx", cell.SlowdownVsNever)
+			}
+			fmt.Fprintf(stdout, "  %4d  %-12s  %10.0f/s  %9.1fµ  %9.1fµ  %9d  %11.1f  %9s\n",
+				conc, cell.Policy, cell.AppendsPerSec, cell.P50Micros, cell.P99Micros,
+				cell.WALSyncs, cell.AppendsPerSync, vs)
+		}
+	}
+
+	if o.out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(o.out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", o.out)
+	}
+	return nil
+}

@@ -85,6 +85,37 @@ var (
 	Str = model.Str
 )
 
+// Re-exported write-ahead log tuning — internal/wal is unimportable by
+// consumers, so durable platforms configure persistence through these.
+type (
+	// WALOptions parameterises a durable platform's write-ahead logs
+	// (segment size, sync policy).
+	WALOptions = wal.Options
+	// SyncPolicy selects when the logs fsync; see the Sync* values and
+	// SyncInterval.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// Sync policies for WALOptions.Sync, weakest to strongest. SyncAlways and
+// SyncInterval commit through per-shard group commit: one fsync covers
+// every append queued while the previous fsync ran, so durable throughput
+// stays within small-integer multiples of SyncNever under concurrency.
+var (
+	// SyncNever leaves flushing to the OS: a process crash loses nothing,
+	// a power failure loses the unsynced tail.
+	SyncNever = wal.SyncNever
+	// SyncOnRotate fsyncs each segment as it is sealed.
+	SyncOnRotate = wal.SyncOnRotate
+	// SyncAlways acks each mutation only after a covering group fsync.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval(d) acks immediately and fsyncs the accumulated tail
+	// every d: a crash loses at most the last d of acknowledged writes.
+	SyncInterval = wal.SyncInterval
+	// ParseSyncPolicy parses "never", "rotate", "interval[:<dur>]", or
+	// "always" — the flag/config syntax.
+	ParseSyncPolicy = wal.ParseSyncPolicy
+)
+
 // NewUniverse builds the skill universe; it panics on empty input (use
 // model.NewUniverse directly for error handling).
 func NewUniverse(skills ...string) *Universe { return model.MustUniverse(skills...) }
@@ -129,25 +160,35 @@ func NewPlatform(u *Universe) *Platform {
 // cfg, the incremental auditor warm-starts — its first AuditIncremental
 // replays only post-checkpoint deltas instead of re-scanning every pair.
 func OpenPlatform(dir string, u *Universe, cfg AuditConfig) (*Platform, error) {
+	return OpenPlatformWAL(dir, u, cfg, WALOptions{})
+}
+
+// OpenPlatformWAL is OpenPlatform with explicit write-ahead log tuning:
+// wopts.Sync selects the durability/throughput trade (SyncNever,
+// SyncOnRotate, SyncInterval, SyncAlways) for both the store changelog and
+// the event trace, and wopts.SegmentBytes the rotation threshold. The
+// policy is an open-time property, not a stored one — the same directory
+// may be reopened under a different policy.
+func OpenPlatformWAL(dir string, u *Universe, cfg AuditConfig, wopts WALOptions) (*Platform, error) {
 	if !store.Exists(dir) {
 		if u == nil {
 			return nil, fmt.Errorf("crowdfair: creating %s needs a universe", dir)
 		}
-		st, err := store.NewDurable(u, store.DefaultShardCount, dir, wal.Options{})
+		st, err := store.NewDurable(u, store.DefaultShardCount, dir, wopts)
 		if err != nil {
 			return nil, err
 		}
-		log, err := eventlog.OpenDurable(store.EventsDir(dir), wal.Options{})
+		log, err := eventlog.OpenDurable(store.EventsDir(dir), wopts)
 		if err != nil {
 			return nil, err
 		}
 		return &Platform{st: st, log: log, dir: dir, auditorCfg: cfg}, nil
 	}
-	st, man, err := store.Open(dir, 0, wal.Options{})
+	st, man, err := store.Open(dir, 0, wopts)
 	if err != nil {
 		return nil, err
 	}
-	log, err := eventlog.OpenDurable(store.EventsDir(dir), wal.Options{})
+	log, err := eventlog.OpenDurable(store.EventsDir(dir), wopts)
 	if err != nil {
 		return nil, err
 	}

@@ -216,26 +216,37 @@ func (e *Engine) restoreIndexes(ix *IndexState) {
 		e.buildIndexes()
 		return
 	}
-	wix := similarity.NewLSHIndex(e.plan.Worker)
-	for id, enc := range ix.Workers {
-		sig, ok := decodeSig(enc, e.plan.Worker.K())
-		if !ok {
-			e.buildIndexes()
-			return
-		}
-		wix.UpsertSignature(id, sig)
+	wix, ok := restoreLSH(e.plan.Worker, ix.Workers)
+	if !ok {
+		e.buildIndexes()
+		return
 	}
-	tix := similarity.NewLSHIndex(e.plan.Task)
-	for id, enc := range ix.Tasks {
-		sig, ok := decodeSig(enc, e.plan.Task.K())
-		if !ok {
-			e.buildIndexes()
-			return
-		}
-		tix.UpsertSignature(id, sig)
+	tix, ok := restoreLSH(e.plan.Task, ix.Tasks)
+	if !ok {
+		e.buildIndexes()
+		return
 	}
 	e.workerIx = wix
 	e.taskIx = tix
+}
+
+// restoreLSH decodes a serialised signature map and bulk-installs it into a
+// fresh index (decoding serially, band hashing and bucket insertion on the
+// parallel pool). ok is false when any signature fails to decode.
+func restoreLSH(params similarity.LSHParams, encoded map[string]string) (*similarity.LSHIndex, bool) {
+	ids := make([]string, 0, len(encoded))
+	sigs := make([][]uint32, 0, len(encoded))
+	for id, enc := range encoded {
+		sig, ok := decodeSig(enc, params.K())
+		if !ok {
+			return nil, false
+		}
+		ids = append(ids, id)
+		sigs = append(sigs, sig)
+	}
+	x := similarity.NewLSHIndex(params)
+	x.BulkUpsertSignatures(ids, sigs)
+	return x, true
 }
 
 // pairs lists the census adjacency set once per pair, deterministically

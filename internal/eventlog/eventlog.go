@@ -110,21 +110,32 @@ func New() *Log { return &Log{} }
 // Append adds e to the log, assigning its sequence number, and returns the
 // stored event. Timestamps must be non-decreasing. On a durable log the
 // event is also framed into the write-ahead segments under the same lock
-// (so disk order equals sequence order); a WAL failure leaves the event
-// appended in memory and reports the lost durability as an error.
+// (so disk order equals sequence order), but the durability wait of a
+// group-commit sync policy happens after the lock is released — appenders
+// queued behind l.mu land in the batch the one covering fsync commits. A
+// WAL failure leaves the event appended in memory and reports the lost
+// durability as an error.
 func (l *Log) Append(e Event) (Event, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if n := len(l.events); n > 0 && e.Time < l.events[n-1].Time {
-		return Event{}, fmt.Errorf("%w: %d < %d", ErrOutOfOrder, e.Time, l.events[n-1].Time)
+		last := l.events[n-1].Time
+		l.mu.Unlock()
+		return Event{}, fmt.Errorf("%w: %d < %d", ErrOutOfOrder, e.Time, last)
 	}
 	e.Seq = uint64(len(l.events) + 1)
 	l.events = append(l.events, e)
+	var ack wal.Commit
+	var err error
 	if l.sink != nil {
 		l.scratch = encodeEvent(l.scratch[:0], e)
-		if err := l.sink.Append(e.Seq, l.scratch); err != nil {
-			return e, fmt.Errorf("eventlog: wal append: %w", err)
-		}
+		ack, err = l.sink.AppendAsync(e.Seq, l.scratch)
+	}
+	l.mu.Unlock()
+	if err == nil {
+		err = ack.Wait()
+	}
+	if err != nil {
+		return e, fmt.Errorf("eventlog: wal append: %w", err)
 	}
 	return e, nil
 }

@@ -243,18 +243,19 @@ func (p IndexPlan) appendAttrTokens(out []uint64, side string, attrs model.Attri
 }
 
 // PopulateIndex fills an index with n entities, computing LSH signatures on
-// the parallel pool (signature hashing dominates LSH build cost) before
-// installing them serially. For exact indexes it upserts directly. The
-// result is identical to n sequential Upserts.
+// the parallel pool (signature hashing dominates LSH build cost) and then
+// bulk-installing them — band hashing fans out per entity and bucket
+// insertion per band (see LSHIndex.BulkUpsertSignatures). For exact indexes
+// it upserts directly. The result is identical to n sequential Upserts.
 func PopulateIndex(ix similarity.CandidateIndex, n int, id func(int) string, tokens func(int) []uint64) {
 	if lsh, ok := ix.(*similarity.LSHIndex); ok {
+		ids := make([]string, n)
 		sigs := make([][]uint32, n)
 		par.For(n, 0, func(i int) {
+			ids[i] = id(i)
 			sigs[i] = lsh.Hasher().Signature(tokens(i))
 		})
-		for i := 0; i < n; i++ {
-			lsh.UpsertSignature(id(i), sigs[i])
-		}
+		lsh.BulkUpsertSignatures(ids, sigs)
 		return
 	}
 	for i := 0; i < n; i++ {

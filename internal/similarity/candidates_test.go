@@ -228,6 +228,49 @@ func TestLSHIndexUpsertSignatureMatchesUpsert(t *testing.T) {
 	}
 }
 
+func TestLSHIndexBulkUpsertMatchesSerial(t *testing.T) {
+	params := LSHParams{Bands: 6, Rows: 4, Seed: 5}
+	rng := rand.New(rand.NewSource(13))
+	sets := randomTokenSets(rng, 60, 20, 6)
+	ids := make([]string, 0, len(sets))
+	for id := range sets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	serial := NewLSHIndex(params)
+	bulk := NewLSHIndex(params)
+	sigs := make([][]uint32, len(ids))
+	for i, id := range ids {
+		sig := serial.Hasher().Signature(sets[id])
+		serial.UpsertSignature(id, sig)
+		sigs[i] = sig
+	}
+	bulk.BulkUpsertSignatures(ids, sigs)
+	if got, want := collectPairs(t, bulk), collectPairs(t, serial); !equalStrings(got, want) {
+		t.Fatalf("bulk pairs %d != serial pairs %d", len(got), len(want))
+	}
+
+	// Re-upserting a mix of unchanged and replaced signatures must keep the
+	// two indexes identical: the bulk path's skip/replace pre-pass has to
+	// match UpsertSignature's semantics.
+	for i, id := range ids {
+		if i%3 == 0 {
+			sigs[i] = serial.Hasher().Signature(append(append([]uint64(nil), sets[id]...), uint64(7_000+i)))
+		}
+		serial.UpsertSignature(id, sigs[i])
+	}
+	bulk.BulkUpsertSignatures(ids, sigs)
+	if got, want := collectPairs(t, bulk), collectPairs(t, serial); !equalStrings(got, want) {
+		t.Fatalf("after replacement: bulk pairs %d != serial pairs %d", len(got), len(want))
+	}
+	for _, id := range ids[:10] {
+		if got, want := collectPartners(t, bulk, id), collectPartners(t, serial, id); !equalStrings(got, want) {
+			t.Fatalf("Partners(%q): bulk %v != serial %v", id, got, want)
+		}
+	}
+}
+
 func TestMinHashDeterminismAndJaccard(t *testing.T) {
 	a := NewMinHasher(128, 42)
 	b := NewMinHasher(128, 42)

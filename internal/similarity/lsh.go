@@ -3,6 +3,8 @@ package similarity
 import (
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // LSHParams fixes the shape of a banded MinHash index: Bands × Rows hash
@@ -145,6 +147,57 @@ func (x *LSHIndex) UpsertSignature(id string, sig []uint32) {
 		bucket[i] = id
 		x.buckets[b][h] = bucket
 	}
+}
+
+// BulkUpsertSignatures installs many precomputed signatures at once — the
+// bulk path for full index rebuilds and checkpoint restores. It is
+// equivalent to calling UpsertSignature(ids[i], sigs[i]) in order, but
+// band-hash computation fans out over the parallel pool and each band's
+// bucket map is then populated by a single goroutine (inserts in batch
+// order), so the resulting index is byte-identical to the serial build
+// while the per-entity hashing and the Bands independent bucket structures
+// fill concurrently. ids must be distinct; it panics on a length mismatch
+// between ids and sigs or between a signature and the index parameters.
+func (x *LSHIndex) BulkUpsertSignatures(ids []string, sigs [][]uint32) {
+	if len(ids) != len(sigs) {
+		panic("similarity: ids/sigs length mismatch")
+	}
+	// Serial pre-pass: validate, skip unchanged entries, and unlink the
+	// stale buckets of replaced ones.
+	keep := make([]int, 0, len(ids))
+	for i, id := range ids {
+		if len(sigs[i]) != x.params.K() {
+			panic("similarity: signature length does not match LSH params")
+		}
+		if old, ok := x.sigs[id]; ok {
+			if sigsEqual(old, sigs[i]) {
+				continue
+			}
+			x.dropFromBuckets(id)
+		}
+		keep = append(keep, i)
+	}
+	bhs := make([][]uint64, len(keep))
+	par.For(len(keep), 0, func(k int) {
+		bhs[k] = x.bandHashesOf(sigs[keep[k]])
+	})
+	for k, i := range keep {
+		x.sigs[ids[i]] = sigs[i]
+		x.bandHashes[ids[i]] = bhs[k]
+	}
+	par.For(x.params.Bands, 0, func(b int) {
+		bandBuckets := x.buckets[b]
+		for k, i := range keep {
+			id := ids[i]
+			h := bhs[k][b]
+			bucket := bandBuckets[h]
+			j := sort.SearchStrings(bucket, id)
+			bucket = append(bucket, "")
+			copy(bucket[j+1:], bucket[j:])
+			bucket[j] = id
+			bandBuckets[h] = bucket
+		}
+	})
 }
 
 // Hasher exposes the index's hash family so callers can compute signatures

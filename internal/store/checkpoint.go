@@ -230,6 +230,25 @@ func (s *Store) SyncWAL() error {
 	return nil
 }
 
+// WALStats aggregates the append/batch/fsync counters of every live
+// shard sink — zero for volatile stores. Appends/Syncs is the realised
+// group-commit amortisation.
+func (s *Store) WALStats() wal.WriterStats {
+	var agg wal.WriterStats
+	_, _, shs := s.view()
+	for _, sh := range shs {
+		sh.mu.RLock()
+		if ws, ok := sh.wal.(*walSink); ok && ws != nil {
+			st := ws.Stats()
+			agg.Appends += st.Appends
+			agg.Batches += st.Batches
+			agg.Syncs += st.Syncs
+		}
+		sh.mu.RUnlock()
+	}
+	return agg
+}
+
 // Close closes every shard's durable sink and detaches it. The store
 // stays fully usable in memory afterwards — reads and even mutations
 // succeed — but durability ends: post-Close mutations are never written
@@ -573,11 +592,14 @@ func DecodeWALMutation(key uint64, payload []byte) (Mutation, error) {
 // Apply applies a decoded WAL mutation at its original version and epoch,
 // routed through the live table — the replication path: a follower tailing
 // another process's log feeds records here in global version order. The
-// entity is validated like any live mutation.
+// entity is validated like any live mutation; like the live mutators, the
+// durability wait of a durable replica happens after the shard lock is
+// released.
 func (s *Store) Apply(m Mutation) error {
 	sh := s.lockOwner(m.primaryID())
-	defer sh.mu.Unlock()
-	return s.applyMutation(sh, m)
+	return commitOutside(sh, func() (wal.Commit, error) {
+		return s.applyMutation(sh, m)
+	})
 }
 
 // replayWAL merges every shard directory's stream by version and applies
@@ -668,45 +690,48 @@ func (s *Store) replayWAL(dir string, man *Manifest) (lastApplied uint64, preSna
 // applyReplay applies one post-snapshot WAL mutation with its original
 // version. The store is not yet published, so no locks are needed; the
 // locked helpers only assume the lock is held, they do not acquire it.
+// Sinks are not attached during replay, so the ticket is always zero.
 func (s *Store) applyReplay(m Mutation) error {
-	return s.applyMutation(s.table().shardFor(m.primaryID()), m)
+	_, err := s.applyMutation(s.table().shardFor(m.primaryID()), m)
+	return err
 }
 
 // applyMutation applies one decoded mutation under the held (or not yet
-// shared) owning shard, preserving its original version and epoch.
-func (s *Store) applyMutation(sh *shard, m Mutation) error {
+// shared) owning shard, preserving its original version and epoch, and
+// returns the durability ticket of the re-recorded mutation.
+func (s *Store) applyMutation(sh *shard, m Mutation) (wal.Commit, error) {
 	v, e := m.Change.Version, m.Change.Epoch
 	switch {
 	case m.Change.Entity == EntityWorker && m.Change.Op == OpInsert:
 		if err := m.Worker.Validate(s.universe); err != nil {
-			return fmt.Errorf("store: replay v%d: %w", v, err)
+			return wal.Commit{}, fmt.Errorf("store: replay v%d: %w", v, err)
 		}
 		return s.putWorkerLocked(sh, m.Worker, v, e)
 	case m.Change.Entity == EntityWorker && m.Change.Op == OpUpdate:
 		if err := m.Worker.Validate(s.universe); err != nil {
-			return fmt.Errorf("store: replay v%d: %w", v, err)
+			return wal.Commit{}, fmt.Errorf("store: replay v%d: %w", v, err)
 		}
 		return s.updateWorkerLocked(sh, m.Worker, v, e)
 	case m.Change.Entity == EntityRequester:
 		if err := m.Requester.Validate(); err != nil {
-			return fmt.Errorf("store: replay v%d: %w", v, err)
+			return wal.Commit{}, fmt.Errorf("store: replay v%d: %w", v, err)
 		}
 		return s.putRequesterLocked(sh, m.Requester, v, e)
 	case m.Change.Entity == EntityTask:
 		if err := m.Task.Validate(s.universe); err != nil {
-			return fmt.Errorf("store: replay v%d: %w", v, err)
+			return wal.Commit{}, fmt.Errorf("store: replay v%d: %w", v, err)
 		}
 		return s.putTaskLocked(sh, m.Task, v, e)
 	case m.Change.Entity == EntityContribution && m.Change.Op == OpInsert:
 		if err := m.Contribution.Validate(); err != nil {
-			return fmt.Errorf("store: replay v%d: %w", v, err)
+			return wal.Commit{}, fmt.Errorf("store: replay v%d: %w", v, err)
 		}
 		return s.putContributionLocked(sh, m.Contribution, v, e)
 	case m.Change.Entity == EntityContribution && m.Change.Op == OpUpdate:
 		if err := m.Contribution.Validate(); err != nil {
-			return fmt.Errorf("store: replay v%d: %w", v, err)
+			return wal.Commit{}, fmt.Errorf("store: replay v%d: %w", v, err)
 		}
 		return s.updateContributionLocked(sh, m.Contribution, v, e)
 	}
-	return fmt.Errorf("store: replay v%d: unknown mutation kind", v)
+	return wal.Commit{}, fmt.Errorf("store: replay v%d: unknown mutation kind", v)
 }

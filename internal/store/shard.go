@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // shard is one hash partition of the store: a full set of entity tables,
@@ -91,16 +92,21 @@ func newShard(skills, clogCap int, epoch uint64) *shard {
 // write lock and advances the shard watermark. The in-memory state is
 // already applied when record runs; a WAL failure therefore leaves the
 // change live in memory but possibly not on disk, and the returned error
-// tells the mutator durability was not achieved.
-func (sh *shard) record(m Mutation) error {
+// tells the mutator durability was not achieved. The returned ticket is
+// the durable sink's group-commit ack: mutators Wait on it after
+// releasing the shard lock, so the covering fsync never runs under the
+// lock.
+func (sh *shard) record(m Mutation) (wal.Commit, error) {
 	sh.applied = m.Change.Version
 	sh.ring.record(m.Change)
 	if sh.wal != nil {
-		if err := sh.wal.Append(m); err != nil {
-			return fmt.Errorf("store: wal append: %w", err)
+		ack, err := sh.wal.Append(m)
+		if err != nil {
+			return wal.Commit{}, fmt.Errorf("store: wal append: %w", err)
 		}
+		return ack, nil
 	}
-	return nil
+	return wal.Commit{}, nil
 }
 
 // setChangelogCap resizes this shard's retention window, dropping the oldest

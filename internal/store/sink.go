@@ -24,8 +24,15 @@ type Mutation struct {
 // write-ahead sink teeing the same stream to segmented files. Append is
 // called under the owning shard's write lock, so implementations need no
 // locking of their own and observe strictly increasing versions.
+//
+// Append returns a durability ticket: the record is accepted (ordered,
+// encoded, queued) when Append returns, and durable when Commit.Wait
+// returns. Mutators wait on the ticket after releasing the shard lock —
+// append-under-lock, ack-outside-lock — so a group-commit fsync never runs
+// under a shard lock. Sinks with nothing to flush (memory rings, ungrouped
+// WAL policies) return the zero Commit, whose Wait is an immediate nil.
 type LogSink interface {
-	Append(m Mutation) error
+	Append(m Mutation) (wal.Commit, error)
 	// Sync flushes buffered records to stable storage (no-op for memory
 	// sinks).
 	Sync() error
@@ -48,10 +55,11 @@ type changeRing struct {
 	droppedMax uint64
 }
 
-// Append implements LogSink. Ring appends cannot fail.
-func (r *changeRing) Append(m Mutation) error {
+// Append implements LogSink. Ring appends cannot fail and are immediately
+// "durable" (they have no disk to reach).
+func (r *changeRing) Append(m Mutation) (wal.Commit, error) {
 	r.record(m.Change)
-	return nil
+	return wal.Commit{}, nil
 }
 
 // Sync implements LogSink (memory rings have nothing to flush).
@@ -183,11 +191,14 @@ func newWALSink(dir string, opts wal.Options) (*walSink, error) {
 	return &walSink{w: w}, nil
 }
 
-// Append implements LogSink. Encoding happens under the shard lock, which
-// is what keeps the on-disk order identical to the version order.
-func (s *walSink) Append(m Mutation) error {
+// Append implements LogSink. Encoding and enqueueing happen under the
+// shard lock, which is what keeps the on-disk order identical to the
+// version order; the fsync behind the returned ticket does not (callers
+// Wait after unlocking). AppendAsync copies the frame into the batch
+// buffer synchronously, so reusing scratch across calls is safe.
+func (s *walSink) Append(m Mutation) (wal.Commit, error) {
 	s.scratch = encodeMutation(s.scratch[:0], m)
-	return s.w.Append(m.Change.Version, s.scratch)
+	return s.w.AppendAsync(m.Change.Version, s.scratch)
 }
 
 // Sync implements LogSink.
@@ -195,3 +206,6 @@ func (s *walSink) Sync() error { return s.w.Sync() }
 
 // Close implements LogSink.
 func (s *walSink) Close() error { return s.w.Close() }
+
+// Stats exposes the underlying writer's append/batch/fsync counters.
+func (s *walSink) Stats() wal.WriterStats { return s.w.Stats() }

@@ -156,6 +156,26 @@ func (s *Store) allocVersion(forced uint64) uint64 {
 	}
 }
 
+// commitOutside runs fn — a *Locked mutator — under sh's already-acquired
+// write lock, releases the lock, and only then waits on the durability
+// ticket: the append-under-lock / ack-outside-lock shape every
+// single-entity mutator shares. Holding the shard lock across the ticket
+// wait would serialise every writer of the shard on the group-commit
+// fsync; releasing first lets concurrent appenders pile into the batch the
+// one fsync then covers. Version-dense recovery is preserved because the
+// WAL enqueue (ordering) still happens under the lock — only the ack
+// (durability) moves outside it.
+func commitOutside(sh *shard, fn func() (wal.Commit, error)) error {
+	ack, err := func() (wal.Commit, error) {
+		defer sh.mu.Unlock()
+		return fn()
+	}()
+	if err != nil {
+		return err
+	}
+	return ack.Wait()
+}
+
 // WorkerShard returns the index of the shard owning the worker id.
 func (s *Store) WorkerShard(id model.WorkerID) int { return s.shardIndex(string(id)) }
 
@@ -177,17 +197,20 @@ func (s *Store) PutWorker(w *model.Worker) error {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	sh := s.lockOwner(string(w.ID))
-	defer sh.mu.Unlock()
-	return s.putWorkerLocked(sh, w, 0, 0)
+	return commitOutside(sh, func() (wal.Commit, error) {
+		return s.putWorkerLocked(sh, w, 0, 0)
+	})
 }
 
 // putWorkerLocked inserts under the held shard lock. ver is 0 for live
 // mutations (allocate the next version) and the original version during
 // WAL replay; epoch likewise is 0 to stamp the owning shard's epoch and
-// the original epoch during replay.
-func (s *Store) putWorkerLocked(sh *shard, w *model.Worker, ver, epoch uint64) error {
+// the original epoch during replay. Like every *Locked mutator it returns
+// the record's durability ticket for the caller to Wait on after
+// unlocking.
+func (s *Store) putWorkerLocked(sh *shard, w *model.Worker, ver, epoch uint64) (wal.Commit, error) {
 	if _, dup := sh.workers[w.ID]; dup {
-		return fmt.Errorf("worker %s: %w", w.ID, ErrDuplicate)
+		return wal.Commit{}, fmt.Errorf("worker %s: %w", w.ID, ErrDuplicate)
 	}
 	c := w.Clone()
 	sh.workers[c.ID] = c
@@ -211,14 +234,15 @@ func (s *Store) UpdateWorker(w *model.Worker) error {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	sh := s.lockOwner(string(w.ID))
-	defer sh.mu.Unlock()
-	return s.updateWorkerLocked(sh, w, 0, 0)
+	return commitOutside(sh, func() (wal.Commit, error) {
+		return s.updateWorkerLocked(sh, w, 0, 0)
+	})
 }
 
-func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker, ver, epoch uint64) error {
+func (s *Store) updateWorkerLocked(sh *shard, w *model.Worker, ver, epoch uint64) (wal.Commit, error) {
 	old, ok := sh.workers[w.ID]
 	if !ok {
-		return fmt.Errorf("worker %s: %w", w.ID, ErrNotFound)
+		return wal.Commit{}, fmt.Errorf("worker %s: %w", w.ID, ErrNotFound)
 	}
 	if !old.Skills.Equal(w.Skills) {
 		for _, i := range old.Skills.Indices() {
@@ -331,7 +355,7 @@ func (s *Store) BulkPutWorkers(ws []*model.Worker) error {
 		}
 	}
 	return s.bulkApply(len(ws), func(k int) string { return string(ws[k].ID) },
-		func(sh *shard, k int) error { return s.putWorkerLocked(sh, ws[k], 0, 0) })
+		func(sh *shard, k int) (wal.Commit, error) { return s.putWorkerLocked(sh, ws[k], 0, 0) })
 }
 
 // BulkUpdateWorkers applies many worker updates, fanning out across shards
@@ -344,7 +368,7 @@ func (s *Store) BulkUpdateWorkers(ws []*model.Worker) error {
 		}
 	}
 	return s.bulkApply(len(ws), func(k int) string { return string(ws[k].ID) },
-		func(sh *shard, k int) error { return s.updateWorkerLocked(sh, ws[k], 0, 0) })
+		func(sh *shard, k int) (wal.Commit, error) { return s.updateWorkerLocked(sh, ws[k], 0, 0) })
 }
 
 // bulkApply groups n items by owning shard under the current route table
@@ -352,7 +376,13 @@ func (s *Store) BulkUpdateWorkers(ws []*model.Worker) error {
 // across shards. If a group's shard was retired by a concurrent reshard
 // between grouping and locking, that group falls back to per-item routed
 // application — correctness never depends on the grouping staying fresh.
-func (s *Store) bulkApply(n int, id func(k int) string, apply func(sh *shard, k int) error) error {
+//
+// Durability: each shard group waits only on its last item's ticket, after
+// releasing the shard lock. Within one writer batches seal and flush
+// strictly in append order with a sticky error (see wal/groupcommit.go),
+// so the last ticket's success covers every earlier append of the group
+// and its failure reports any earlier batch's failure.
+func (s *Store) bulkApply(n int, id func(k int) string, apply func(sh *shard, k int) (wal.Commit, error)) error {
 	rt := s.table()
 	groups := make([][]int, rt.width())
 	for k := 0; k < n; k++ {
@@ -370,8 +400,11 @@ func (s *Store) bulkApply(n int, id func(k int) string, apply func(sh *shard, k 
 			sh.mu.Unlock()
 			for _, k := range groups[i] {
 				osh := s.lockOwner(id(k))
-				err := apply(osh, k)
+				ack, err := apply(osh, k)
 				osh.mu.Unlock()
+				if err == nil {
+					err = ack.Wait()
+				}
 				if err != nil {
 					errs[i] = err
 					return
@@ -379,12 +412,18 @@ func (s *Store) bulkApply(n int, id func(k int) string, apply func(sh *shard, k 
 			}
 			return
 		}
-		defer sh.mu.Unlock()
+		var last wal.Commit
 		for _, k := range groups[i] {
-			if err := apply(sh, k); err != nil {
+			ack, err := apply(sh, k)
+			if err != nil {
 				errs[i] = err
-				return
+				break
 			}
+			last = ack
+		}
+		sh.mu.Unlock()
+		if errs[i] == nil {
+			errs[i] = last.Wait()
 		}
 	})
 	return errors.Join(errs...)
@@ -398,13 +437,14 @@ func (s *Store) PutRequester(r *model.Requester) error {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	sh := s.lockOwner(string(r.ID))
-	defer sh.mu.Unlock()
-	return s.putRequesterLocked(sh, r, 0, 0)
+	return commitOutside(sh, func() (wal.Commit, error) {
+		return s.putRequesterLocked(sh, r, 0, 0)
+	})
 }
 
-func (s *Store) putRequesterLocked(sh *shard, r *model.Requester, ver, epoch uint64) error {
+func (s *Store) putRequesterLocked(sh *shard, r *model.Requester, ver, epoch uint64) (wal.Commit, error) {
 	if _, dup := sh.requesters[r.ID]; dup {
-		return fmt.Errorf("requester %s: %w", r.ID, ErrDuplicate)
+		return wal.Commit{}, fmt.Errorf("requester %s: %w", r.ID, ErrDuplicate)
 	}
 	c := *r
 	sh.requesters[r.ID] = &c
@@ -477,13 +517,14 @@ func (s *Store) PutTask(t *model.Task) error {
 		return fmt.Errorf("task %s: requester %s: %w", t.ID, t.Requester, ErrNotFound)
 	}
 	sh := s.lockOwner(string(t.ID))
-	defer sh.mu.Unlock()
-	return s.putTaskLocked(sh, t, 0, 0)
+	return commitOutside(sh, func() (wal.Commit, error) {
+		return s.putTaskLocked(sh, t, 0, 0)
+	})
 }
 
-func (s *Store) putTaskLocked(sh *shard, t *model.Task, ver, epoch uint64) error {
+func (s *Store) putTaskLocked(sh *shard, t *model.Task, ver, epoch uint64) (wal.Commit, error) {
 	if _, dup := sh.tasks[t.ID]; dup {
-		return fmt.Errorf("task %s: %w", t.ID, ErrDuplicate)
+		return wal.Commit{}, fmt.Errorf("task %s: %w", t.ID, ErrDuplicate)
 	}
 	c := t.Clone()
 	sh.tasks[c.ID] = c
@@ -514,7 +555,7 @@ func (s *Store) BulkPutTasks(ts []*model.Task) error {
 		}
 	}
 	return s.bulkApply(len(ts), func(k int) string { return string(ts[k].ID) },
-		func(sh *shard, k int) error { return s.putTaskLocked(sh, ts[k], 0, 0) })
+		func(sh *shard, k int) (wal.Commit, error) { return s.putTaskLocked(sh, ts[k], 0, 0) })
 }
 
 // Task returns a copy of the task with the given id.
@@ -611,8 +652,9 @@ func (s *Store) PutContribution(c *model.Contribution) error {
 		return err
 	}
 	sh := s.lockOwner(string(c.ID))
-	defer sh.mu.Unlock()
-	return s.putContributionLocked(sh, c, 0, 0)
+	return commitOutside(sh, func() (wal.Commit, error) {
+		return s.putContributionLocked(sh, c, 0, 0)
+	})
 }
 
 func (s *Store) checkContribRefs(c *model.Contribution) error {
@@ -631,9 +673,9 @@ func (s *Store) checkContribRefs(c *model.Contribution) error {
 	return nil
 }
 
-func (s *Store) putContributionLocked(sh *shard, c *model.Contribution, ver, epoch uint64) error {
+func (s *Store) putContributionLocked(sh *shard, c *model.Contribution, ver, epoch uint64) (wal.Commit, error) {
 	if _, dup := sh.contribs[c.ID]; dup {
-		return fmt.Errorf("contribution %s: %w", c.ID, ErrDuplicate)
+		return wal.Commit{}, fmt.Errorf("contribution %s: %w", c.ID, ErrDuplicate)
 	}
 	cc := c.Clone()
 	sh.contribs[cc.ID] = cc
@@ -665,7 +707,7 @@ func (s *Store) BulkPutContributions(cs []*model.Contribution) error {
 		}
 	}
 	return s.bulkApply(len(cs), func(k int) string { return string(cs[k].ID) },
-		func(sh *shard, k int) error { return s.putContributionLocked(sh, cs[k], 0, 0) })
+		func(sh *shard, k int) (wal.Commit, error) { return s.putContributionLocked(sh, cs[k], 0, 0) })
 }
 
 // UpdateContribution replaces an existing contribution (e.g. after the
@@ -675,17 +717,18 @@ func (s *Store) UpdateContribution(c *model.Contribution) error {
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	sh := s.lockOwner(string(c.ID))
-	defer sh.mu.Unlock()
-	return s.updateContributionLocked(sh, c, 0, 0)
+	return commitOutside(sh, func() (wal.Commit, error) {
+		return s.updateContributionLocked(sh, c, 0, 0)
+	})
 }
 
-func (s *Store) updateContributionLocked(sh *shard, c *model.Contribution, ver, epoch uint64) error {
+func (s *Store) updateContributionLocked(sh *shard, c *model.Contribution, ver, epoch uint64) (wal.Commit, error) {
 	old, ok := sh.contribs[c.ID]
 	if !ok {
-		return fmt.Errorf("contribution %s: %w", c.ID, ErrNotFound)
+		return wal.Commit{}, fmt.Errorf("contribution %s: %w", c.ID, ErrNotFound)
 	}
 	if old.Task != c.Task || old.Worker != c.Worker {
-		return fmt.Errorf("contribution %s: task/worker are immutable: %w", c.ID, ErrInvalid)
+		return wal.Commit{}, fmt.Errorf("contribution %s: task/worker are immutable: %w", c.ID, ErrInvalid)
 	}
 	cc := c.Clone()
 	if old.SubmittedAt != c.SubmittedAt {

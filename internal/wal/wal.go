@@ -23,8 +23,12 @@
 // Durability is a policy knob (Options.Sync): SyncNever leaves flushing to
 // the OS (fastest, loses the unsynced tail on power failure — process
 // crashes lose nothing), SyncOnRotate fsyncs each segment as it is sealed,
-// and SyncAlways fsyncs after every append (group-commit-free, slowest,
-// strongest).
+// SyncInterval(d) fsyncs the accumulated tail at most every d (durable
+// within d), and SyncAlways acks each append only after a covering fsync.
+// The durable policies (SyncAlways, SyncInterval) run through per-writer
+// group commit — see groupcommit.go — so one fsync commits every record
+// queued while the previous fsync was in flight, instead of one fsync per
+// append.
 package wal
 
 import (
@@ -34,34 +38,80 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// SyncPolicy selects when the writer fsyncs.
-type SyncPolicy int
+// syncMode is the discriminant of a SyncPolicy.
+type syncMode uint8
 
-// Sync policies, weakest to strongest.
 const (
-	// SyncNever never fsyncs explicitly; the OS flushes at its leisure.
-	SyncNever SyncPolicy = iota
-	// SyncOnRotate fsyncs a segment when it is sealed (and on Sync/Close).
-	SyncOnRotate
-	// SyncAlways fsyncs after every append.
-	SyncAlways
+	modeNever syncMode = iota
+	modeOnRotate
+	modeInterval
+	modeAlways
 )
 
-// String renders the policy for reports and flag parsing.
+// SyncPolicy selects when the writer fsyncs. Policies are comparable
+// values: use the package variables (SyncNever, SyncOnRotate, SyncAlways)
+// or the SyncInterval constructor.
+type SyncPolicy struct {
+	mode     syncMode
+	interval time.Duration
+}
+
+// Sync policies, weakest to strongest. The zero value is SyncNever.
+var (
+	// SyncNever never fsyncs explicitly while appending; the OS flushes at
+	// its leisure (Close still syncs the tail so checkpoints never manifest
+	// a watermark ahead of the disk).
+	SyncNever = SyncPolicy{mode: modeNever}
+	// SyncOnRotate fsyncs a segment when it is sealed (and on Sync/Close).
+	SyncOnRotate = SyncPolicy{mode: modeOnRotate}
+	// SyncAlways acks every append only after a covering group fsync: each
+	// record is durable when Append (or Commit.Wait) returns, but one fsync
+	// commits every record enqueued while the previous fsync ran.
+	SyncAlways = SyncPolicy{mode: modeAlways}
+)
+
+// DefaultSyncInterval is the flush cadence SyncInterval uses when given a
+// non-positive duration, and what ParseSyncPolicy("interval") yields.
+const DefaultSyncInterval = 5 * time.Millisecond
+
+// SyncInterval returns the amortised-durability policy: appends ack
+// immediately and a background committer fsyncs the accumulated tail every
+// d, so a crash loses at most the last d of acknowledged appends.
+func SyncInterval(d time.Duration) SyncPolicy {
+	if d <= 0 {
+		d = DefaultSyncInterval
+	}
+	return SyncPolicy{mode: modeInterval, interval: d}
+}
+
+// grouped reports whether the policy routes appends through the
+// group-commit queue rather than writing directly.
+func (p SyncPolicy) grouped() bool { return p.mode == modeInterval || p.mode == modeAlways }
+
+// String renders the policy for reports and flag parsing; SyncInterval
+// renders as "interval:<dur>".
 func (p SyncPolicy) String() string {
-	switch p {
-	case SyncAlways:
+	switch p.mode {
+	case modeAlways:
 		return "always"
-	case SyncOnRotate:
+	case modeOnRotate:
 		return "rotate"
+	case modeInterval:
+		return "interval:" + p.interval.String()
 	default:
 		return "never"
 	}
 }
 
-// ParseSyncPolicy maps the String form back to a policy.
+// ParseSyncPolicy maps the String form back to a policy. "interval" alone
+// means SyncInterval(DefaultSyncInterval); "interval:<dur>" (e.g.
+// "interval:2ms") sets the cadence explicitly.
 func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	switch s {
 	case "never":
@@ -70,8 +120,31 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 		return SyncOnRotate, nil
 	case "always":
 		return SyncAlways, nil
+	case "interval":
+		return SyncInterval(0), nil
 	}
-	return SyncNever, fmt.Errorf("wal: unknown sync policy %q (want never|rotate|always)", s)
+	if rest, ok := strings.CutPrefix(s, "interval:"); ok {
+		d, err := time.ParseDuration(rest)
+		if err != nil || d <= 0 {
+			return SyncNever, fmt.Errorf("wal: bad sync interval %q (want e.g. interval:5ms)", s)
+		}
+		return SyncInterval(d), nil
+	}
+	return SyncNever, fmt.Errorf("wal: unknown sync policy %q (want never|rotate|interval[:<dur>]|always)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler so configs embedding a
+// policy serialise to the same string the flag layer parses.
+func (p SyncPolicy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *SyncPolicy) UnmarshalText(text []byte) error {
+	parsed, err := ParseSyncPolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
 }
 
 // DefaultSegmentBytes is the rotation threshold used when Options leaves
@@ -108,17 +181,59 @@ type segInfo struct {
 	maxKey  uint64
 }
 
-// Writer appends records to a segment directory. Not safe for concurrent
-// use; the store serialises appends under each shard's lock.
+// Writer appends records to a segment directory. AppendAsync/Append may be
+// called from one goroutine at a time (the store serialises appends under
+// each shard's lock), but they run concurrently with the group-commit
+// flusher and with Commit.Wait from any goroutine; the maintenance methods
+// (Sync, Rotate, TruncateBefore, Close, Stats) are safe to call from any
+// goroutine as well.
+//
+// Lock order: flushMu → qmu, flushMu → mu. flushMu serialises batch
+// seal+write+fsync and is never held while waiting on anything but the
+// disk; qmu guards only the open batch; mu guards the file/segment state.
 type Writer struct {
-	dir     string
-	opts    Options
+	dir  string
+	opts Options
+
+	// mu guards the file/segment state below. Direct appends (ungrouped
+	// policies) and batch flushes both write under it.
+	mu      sync.Mutex
 	f       *os.File
 	seg     int   // active segment ordinal
 	size    int64 // bytes written to the active segment
 	maxKey  uint64
 	sealed  []segInfo // completed segments, ascending ordinal
 	scratch []byte
+
+	// Group-commit state (grouped policies only); see groupcommit.go.
+	qmu     sync.Mutex // guards cur, err, closed
+	cur     *batch     // open batch accepting appends (nil when empty)
+	err     error      // sticky flush error; fails all later operations
+	closed  bool       // set by Close before the final flush
+	flushMu sync.Mutex // serialises seal+write+fsync (leader election)
+	stop    chan struct{}
+	done    chan struct{}
+
+	nAppends atomic.Uint64
+	nBatches atomic.Uint64
+	nSyncs   atomic.Uint64
+}
+
+// WriterStats counts a writer's lifetime activity. Appends/Syncs is the
+// group-commit amortisation factor; for ungrouped policies Batches stays 0.
+type WriterStats struct {
+	Appends uint64 // records accepted
+	Batches uint64 // group-commit batches written
+	Syncs   uint64 // fsyncs issued
+}
+
+// Stats returns a snapshot of the writer's counters.
+func (w *Writer) Stats() WriterStats {
+	return WriterStats{
+		Appends: w.nAppends.Load(),
+		Batches: w.nBatches.Load(),
+		Syncs:   w.nSyncs.Load(),
+	}
 }
 
 // segPath returns the file path of segment ordinal n in dir.
@@ -250,6 +365,11 @@ func Create(dir string, opts Options) (*Writer, error) {
 	if err := w.openActive(); err != nil {
 		return nil, err
 	}
+	if opts.Sync.mode == modeInterval {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.intervalLoop()
+	}
 	return w, nil
 }
 
@@ -263,21 +383,37 @@ func (w *Writer) openActive() error {
 	return nil
 }
 
-// Append frames and writes one record. key must be non-decreasing across
-// appends (store versions and event sequence numbers are). The write lands
-// in the OS page cache unless the sync policy says otherwise; rotation
-// happens after the append once the active segment reaches the threshold.
+// appendFrame frames one record (header + uvarint key + payload) onto dst.
+func appendFrame(dst []byte, key uint64, payload []byte) []byte {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = binary.AppendUvarint(dst, key)
+	dst = append(dst, payload...)
+	body := dst[base+headerBytes:]
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[base+4:], crc32.ChecksumIEEE(body))
+	return dst
+}
+
+// Append frames and writes one record and, under a durable policy, blocks
+// until the covering group fsync completes. key must be non-decreasing
+// across appends (store versions and event sequence numbers are).
+// Equivalent to AppendAsync followed by Commit.Wait.
 func (w *Writer) Append(key uint64, payload []byte) error {
+	c, err := w.AppendAsync(key, payload)
+	if err != nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// appendLocked writes one framed record directly (ungrouped policies).
+// Caller holds w.mu.
+func (w *Writer) appendLocked(key uint64, payload []byte) error {
 	if w.f == nil {
 		return fmt.Errorf("wal: append on closed writer")
 	}
-	w.scratch = w.scratch[:0]
-	w.scratch = append(w.scratch, 0, 0, 0, 0, 0, 0, 0, 0)
-	w.scratch = binary.AppendUvarint(w.scratch, key)
-	w.scratch = append(w.scratch, payload...)
-	body := w.scratch[headerBytes:]
-	binary.LittleEndian.PutUint32(w.scratch[0:], uint32(len(body)))
-	binary.LittleEndian.PutUint32(w.scratch[4:], crc32.ChecksumIEEE(body))
+	w.scratch = appendFrame(w.scratch[:0], key, payload)
 	if _, err := w.f.Write(w.scratch); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
@@ -285,31 +421,42 @@ func (w *Writer) Append(key uint64, payload []byte) error {
 	if key > w.maxKey {
 		w.maxKey = key
 	}
-	if w.opts.Sync == SyncAlways {
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-	}
 	if w.size >= w.opts.segmentBytes() {
-		return w.Rotate()
+		return w.rotateLocked()
 	}
 	return nil
 }
 
-// Rotate seals the active segment and starts the next one. Sealing an
-// empty segment is a no-op. Checkpoints rotate before truncating so the
-// whole pre-checkpoint history becomes eligible for TruncateBefore.
+// Rotate seals the active segment and starts the next one, flushing any
+// pending group-commit batch first. Sealing an empty segment is a no-op.
+// Checkpoints rotate before truncating so the whole pre-checkpoint history
+// becomes eligible for TruncateBefore.
 func (w *Writer) Rotate() error {
+	if w.opts.Sync.grouped() {
+		w.flushMu.Lock()
+		defer w.flushMu.Unlock()
+		if err := w.flushLocked(); err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotateLocked()
+}
+
+// rotateLocked seals the active segment under the held w.mu.
+func (w *Writer) rotateLocked() error {
 	if w.f == nil {
 		return fmt.Errorf("wal: rotate on closed writer")
 	}
 	if w.size == 0 {
 		return nil
 	}
-	if w.opts.Sync != SyncNever {
+	if w.opts.Sync.mode != modeNever {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync on rotate: %w", err)
 		}
+		w.nSyncs.Add(1)
 	}
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("wal: close segment: %w", err)
@@ -323,6 +470,8 @@ func (w *Writer) Rotate() error {
 // TruncateBefore unlinks every sealed segment whose keys are all at or
 // below key. The active segment is never removed.
 func (w *Writer) TruncateBefore(key uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	kept := w.sealed[:0]
 	for _, s := range w.sealed {
 		if s.maxKey <= key {
@@ -388,32 +537,79 @@ func TruncateAfter(dir string, key uint64) error {
 	return nil
 }
 
-// Sync flushes the active segment to stable storage regardless of policy.
+// Sync flushes everything accepted so far — pending group-commit batch
+// included — to stable storage regardless of policy.
 func (w *Writer) Sync() error {
+	if w.opts.Sync.grouped() {
+		w.flushMu.Lock()
+		defer w.flushMu.Unlock()
+		w.qmu.Lock()
+		pending := w.cur != nil
+		sticky := w.err
+		w.qmu.Unlock()
+		if pending {
+			return w.flushLocked() // flush writes and fsyncs the batch
+		}
+		if sticky != nil {
+			return sticky
+		}
+		return w.syncFile()
+	}
+	return w.syncFile()
+}
+
+// syncFile fsyncs the active segment.
+func (w *Writer) syncFile() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	w.nSyncs.Add(1)
 	return nil
 }
 
-// Close syncs (unless SyncNever) and closes the active segment. The writer
-// is unusable afterwards.
+// Close stops the background committer, flushes any pending batch, syncs
+// the tail — regardless of policy, so a checkpoint manifest written after
+// Close never references a watermark ahead of what is durable on disk —
+// and closes the active segment. The writer is unusable afterwards.
 func (w *Writer) Close() error {
-	if w.f == nil {
-		return nil
-	}
-	if w.opts.Sync != SyncNever {
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync on close: %w", err)
+	var flushErr error
+	if w.opts.Sync.grouped() {
+		w.qmu.Lock()
+		alreadyClosed := w.closed
+		w.closed = true
+		w.qmu.Unlock()
+		if !alreadyClosed && w.stop != nil {
+			close(w.stop)
+			<-w.done
 		}
+		w.flushMu.Lock()
+		flushErr = w.flushLocked()
+		w.flushMu.Unlock()
 	}
-	err := w.f.Close()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return flushErr
+	}
+	serr := w.f.Sync()
+	if serr == nil {
+		w.nSyncs.Add(1)
+	}
+	cerr := w.f.Close()
 	w.f = nil
-	if err != nil {
-		return fmt.Errorf("wal: close: %w", err)
+	if flushErr != nil {
+		return flushErr
+	}
+	if serr != nil {
+		return fmt.Errorf("wal: sync on close: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: close: %w", cerr)
 	}
 	return nil
 }
@@ -423,6 +619,8 @@ func (w *Writer) Dir() string { return w.dir }
 
 // SegmentCount returns the number of on-disk segments (sealed + active).
 func (w *Writer) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	n := len(w.sealed)
 	if w.size > 0 || n == 0 {
 		n++
@@ -430,5 +628,10 @@ func (w *Writer) SegmentCount() int {
 	return n
 }
 
-// MaxKey returns the highest key ever appended (or recovered) in this log.
-func (w *Writer) MaxKey() uint64 { return w.maxKey }
+// MaxKey returns the highest key flushed to the log (appended or
+// recovered); records still queued in an unflushed batch do not count.
+func (w *Writer) MaxKey() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.maxKey
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-shuffle vet lint fmt-check bench bench-store bench-wal bench-reshard bench-lsh sweep clean
+.PHONY: all build test test-race test-shuffle vet lint fmt-check bench bench-store bench-wal bench-reshard bench-lsh bench-audit sweep clean
 
 all: build test
 
@@ -63,6 +63,13 @@ bench-reshard:
 # BENCH_lsh.json. The 1M-worker point runs LSH only (exact is gated).
 bench-lsh:
 	$(GO) run ./cmd/benchrunner -lshbench -lshout BENCH_lsh.json
+
+# Parallel audit pipeline benchmarks: cold and delta audit latency over
+# population size × dirty fraction × worker-pool width, written to
+# BENCH_audit.json. Every pool width replays the same trace and the sweep
+# fails if any width's reports diverge from the serial baseline.
+bench-audit:
+	$(GO) run ./cmd/benchrunner -auditbench -auditout BENCH_audit.json
 
 # Quick demonstration of the parallel sweep engine.
 sweep:

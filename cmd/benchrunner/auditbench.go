@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/model"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// auditBenchOpts are the -auditbench knobs.
+type auditBenchOpts struct {
+	sizes   string
+	fracs   string
+	workers string
+	rounds  int
+	backend string
+	out     string
+	seed    uint64
+}
+
+// auditBenchReport is the machine-readable result (BENCH_audit.json).
+type auditBenchReport struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Seed       uint64            `json:"seed"`
+	Backend    string            `json:"backend"`
+	Rounds     int               `json:"rounds"`
+	Cells      []auditBenchCell  `json:"cells"`
+	Speedups   []auditSpeedupRow `json:"speedups"`
+}
+
+// auditBenchCell is one (population, dirty fraction, pool width) run: a
+// cold full audit, then rounds delta passes over a deterministic mutation
+// stream. The stream is a pure function of (seed, population, fraction) —
+// never of the pool width — so every pool width in a column replays the
+// same trace, audits the same dirty sets, and must render byte-identical
+// reports; the sweep fails loudly if any width diverges from the serial
+// (pool=1-equivalent) baseline.
+type auditBenchCell struct {
+	Workers          int     `json:"workers"`
+	Tasks            int     `json:"tasks"`
+	DirtyFrac        float64 `json:"dirty_frac"`
+	DirtyPerPass     int     `json:"dirty_per_pass"`
+	PoolWorkers      int     `json:"pool_workers"`
+	ColdSeconds      float64 `json:"cold_seconds"`
+	MeanDeltaSeconds float64 `json:"mean_delta_seconds"`
+	MaxDeltaSeconds  float64 `json:"max_delta_seconds"`
+	Checked          int     `json:"checked"`
+	Violations       int     `json:"violations"`
+}
+
+// auditSpeedupRow is the headline ratio per cell against the first pool
+// width in the sweep (put 1 first so ratios read as parallel speedup).
+type auditSpeedupRow struct {
+	Workers      int     `json:"workers"`
+	DirtyFrac    float64 `json:"dirty_frac"`
+	PoolWorkers  int     `json:"pool_workers"`
+	ColdSpeedup  float64 `json:"cold_speedup"`
+	DeltaSpeedup float64 `json:"delta_speedup"`
+}
+
+// auditFingerprint reduces a report set to a comparable byte form: axiom,
+// Checked, and every rendered violation.
+func auditFingerprint(reps []*fairness.Report) string {
+	var b strings.Builder
+	for _, r := range reps {
+		fmt.Fprintf(&b, "%s|%d|%d\n", r.Axiom, r.Checked, len(r.Violations))
+		for _, v := range r.Violations {
+			b.WriteString(v.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// auditCellResult carries one run's timings plus its per-round report
+// fingerprints for the cross-width determinism check.
+type auditCellResult struct {
+	cell  auditBenchCell
+	cold  string
+	delta []string
+}
+
+// runAuditCell builds a fresh population, runs the cold audit, then rounds
+// delta passes of dirty mutations each. Everything — population, mutation
+// stream, audit reports — is deterministic given (seed, n, frac); the
+// ambient par budget is the only thing the caller varies between runs.
+func runAuditCell(o auditBenchOpts, n int, frac float64, poolWorkers int) (auditCellResult, error) {
+	var res auditCellResult
+	st, log, err := lshPopulation(n, o.seed, true)
+	if err != nil {
+		return res, err
+	}
+	cfg := lshBenchConfig(o.backend, o.seed)
+	dirty := int(frac * float64(n))
+	if dirty < 1 {
+		dirty = 1
+	}
+	// Sorted contribution IDs: store iteration order must never leak into
+	// the mutation stream, or pool widths would replay different traces.
+	var contribIDs []model.ContributionID
+	for _, c := range st.Contributions() {
+		contribIDs = append(contribIDs, c.ID)
+	}
+	sort.Slice(contribIDs, func(i, j int) bool { return contribIDs[i] < contribIDs[j] })
+	tasks := st.TaskCount()
+
+	eng := audit.New(st, log, cfg)
+	runtime.GC() // don't bill this cell for the previous cell's garbage
+	start := time.Now()
+	reps := eng.Audit()
+	coldSecs := time.Since(start).Seconds()
+	res.cold = auditFingerprint(reps)
+
+	rng := stats.NewRNG(o.seed ^ 0xa0d17b ^ uint64(n) ^ uint64(dirty))
+	var total, max float64
+	for round := 0; round < o.rounds; round++ {
+		for m := 0; m < dirty; m++ {
+			switch rng.Intn(4) {
+			case 0, 1: // worker attribute churn: Axioms 1 and 4
+				id := model.WorkerID(fmt.Sprintf("w%07d", rng.Intn(n)))
+				w, err := st.Worker(id)
+				if err != nil {
+					return res, err
+				}
+				w.Computed[model.AttrAcceptanceRatio] = model.Num(0.4 + 0.004*rng.Float64())
+				if err := st.UpdateWorker(w); err != nil {
+					return res, err
+				}
+			case 2: // payment churn: Axiom 3
+				c, err := st.Contribution(contribIDs[rng.Intn(len(contribIDs))])
+				if err != nil {
+					return res, err
+				}
+				c.Paid = []float64{0.5, 2.0}[rng.Intn(2)]
+				if err := st.UpdateContribution(c); err != nil {
+					return res, err
+				}
+			case 3: // offer churn: Axioms 1 and 2 via the event log
+				log.MustAppend(eventlog.Event{
+					Type:   eventlog.TaskOffered,
+					Worker: model.WorkerID(fmt.Sprintf("w%07d", rng.Intn(n))),
+					Task:   model.TaskID(fmt.Sprintf("t%07d", rng.Intn(tasks))),
+				})
+			}
+		}
+		t0 := time.Now()
+		reps = eng.Audit()
+		el := time.Since(t0).Seconds()
+		total += el
+		if el > max {
+			max = el
+		}
+		res.delta = append(res.delta, auditFingerprint(reps))
+	}
+	checked, viols := 0, 0
+	for _, r := range reps {
+		checked += r.Checked
+		viols += len(r.Violations)
+	}
+	res.cell = auditBenchCell{
+		Workers: n, Tasks: tasks, DirtyFrac: frac, DirtyPerPass: dirty,
+		PoolWorkers: poolWorkers, ColdSeconds: coldSecs,
+		MeanDeltaSeconds: total / float64(o.rounds), MaxDeltaSeconds: max,
+		Checked: checked, Violations: viols,
+	}
+	return res, nil
+}
+
+// runAuditBench sweeps the parallel audit pipeline over population size ×
+// dirty fraction × worker-pool width. Each (size, fraction) column replays
+// one deterministic trace at every pool width through par.SetMaxWorkers;
+// the serial width doubles as the determinism oracle — any report diverging
+// from its fingerprints fails the sweep. Wall-clock speedups need real
+// cores: on a single-P runtime every width collapses to inline execution
+// and ratios hover at 1.
+func runAuditBench(o auditBenchOpts, stdout io.Writer) error {
+	var sizes []int
+	for _, s := range strings.Split(o.sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < clusterFloor {
+			return fmt.Errorf("bad -auditsizes entry %q (want integers >= %d)", s, clusterFloor)
+		}
+		sizes = append(sizes, v)
+	}
+	var fracs []float64
+	for _, s := range strings.Split(o.fracs, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("bad -auditdirty entry %q (want fractions in (0,1])", s)
+		}
+		fracs = append(fracs, v)
+	}
+	var widths []int
+	for _, s := range strings.Split(o.workers, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad -auditworkers entry %q (want integers >= 1)", s)
+		}
+		widths = append(widths, v)
+	}
+	if o.rounds < 1 {
+		return fmt.Errorf("-auditrounds must be >= 1")
+	}
+	switch o.backend {
+	case fairness.CandidateExact, fairness.CandidateLSH:
+	default:
+		return fmt.Errorf("bad -auditbackend %q (want %s or %s)", o.backend, fairness.CandidateExact, fairness.CandidateLSH)
+	}
+
+	rep := &auditBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       o.seed,
+		Backend:    o.backend,
+		Rounds:     o.rounds,
+	}
+	defer par.SetMaxWorkers(0)
+	fmt.Fprintf(stdout, "audit scaling sweep: backend=%s rounds=%d GOMAXPROCS=%d\n",
+		o.backend, o.rounds, runtime.GOMAXPROCS(0))
+	for _, n := range sizes {
+		for _, frac := range fracs {
+			fmt.Fprintf(stdout, "# %d workers, dirty fraction %.3f\n", n, frac)
+			var base auditCellResult
+			for wi, width := range widths {
+				par.SetMaxWorkers(width)
+				res, err := runAuditCell(o, n, frac, width)
+				par.SetMaxWorkers(0)
+				if err != nil {
+					return err
+				}
+				if wi == 0 {
+					base = res
+				} else {
+					if res.cold != base.cold {
+						return fmt.Errorf("auditbench: cold audit at pool=%d diverges from pool=%d (n=%d frac=%.3f)",
+							width, widths[0], n, frac)
+					}
+					for r := range res.delta {
+						if res.delta[r] != base.delta[r] {
+							return fmt.Errorf("auditbench: delta round %d at pool=%d diverges from pool=%d (n=%d frac=%.3f)",
+								r, width, widths[0], n, frac)
+						}
+					}
+				}
+				rep.Cells = append(rep.Cells, res.cell)
+				sp := auditSpeedupRow{Workers: n, DirtyFrac: frac, PoolWorkers: width}
+				if res.cell.ColdSeconds > 0 {
+					sp.ColdSpeedup = base.cell.ColdSeconds / res.cell.ColdSeconds
+				}
+				if res.cell.MeanDeltaSeconds > 0 {
+					sp.DeltaSpeedup = base.cell.MeanDeltaSeconds / res.cell.MeanDeltaSeconds
+				}
+				rep.Speedups = append(rep.Speedups, sp)
+				fmt.Fprintf(stdout, "  pool=%-3d  cold %8.3fs (%.2fx)  delta mean %8.4fs  max %8.4fs (%.2fx)  checked %10d\n",
+					width, res.cell.ColdSeconds, sp.ColdSpeedup,
+					res.cell.MeanDeltaSeconds, res.cell.MaxDeltaSeconds, sp.DeltaSpeedup, res.cell.Checked)
+			}
+			fmt.Fprintf(stdout, "  determinism: all pool widths rendered identical reports across %d rounds\n", o.rounds)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if o.out != "" {
+		if err := os.WriteFile(o.out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", o.out)
+		return nil
+	}
+	stdout.Write(blob)
+	return nil
+}

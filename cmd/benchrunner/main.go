@@ -9,6 +9,7 @@
 //	benchrunner -storebench [-goroutines 8] [-shards 1,2,4,8,16] [-ops 200000]
 //	benchrunner -walbench [-walsync never|rotate|always] [-walsegkb 512] [-walworkers 300] [-walrounds 8] [-waldir DIR]
 //	benchrunner -reshardbench [-goroutines 8] [-reshardfrom 8] [-reshardto 16]
+//	benchrunner -auditbench [-auditsizes 2000,10000] [-auditdirty 0.01,0.05] [-auditworkers 1,2,4,8] [-auditrounds 5] [-auditbackend lsh] [-auditout BENCH_audit.json]
 //
 // The default mode runs every experiment once at the given seed. Sweep
 // mode drives the same experiments through the internal/sweep worker pool:
@@ -111,7 +112,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	lshChurnRounds := fs.Int("lshchurnrounds", 5, "delta passes per -lshbench churn cell")
 	lshChurnMuts := fs.Int("lshchurnmuts", 200, "worker mutations per -lshbench delta pass")
 	lshOut := fs.String("lshout", "", "write the -lshbench JSON report to this file (default: stdout)")
+	auditBench := fs.Bool("auditbench", false, "sweep the parallel audit pipeline over population × dirty fraction × worker-pool width")
+	auditSizes := fs.String("auditsizes", "2000,10000", "comma-separated population sizes for -auditbench")
+	auditDirty := fs.String("auditdirty", "0.01,0.05", "comma-separated dirty fractions per delta pass for -auditbench")
+	auditWorkers := fs.String("auditworkers", "1,2,4,8", "comma-separated par worker-pool widths for -auditbench (put 1 first: it is the speedup and determinism baseline)")
+	auditRounds := fs.Int("auditrounds", 5, "delta passes per -auditbench cell")
+	auditBackend := fs.String("auditbackend", "lsh", "candidate backend for -auditbench (exact|lsh)")
+	auditOut := fs.String("auditout", "", "write the -auditbench JSON report to this file (default: stdout)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected benchmark to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after a final GC) of the selected benchmark to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,7 +136,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
+	if *auditBench {
+		return runAuditBench(auditBenchOpts{
+			sizes: *auditSizes, fracs: *auditDirty, workers: *auditWorkers,
+			rounds: *auditRounds, backend: *auditBackend, out: *auditOut, seed: *seed,
+		}, stdout)
+	}
 	if *lshBench {
 		return runLSHBench(lshBenchOpts{
 			sizes: *lshSizes, exactMax: *lshExactMax,
@@ -183,6 +205,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprint(stdout, report.String())
 	return nil
+}
+
+// writeHeapProfile snapshots live allocations after a final GC, so the
+// profile shows what the selected benchmark retains, not collectable
+// garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // runOneShot preserves the original benchrunner behaviour (and the exact

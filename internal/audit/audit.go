@@ -83,6 +83,69 @@ type Engine struct {
 	ax3Checked  map[model.TaskID]int
 	ax4         map[model.WorkerID]fairness.Violation
 	ax4Eligible map[model.WorkerID]bool
+
+	scr scratch
+}
+
+// scratch is the engine's per-pass workspace: the changelog buffer, the four
+// dirty sets, and their sorted projections are cleared and refilled each
+// pass instead of reallocated, so a steady-state delta audit's fixed
+// bookkeeping costs no allocations — what remains scales with what the pass
+// actually found.
+type scratch struct {
+	changes []store.Change
+	dirtyW1 map[model.WorkerID]bool
+	dirtyT2 map[model.TaskID]bool
+	dirtyT3 map[model.TaskID]bool
+	dirtyW4 map[model.WorkerID]bool
+	w1      []model.WorkerID
+	t2      []model.TaskID
+	t3      []model.TaskID
+	w4      []model.WorkerID
+	s1      []string // w1 in the violation subjects' string domain
+	s2      []string // t2, likewise
+}
+
+// begin readies the workspace for one pass.
+func (s *scratch) begin() {
+	s.changes = s.changes[:0]
+	if s.dirtyW1 == nil {
+		s.dirtyW1 = make(map[model.WorkerID]bool)
+		s.dirtyT2 = make(map[model.TaskID]bool)
+		s.dirtyT3 = make(map[model.TaskID]bool)
+		s.dirtyW4 = make(map[model.WorkerID]bool)
+		return
+	}
+	clear(s.dirtyW1)
+	clear(s.dirtyT2)
+	clear(s.dirtyT3)
+	clear(s.dirtyW4)
+}
+
+// sortedIDs refills dst with m's keys in ascending order.
+func sortedIDs[T ~string](dst []T, m map[T]bool) []T {
+	dst = dst[:0]
+	for id := range m {
+		dst = append(dst, id)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// idStrings refills dst with ids projected onto plain strings, preserving
+// order.
+func idStrings[T ~string](dst []string, ids []T) []string {
+	dst = dst[:0]
+	for _, id := range ids {
+		dst = append(dst, string(id))
+	}
+	return dst
+}
+
+// containsSortedStr reports membership of id in an ascending-sorted slice.
+func containsSortedStr(ids []string, id string) bool {
+	i := sort.SearchStrings(ids, id)
+	return i < len(ids) && ids[i] == id
 }
 
 // pairSet is an adjacency-set census of the candidate pairs currently in
@@ -99,8 +162,8 @@ type pairSet struct {
 func newPairSet() *pairSet { return &pairSet{adj: make(map[string]map[string]bool)} }
 
 // dropDirty evicts every pair with at least one endpoint in dirty.
-func (p *pairSet) dropDirty(dirty map[string]bool) {
-	for d := range dirty {
+func (p *pairSet) dropDirty(dirty []string) {
+	for _, d := range dirty {
 		partners := p.adj[d]
 		if partners == nil {
 			continue
@@ -260,7 +323,8 @@ func (e *Engine) Audit() []*fairness.Report {
 			e.cursors[i] = low
 		}
 	}
-	var changes []store.Change
+	sc := &e.scr
+	sc.begin()
 	for i := range e.cursors {
 		ch, ok := e.st.ShardChangesSince(i, e.cursors[i])
 		if !ok {
@@ -272,60 +336,77 @@ func (e *Engine) Audit() []*fairness.Report {
 		if len(ch) > 0 {
 			e.cursors[i] = ch[len(ch)-1].Version
 		}
-		changes = append(changes, ch...)
+		sc.changes = append(sc.changes, ch...)
 	}
 
-	dirtyW1 := make(map[model.WorkerID]bool) // attrs/skills/offers moved
-	dirtyT2 := make(map[model.TaskID]bool)   // new task or audience moved
-	dirtyT3 := make(map[model.TaskID]bool)   // contribution set moved
-	dirtyW4 := make(map[model.WorkerID]bool) // attrs moved or newly flagged
-	for _, c := range changes {
+	for _, c := range sc.changes {
 		switch c.Entity {
 		case store.EntityWorker:
-			dirtyW1[c.Worker] = true
-			dirtyW4[c.Worker] = true
+			sc.dirtyW1[c.Worker] = true // attrs/skills moved
+			sc.dirtyW4[c.Worker] = true
 		case store.EntityTask:
-			dirtyT2[c.Task] = true
+			sc.dirtyT2[c.Task] = true // new task or content moved
 		case store.EntityContribution:
-			dirtyT3[c.Task] = true
+			sc.dirtyT3[c.Task] = true // contribution set moved
 		}
 	}
 	// Re-tokenise exactly the entities the changelog touched, before any
 	// checker consults the indexes. Offer events (below) dirty workers and
 	// tasks too, but offers never change an entity's tokens, so only
 	// changelog deltas reach the indexes.
-	e.refreshIndexes(dirtyW1, dirtyT2)
+	e.refreshIndexes(sc.dirtyW1, sc.dirtyT2)
 	for _, ev := range e.cursor.Next() {
 		if e.access.Observe(ev) {
-			dirtyW1[ev.Worker] = true
-			dirtyT2[ev.Task] = true
+			sc.dirtyW1[ev.Worker] = true
+			sc.dirtyT2[ev.Task] = true
 		}
 		if ev.Type == eventlog.WorkerFlagged && !e.flagged[ev.Worker] {
 			e.flagged[ev.Worker] = true
-			dirtyW4[ev.Worker] = true
+			sc.dirtyW4[ev.Worker] = true
 		}
 		e.ax5.Observe(ev)
 	}
+	sc.w1 = sortedIDs(sc.w1, sc.dirtyW1)
+	sc.t2 = sortedIDs(sc.t2, sc.dirtyT2)
+	sc.t3 = sortedIDs(sc.t3, sc.dirtyT3)
+	sc.w4 = sortedIDs(sc.w4, sc.dirtyW4)
+	sc.s1 = idStrings(sc.s1, sc.w1)
+	sc.s2 = idStrings(sc.s2, sc.t2)
 
-	rep1 := fairness.CheckAxiom1DeltaIndexed(e.st, e.access, e.cfg, dirtyW1)
-	rep2 := fairness.CheckAxiom2DeltaIndexed(e.st, e.access, e.cfg, dirtyT2)
-	dirty1 := stringKeys(dirtyW1)
-	dirty2 := stringKeys(dirtyT2)
-	e.ax1Census.dropDirty(dirty1)
-	e.ax1Census.add(rep1.CheckedPairs)
-	e.ax2Census.dropDirty(dirty2)
-	e.ax2Census.add(rep2.CheckedPairs)
-	e.foldTasks(dirtyT3)
-	e.foldWorkers(dirtyW4)
-	var out1, out2 *fairness.Report
-	out1, e.ax1Viol = mergePairReport(e.ax1Viol, dirty1, rep1, e.ax1Census.count)
-	out2, e.ax2Viol = mergePairReport(e.ax2Viol, dirty2, rep2, e.ax2Census.count)
+	// The five axiom passes form a task graph over disjoint engine state —
+	// task t reads the shared immutable prologue products (access index,
+	// candidate indexes, flag set, dirty slices) and writes only its own
+	// axiom's verdicts — so they fan out on the bounded pool. Each task's
+	// internal fan-outs nest under the same token budget; on a saturated
+	// pool they simply run inline. All task outputs are deterministic, so
+	// the assembled report set is too.
+	var out1, out2, out5 *fairness.Report
+	par.Do(5, 0, func(t int) {
+		switch t {
+		case 0:
+			rep1 := fairness.CheckAxiom1DeltaIndexed(e.st, e.access, e.cfg, sc.w1)
+			e.ax1Census.dropDirty(sc.s1)
+			e.ax1Census.add(rep1.CheckedPairs)
+			out1, e.ax1Viol = mergePairReport(e.ax1Viol, sc.s1, rep1, e.ax1Census.count)
+		case 1:
+			rep2 := fairness.CheckAxiom2DeltaIndexed(e.st, e.access, e.cfg, sc.t2)
+			e.ax2Census.dropDirty(sc.s2)
+			e.ax2Census.add(rep2.CheckedPairs)
+			out2, e.ax2Viol = mergePairReport(e.ax2Viol, sc.s2, rep2, e.ax2Census.count)
+		case 2:
+			e.foldTasks(sc.t3)
+		case 3:
+			e.foldWorkers(sc.w4)
+		case 4:
+			out5 = e.ax5.Report()
+		}
+	})
 	return []*fairness.Report{
 		out1,
 		out2,
 		e.report3(),
 		e.report4(),
-		e.ax5.Report(),
+		out5,
 	}
 }
 
@@ -350,24 +431,38 @@ func (e *Engine) rebuild() []*fairness.Report {
 	e.buildIndexes()
 	e.primed = true
 
-	rep1 := fairness.CheckAxiom1Indexed(e.st, e.access, e.cfg)
-	e.ax1Viol = rep1.Violations
-	e.ax1Census.add(rep1.CheckedPairs)
-	rep1.CheckedPairs = nil
-	rep2 := fairness.CheckAxiom2Indexed(e.st, e.access, e.cfg)
-	e.ax2Viol = rep2.Violations
-	e.ax2Census.add(rep2.CheckedPairs)
-	rep2.CheckedPairs = nil
-	allTasks := make(map[model.TaskID]bool)
-	allWorkers := make(map[model.WorkerID]bool)
+	allTasks := make([]model.TaskID, 0, 64)
+	allWorkers := make([]model.WorkerID, 0, 64)
 	for _, t := range e.st.Tasks() {
-		allTasks[t.ID] = true
+		allTasks = append(allTasks, t.ID)
 	}
 	for _, w := range e.st.Workers() {
-		allWorkers[w.ID] = true
+		allWorkers = append(allWorkers, w.ID)
 	}
-	e.foldTasks(allTasks)
-	e.foldWorkers(allWorkers)
+	sort.Slice(allTasks, func(i, j int) bool { return allTasks[i] < allTasks[j] })
+	sort.Slice(allWorkers, func(i, j int) bool { return allWorkers[i] < allWorkers[j] })
+
+	// Same task-graph shape as the delta pass (Axiom 5 already folded its
+	// events above): four full passes over disjoint engine state.
+	var rep1, rep2 *fairness.Report
+	par.Do(4, 0, func(t int) {
+		switch t {
+		case 0:
+			rep1 = fairness.CheckAxiom1Indexed(e.st, e.access, e.cfg)
+			e.ax1Viol = rep1.Violations
+			e.ax1Census.add(rep1.CheckedPairs)
+			rep1.CheckedPairs = nil
+		case 1:
+			rep2 = fairness.CheckAxiom2Indexed(e.st, e.access, e.cfg)
+			e.ax2Viol = rep2.Violations
+			e.ax2Census.add(rep2.CheckedPairs)
+			rep2.CheckedPairs = nil
+		case 2:
+			e.foldTasks(allTasks)
+		case 3:
+			e.foldWorkers(allWorkers)
+		}
+	})
 	return []*fairness.Report{rep1, rep2, e.report3(), e.report4(), e.ax5.Report()}
 }
 
@@ -412,16 +507,17 @@ func (e *Engine) refreshIndexes(workers map[model.WorkerID]bool, tasks map[model
 }
 
 // mergePairReport folds a delta pass into the maintained sorted violation
-// slice: stored violations touching a dirty subject are dropped (the delta
-// re-examined those pairs), the pass's findings — all dirty-touching, so
-// disjoint from what is kept — are merged in by order, and the report
-// carries the census count as its full-scan-equal Checked. Both the
-// returned report and the returned slice alias the merged storage; the
-// engine never mutates it afterwards, so handing it to the caller is safe.
-func mergePairReport(prev []fairness.Violation, dirty map[string]bool, rep *fairness.Report, checked int) (*fairness.Report, []fairness.Violation) {
+// slice: stored violations touching a dirty subject (dirty is sorted
+// ascending) are dropped — the delta re-examined those pairs — the pass's
+// findings, all dirty-touching and so disjoint from what is kept, are
+// merged in by order, and the report carries the census count as its
+// full-scan-equal Checked. Both the returned report and the returned slice
+// alias the merged storage; the engine never mutates it afterwards, so
+// handing it to the caller is safe.
+func mergePairReport(prev []fairness.Violation, dirty []string, rep *fairness.Report, checked int) (*fairness.Report, []fairness.Violation) {
 	kept := make([]fairness.Violation, 0, len(prev)+len(rep.Violations))
 	for _, v := range prev {
-		if dirty[v.Subjects[0]] || dirty[v.Subjects[1]] {
+		if containsSortedStr(dirty, v.Subjects[0]) || containsSortedStr(dirty, v.Subjects[1]) {
 			continue
 		}
 		kept = append(kept, v)
@@ -453,64 +549,39 @@ func mergeViolations(a, b []fairness.Violation) []fairness.Violation {
 	return append(out, b[j:]...)
 }
 
-// stringKeys projects a dirty-id set onto the violation subjects' string
-// domain.
-func stringKeys[T ~string](m map[T]bool) map[string]bool {
-	out := make(map[string]bool, len(m))
-	for id := range m {
-		out[string(id)] = true
-	}
-	return out
-}
-
-// foldTasks replaces the stored Axiom 3 verdict of every dirty task. The
-// per-task checks are independent (disjoint contribution sets, a
-// concurrency-safe memo), so they fan out on the bounded pool; the fold
-// into engine state stays sequential in sorted order.
-func (e *Engine) foldTasks(dirty map[model.TaskID]bool) {
-	ids := make([]model.TaskID, 0, len(dirty))
-	for id := range dirty {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	reps := make([]*fairness.Report, len(ids))
-	par.For(len(ids), 0, func(k int) {
-		reps[k] = fairness.CheckAxiom3Delta(e.st, e.cfg, map[model.TaskID]bool{ids[k]: true})
-	})
-	for k, id := range ids {
-		rep := reps[k]
-		e.ax3Checked[id] = rep.Checked
-		if len(rep.Violations) > 0 {
-			e.ax3[id] = rep.Violations
+// foldTasks replaces the stored Axiom 3 verdict of every task in ids
+// (sorted ascending). The per-task checks are independent (disjoint
+// contribution sets, a concurrency-safe memo), so the batch checker fans
+// them out on the bounded pool; the fold into engine state stays sequential
+// in ids order.
+func (e *Engine) foldTasks(ids []model.TaskID) {
+	audits := fairness.CheckAxiom3Tasks(e.st, e.cfg, ids)
+	for i := range audits {
+		a := &audits[i]
+		e.ax3Checked[a.Task] = a.Checked
+		if len(a.Violations) > 0 {
+			e.ax3[a.Task] = a.Violations
 		} else {
-			delete(e.ax3, id)
+			delete(e.ax3, a.Task)
 		}
 	}
 }
 
-// foldWorkers replaces the stored Axiom 4 verdict of every dirty worker,
-// fanning the per-worker checks out like foldTasks.
-func (e *Engine) foldWorkers(dirty map[model.WorkerID]bool) {
-	ids := make([]model.WorkerID, 0, len(dirty))
-	for id := range dirty {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	reps := make([]*fairness.Report, len(ids))
-	par.For(len(ids), 0, func(k int) {
-		reps[k] = fairness.CheckAxiom4Flagged(e.st, e.flagged, map[model.WorkerID]bool{ids[k]: true})
-	})
-	for k, id := range ids {
-		rep := reps[k]
-		if rep.Checked > 0 {
-			e.ax4Eligible[id] = true
+// foldWorkers replaces the stored Axiom 4 verdict of every worker in ids
+// (sorted ascending), fanning the per-worker checks out like foldTasks.
+func (e *Engine) foldWorkers(ids []model.WorkerID) {
+	audits := fairness.CheckAxiom4Workers(e.st, e.flagged, ids)
+	for i := range audits {
+		a := &audits[i]
+		if a.Checked > 0 {
+			e.ax4Eligible[a.Worker] = true
 		} else {
-			delete(e.ax4Eligible, id)
+			delete(e.ax4Eligible, a.Worker)
 		}
-		if len(rep.Violations) > 0 {
-			e.ax4[id] = rep.Violations[0]
+		if len(a.Violations) > 0 {
+			e.ax4[a.Worker] = a.Violations[0]
 		} else {
-			delete(e.ax4, id)
+			delete(e.ax4, a.Worker)
 		}
 	}
 }

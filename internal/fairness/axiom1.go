@@ -2,10 +2,10 @@ package fairness
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/eventlog"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/store"
 )
 
@@ -41,13 +41,16 @@ func CheckAxiom1(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 // violation set — pairs of two clean workers cannot have changed status.
 // Report.Checked counts only the pairs this delta pass examined.
 func CheckAxiom1Delta(st *store.Store, log *eventlog.Log, cfg Config, dirty map[model.WorkerID]bool) *Report {
-	return checkAxiom1(st, AccessIndexFromLog(log), cfg, dirty, false)
+	return checkAxiom1(st, AccessIndexFromLog(log), cfg, sortedIDList(dirty), false)
 }
 
 // CheckAxiom1DeltaIndexed is CheckAxiom1Delta over a caller-maintained
 // AccessIndex, so long-lived auditors (internal/audit) never replay the
-// whole event log per pass.
-func CheckAxiom1DeltaIndexed(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.WorkerID]bool) *Report {
+// whole event log per pass. dirty must be sorted ascending and
+// deduplicated — the slice form lets per-pass auditors reuse one scratch
+// buffer instead of allocating id sets, and gives the checker O(log n)
+// membership via binary search.
+func CheckAxiom1DeltaIndexed(st *store.Store, ix *AccessIndex, cfg Config, dirty []model.WorkerID) *Report {
 	return checkAxiom1(st, ix, cfg, dirty, false)
 }
 
@@ -58,8 +61,11 @@ func CheckAxiom1Indexed(st *store.Store, ix *AccessIndex, cfg Config) *Report {
 }
 
 // checkAxiom1 is the shared core. full selects the complete pair scan;
-// otherwise only pairs touching dirty are examined.
-func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.WorkerID]bool, full bool) *Report {
+// otherwise only pairs touching dirty (sorted ascending, deduplicated) are
+// examined. Every path shards the pair space by outer index into disjoint
+// pairSlots and folds them in order, so parallel runs are byte-identical
+// to serial ones (see parallel.go).
+func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty []model.WorkerID, full bool) *Report {
 	rep := &Report{Axiom: Axiom1WorkerAssignment}
 	skillThr := orDefault(cfg.SkillThreshold, 0.9)
 	attrThr := orDefault(cfg.AttrThreshold, 0.9)
@@ -67,12 +73,13 @@ func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.W
 	measure := cfg.skillMeasure()
 	policy := cfg.attrPolicy()
 
-	// check examines one pair; callers pass a.ID < b.ID so memo keys and
-	// violation subjects are canonical.
-	check := func(a, b *model.Worker) {
-		rep.Checked++
+	// check examines one pair into the calling shard's slot; callers pass
+	// a.ID < b.ID so memo keys and violation subjects are canonical. The
+	// memo (when present) is concurrency-safe by contract.
+	check := func(sl *pairSlot, a, b *model.Worker) {
+		sl.checked++
 		if cfg.RecordCheckedPairs {
-			rep.CheckedPairs = append(rep.CheckedPairs, [2]string{string(a.ID), string(b.ID)})
+			sl.pairs = append(sl.pairs, [2]string{string(a.ID), string(b.ID)})
 		}
 		var sc WorkerPairScores
 		if cfg.Memo != nil {
@@ -102,7 +109,7 @@ func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.W
 		if overlap >= accessThr {
 			return
 		}
-		rep.Violations = append(rep.Violations, Violation{
+		sl.viols = append(sl.viols, Violation{
 			Axiom:    Axiom1WorkerAssignment,
 			Subjects: []string{string(a.ID), string(b.ID)},
 			Detail: fmt.Sprintf("similar workers saw different tasks: offer overlap %.2f < %.2f (|offers| %d vs %d)",
@@ -114,80 +121,108 @@ func checkAxiom1(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.W
 	switch {
 	case full || cfg.Exhaustive:
 		// Full and exhaustive passes touch (nearly) every worker, so one
-		// bulk snapshot is the cheap shape.
+		// bulk snapshot is the cheap shape. Shard by outer worker: slot i
+		// owns every pair whose smaller endpoint is workers[i].
 		workers := st.Workers()
-		byID := make(map[model.WorkerID]*model.Worker, len(workers))
-		for _, w := range workers {
-			byID[w.ID] = w
-		}
+		slots := make([]pairSlot, len(workers))
 		switch {
-		case full && cfg.Exhaustive:
-			for i := 0; i < len(workers); i++ {
+		case cfg.Exhaustive && full:
+			par.For(len(workers), 0, func(i int) {
+				sl := &slots[i]
 				for j := i + 1; j < len(workers); j++ {
-					check(workers[i], workers[j])
+					check(sl, workers[i], workers[j])
 				}
-			}
-		case full:
-			cfg.provider(st).WorkerPairs(func(ai, bi model.WorkerID) {
-				a, b := byID[ai], byID[bi]
-				if a == nil || b == nil {
-					// The index saw a worker the snapshot lacks (audit racing
-					// mutation); the insert is still pending for the next pass.
-					return
-				}
-				check(a, b)
 			})
-		default:
-			for i := 0; i < len(workers); i++ {
+		case cfg.Exhaustive:
+			par.For(len(workers), 0, func(i int) {
+				sl := &slots[i]
+				iDirty := containsSorted(dirty, workers[i].ID)
 				for j := i + 1; j < len(workers); j++ {
-					if dirty[workers[i].ID] || dirty[workers[j].ID] {
-						check(workers[i], workers[j])
+					if iDirty || containsSorted(dirty, workers[j].ID) {
+						check(sl, workers[i], workers[j])
 					}
 				}
+			})
+		default:
+			byID := make(map[model.WorkerID]*model.Worker, len(workers))
+			for _, w := range workers {
+				byID[w.ID] = w
 			}
+			prov := cfg.provider(st)
+			// Pairs and Partners describe the same pair set, so owning each
+			// pair at its smaller endpoint enumerates every index pair
+			// exactly once — but sharded, where the Pairs stream is not.
+			par.For(len(workers), 0, func(i int) {
+				sl := &slots[i]
+				a := workers[i]
+				prov.WorkerPartners(a.ID, func(pid model.WorkerID) {
+					if pid <= a.ID {
+						return // the pair's smaller endpoint owns it
+					}
+					b := byID[pid]
+					if b == nil {
+						// The index saw a worker the snapshot lacks (audit
+						// racing mutation); the insert is still pending for
+						// the next pass.
+						return
+					}
+					check(sl, a, b)
+				})
+			})
 		}
+		mergeSlots(rep, slots)
 	default:
 		// Delta passes touch only dirty workers and their candidate
-		// partners, so entities are fetched (and cloned) per id on first
-		// use — a bulk snapshot here would cost O(n) per pass and dominate
-		// small deltas at large populations.
-		known := make(map[model.WorkerID]*model.Worker, 2*len(dirty))
-		lookup := func(id model.WorkerID) *model.Worker {
-			if w, ok := known[id]; ok {
-				return w
-			}
-			w, err := st.Worker(id)
-			if err != nil {
-				w = nil // deleted, or indexed ahead of this pass
-			}
-			known[id] = w
-			return w
-		}
-		dirtyIDs := make([]model.WorkerID, 0, len(dirty))
-		for id := range dirty {
-			if lookup(id) != nil {
-				dirtyIDs = append(dirtyIDs, id)
-			}
-		}
-		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
+		// partners — a bulk snapshot here would cost O(n) per pass and
+		// dominate small deltas at large populations. Three phases, each
+		// sharded with disjoint writes: enumerate candidate partners per
+		// dirty id, resolve the union of needed entities once (fetches
+		// clone, so deduplication matters), then check each dirty id's
+		// pairs into its own slot.
 		prov := cfg.provider(st)
-		for _, did := range dirtyIDs {
-			d := lookup(did)
-			prov.WorkerPartners(did, func(pid model.WorkerID) {
-				p := lookup(pid)
+		ds := workerDeltaPool.Get().(*deltaScratch[model.WorkerID, model.Worker])
+		defer workerDeltaPool.Put(ds)
+		ds.reset(len(dirty))
+		par.For(len(dirty), 0, func(k int) {
+			prov.WorkerPartners(dirty[k], func(pid model.WorkerID) {
+				ds.partners[k] = append(ds.partners[k], pid)
+			})
+		})
+		for _, id := range dirty {
+			ds.need[id] = true
+		}
+		for _, ps := range ds.partners {
+			for _, pid := range ps {
+				ds.need[pid] = true
+			}
+		}
+		table := ds.fetch(st.Worker)
+		if cfg.RecordCheckedPairs {
+			ds.carvePairs()
+		}
+		par.For(len(dirty), 0, func(k int) {
+			did := dirty[k]
+			d := table[did]
+			if d == nil {
+				return // deleted, or indexed ahead of this pass
+			}
+			sl := &ds.slots[k]
+			for _, pid := range ds.partners[k] {
+				p := table[pid]
 				if p == nil {
-					return
+					continue
 				}
-				if dirty[pid] && pid < did {
-					return // the partner's own delta pass owns this pair
+				if pid < did && containsSorted(dirty, pid) {
+					continue // the partner's own shard owns this pair
 				}
 				a, b := d, p
 				if b.ID < a.ID {
 					a, b = b, a
 				}
-				check(a, b)
-			})
-		}
+				check(sl, a, b)
+			}
+		})
+		mergeSlots(rep, ds.slots)
 	}
 	sortViolations(rep.Violations)
 	return rep

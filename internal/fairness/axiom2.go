@@ -3,10 +3,10 @@ package fairness
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/eventlog"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/store"
 )
 
@@ -31,12 +31,13 @@ func CheckAxiom2(st *store.Store, log *eventlog.Log, cfg Config) *Report {
 // were newly posted since the last audit. Same predicates as CheckAxiom2;
 // Report.Checked counts only the pairs this delta pass examined.
 func CheckAxiom2Delta(st *store.Store, log *eventlog.Log, cfg Config, dirty map[model.TaskID]bool) *Report {
-	return checkAxiom2(st, AccessIndexFromLog(log), cfg, dirty, false)
+	return checkAxiom2(st, AccessIndexFromLog(log), cfg, sortedIDList(dirty), false)
 }
 
 // CheckAxiom2DeltaIndexed is CheckAxiom2Delta over a caller-maintained
-// AccessIndex.
-func CheckAxiom2DeltaIndexed(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.TaskID]bool) *Report {
+// AccessIndex. dirty must be sorted ascending and deduplicated (see
+// CheckAxiom1DeltaIndexed).
+func CheckAxiom2DeltaIndexed(st *store.Store, ix *AccessIndex, cfg Config, dirty []model.TaskID) *Report {
 	return checkAxiom2(st, ix, cfg, dirty, false)
 }
 
@@ -46,19 +47,23 @@ func CheckAxiom2Indexed(st *store.Store, ix *AccessIndex, cfg Config) *Report {
 	return checkAxiom2(st, ix, cfg, nil, true)
 }
 
-func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.TaskID]bool, full bool) *Report {
+// checkAxiom2 is the shared core, sharded exactly like checkAxiom1: every
+// path writes into disjoint per-index pairSlots merged in order, so
+// parallel runs stay byte-identical to serial ones. dirty must be sorted
+// ascending and deduplicated.
+func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty []model.TaskID, full bool) *Report {
 	rep := &Report{Axiom: Axiom2RequesterAssignment}
 	skillThr := orDefault(cfg.SkillThreshold, 0.9)
 	rewardTol := orDefault(cfg.RewardTolerance, 0.1)
 	accessThr := orDefault(cfg.AccessThreshold, 1.0)
 	measure := cfg.skillMeasure()
 
-	// check examines one pair; callers pass a.ID < b.ID and distinct
-	// requesters.
-	check := func(a, b *model.Task) {
-		rep.Checked++
+	// check examines one pair into the calling shard's slot; callers pass
+	// a.ID < b.ID and distinct requesters.
+	check := func(sl *pairSlot, a, b *model.Task) {
+		sl.checked++
 		if cfg.RecordCheckedPairs {
-			rep.CheckedPairs = append(rep.CheckedPairs, [2]string{string(a.ID), string(b.ID)})
+			sl.pairs = append(sl.pairs, [2]string{string(a.ID), string(b.ID)})
 		}
 		var skillSim float64
 		if cfg.Memo != nil {
@@ -78,7 +83,7 @@ func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.T
 		if overlap >= accessThr {
 			return
 		}
-		rep.Violations = append(rep.Violations, Violation{
+		sl.viols = append(sl.viols, Violation{
 			Axiom:    Axiom2RequesterAssignment,
 			Subjects: []string{string(a.ID), string(b.ID)},
 			Detail: fmt.Sprintf("comparable tasks (rewards %.2f vs %.2f) reached different audiences: overlap %.2f < %.2f",
@@ -90,94 +95,116 @@ func checkAxiom2(st *store.Store, ix *AccessIndex, cfg Config, dirty map[model.T
 	switch {
 	case full || cfg.Exhaustive:
 		// Full and exhaustive passes touch (nearly) every task, so one bulk
-		// snapshot is the cheap shape.
+		// snapshot is the cheap shape. Shard by outer task.
 		tasks := st.Tasks()
-		byID := make(map[model.TaskID]*model.Task, len(tasks))
-		for _, t := range tasks {
-			byID[t.ID] = t
-		}
+		slots := make([]pairSlot, len(tasks))
 		switch {
-		case full && cfg.Exhaustive:
-			for i := 0; i < len(tasks); i++ {
+		case cfg.Exhaustive && full:
+			par.For(len(tasks), 0, func(i int) {
+				sl := &slots[i]
 				for j := i + 1; j < len(tasks); j++ {
 					if tasks[i].Requester == tasks[j].Requester {
 						continue
 					}
-					check(tasks[i], tasks[j])
+					check(sl, tasks[i], tasks[j])
 				}
-			}
-		case full:
-			// The index knows nothing of requesters — same-requester pairs
-			// are filtered here, as the axiom quantifies over distinct
-			// requesters.
-			cfg.provider(st).TaskPairs(func(ai, bi model.TaskID) {
-				a, b := byID[ai], byID[bi]
-				if a == nil || b == nil {
-					// Posted after the task snapshot was taken (audit racing
-					// mutation); the insert is still pending for the next
-					// pass.
-					return
+			})
+		case cfg.Exhaustive:
+			par.For(len(tasks), 0, func(i int) {
+				sl := &slots[i]
+				iDirty := containsSorted(dirty, tasks[i].ID)
+				for j := i + 1; j < len(tasks); j++ {
+					if tasks[i].Requester == tasks[j].Requester {
+						continue
+					}
+					if iDirty || containsSorted(dirty, tasks[j].ID) {
+						check(sl, tasks[i], tasks[j])
+					}
 				}
-				if a.Requester == b.Requester {
-					return
-				}
-				check(a, b)
 			})
 		default:
-			for i := 0; i < len(tasks); i++ {
-				for j := i + 1; j < len(tasks); j++ {
-					if tasks[i].Requester == tasks[j].Requester {
-						continue
-					}
-					if dirty[tasks[i].ID] || dirty[tasks[j].ID] {
-						check(tasks[i], tasks[j])
-					}
-				}
+			byID := make(map[model.TaskID]*model.Task, len(tasks))
+			for _, t := range tasks {
+				byID[t.ID] = t
 			}
+			prov := cfg.provider(st)
+			// The index knows nothing of requesters — same-requester pairs
+			// are filtered here, as the axiom quantifies over distinct
+			// requesters. Owning each pair at its smaller endpoint
+			// enumerates the index pair set exactly once, sharded.
+			par.For(len(tasks), 0, func(i int) {
+				sl := &slots[i]
+				a := tasks[i]
+				prov.TaskPartners(a.ID, func(pid model.TaskID) {
+					if pid <= a.ID {
+						return // the pair's smaller endpoint owns it
+					}
+					b := byID[pid]
+					if b == nil {
+						// Posted after the task snapshot was taken (audit
+						// racing mutation); the insert is still pending for
+						// the next pass.
+						return
+					}
+					if a.Requester == b.Requester {
+						return
+					}
+					check(sl, a, b)
+				})
+			})
 		}
+		mergeSlots(rep, slots)
 	default:
 		// Delta passes touch only dirty tasks and their candidate partners;
-		// fetch per id on first use rather than snapshotting all n tasks.
-		known := make(map[model.TaskID]*model.Task, 2*len(dirty))
-		lookup := func(id model.TaskID) *model.Task {
-			if t, ok := known[id]; ok {
-				return t
-			}
-			t, err := st.Task(id)
-			if err != nil {
-				t = nil // deleted, or indexed ahead of this pass
-			}
-			known[id] = t
-			return t
-		}
-		dirtyIDs := make([]model.TaskID, 0, len(dirty))
-		for id := range dirty {
-			if lookup(id) != nil {
-				dirtyIDs = append(dirtyIDs, id)
-			}
-		}
-		sort.Slice(dirtyIDs, func(i, j int) bool { return dirtyIDs[i] < dirtyIDs[j] })
+		// resolve the union of needed tasks once rather than snapshotting
+		// all n. Same three sharded phases as checkAxiom1.
 		prov := cfg.provider(st)
-		for _, did := range dirtyIDs {
-			d := lookup(did)
-			prov.TaskPartners(did, func(pid model.TaskID) {
-				p := lookup(pid)
+		ds := taskDeltaPool.Get().(*deltaScratch[model.TaskID, model.Task])
+		defer taskDeltaPool.Put(ds)
+		ds.reset(len(dirty))
+		par.For(len(dirty), 0, func(k int) {
+			prov.TaskPartners(dirty[k], func(pid model.TaskID) {
+				ds.partners[k] = append(ds.partners[k], pid)
+			})
+		})
+		for _, id := range dirty {
+			ds.need[id] = true
+		}
+		for _, ps := range ds.partners {
+			for _, pid := range ps {
+				ds.need[pid] = true
+			}
+		}
+		table := ds.fetch(st.Task)
+		if cfg.RecordCheckedPairs {
+			ds.carvePairs()
+		}
+		par.For(len(dirty), 0, func(k int) {
+			did := dirty[k]
+			d := table[did]
+			if d == nil {
+				return // deleted, or indexed ahead of this pass
+			}
+			sl := &ds.slots[k]
+			for _, pid := range ds.partners[k] {
+				p := table[pid]
 				if p == nil {
-					return
+					continue
 				}
 				if p.Requester == d.Requester {
-					return
+					continue
 				}
-				if dirty[pid] && pid < did {
-					return // the partner's own delta pass owns this pair
+				if pid < did && containsSorted(dirty, pid) {
+					continue // the partner's own shard owns this pair
 				}
 				a, b := d, p
 				if b.ID < a.ID {
 					a, b = b, a
 				}
-				check(a, b)
-			})
-		}
+				check(sl, a, b)
+			}
+		})
+		mergeSlots(rep, ds.slots)
 	}
 	sortViolations(rep.Violations)
 	return rep

@@ -3,7 +3,6 @@ package fairness
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/model"
 	"repro/internal/par"
@@ -22,15 +21,12 @@ import (
 // paper); pairs at/above cfg.ContributionThreshold must be paid within
 // cfg.PayTolerance (relative) of each other.
 func CheckAxiom3(st *store.Store, cfg Config) *Report {
-	rep := &Report{Axiom: Axiom3Compensation}
-	prov := cfg.provider(st)
-	for _, t := range st.Tasks() {
-		checked, vs := checkAxiom3Task(st, cfg, prov, t.ID)
-		rep.Checked += checked
-		rep.Violations = append(rep.Violations, vs...)
+	tasks := st.Tasks()
+	ids := make([]model.TaskID, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
 	}
-	sortViolations(rep.Violations)
-	return rep
+	return foldTaskAudits(CheckAxiom3Tasks(st, cfg, ids))
 }
 
 // CheckAxiom3Delta audits only the tasks in dirty — those whose
@@ -40,17 +36,39 @@ func CheckAxiom3(st *store.Store, cfg Config) *Report {
 // move between tasks, and a task with no changed contribution cannot change
 // status.
 func CheckAxiom3Delta(st *store.Store, cfg Config, dirty map[model.TaskID]bool) *Report {
-	rep := &Report{Axiom: Axiom3Compensation}
-	ids := make([]model.TaskID, 0, len(dirty))
-	for id := range dirty {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return foldTaskAudits(CheckAxiom3Tasks(st, cfg, sortedIDList(dirty)))
+}
+
+// TaskAudit is one task's Axiom 3 verdict, as produced by CheckAxiom3Tasks:
+// the pair count the task contributed and its violations in checker order.
+type TaskAudit struct {
+	Task       model.TaskID
+	Checked    int
+	Violations []Violation
+}
+
+// CheckAxiom3Tasks audits each listed task independently, fanning the
+// per-task checks out on the bounded pool into disjoint result slots —
+// the batch form incremental auditors fold from, replacing one
+// map-allocating delta call per dirty task. Slot k is always ids[k]'s
+// verdict, so output is byte-identical to a serial loop regardless of
+// scheduling; pass ids sorted for deterministic concatenation order.
+func CheckAxiom3Tasks(st *store.Store, cfg Config, ids []model.TaskID) []TaskAudit {
 	prov := cfg.provider(st)
-	for _, id := range ids {
-		checked, vs := checkAxiom3Task(st, cfg, prov, id)
-		rep.Checked += checked
-		rep.Violations = append(rep.Violations, vs...)
+	out := make([]TaskAudit, len(ids))
+	par.For(len(ids), 0, func(k int) {
+		checked, vs := checkAxiom3Task(st, cfg, prov, ids[k])
+		out[k] = TaskAudit{Task: ids[k], Checked: checked, Violations: vs}
+	})
+	return out
+}
+
+// foldTaskAudits concatenates per-task verdicts into one report.
+func foldTaskAudits(audits []TaskAudit) *Report {
+	rep := &Report{Axiom: Axiom3Compensation}
+	for i := range audits {
+		rep.Checked += audits[i].Checked
+		rep.Violations = append(rep.Violations, audits[i].Violations...)
 	}
 	sortViolations(rep.Violations)
 	return rep
@@ -116,12 +134,16 @@ func checkAxiom3Task(st *store.Store, cfg Config, prov CandidateProvider, tid mo
 	if !cfg.Exhaustive {
 		ks, pruned = prov.ContribPairs(tid, contribs)
 	}
+	buf := getSims()
+	defer putSims(buf)
 	if !pruned {
 		// Score every pair up front on the parallel kernel — profile
 		// construction dominates audit cost on text-heavy tasks — then walk
 		// the scores in the kernel's serial pair order so the report is
-		// identical to the old nested loop.
-		sims := similarity.ScorePairs(len(contribs), score)
+		// identical to the old nested loop. The score buffer is pooled:
+		// delta audits run this per dirty task per pass.
+		sims := similarity.ScorePairsInto((*buf)[:0], len(contribs), score)
+		*buf = sims
 		for k := range sims {
 			emit(k, sims[k])
 		}
@@ -129,7 +151,13 @@ func checkAxiom3Task(st *store.Store, cfg Config, prov CandidateProvider, tid mo
 	}
 	// Pruned path: score only the candidate pairs, still on the parallel
 	// pool, then walk them in ascending pair order.
-	sims := make([]float64, len(ks))
+	sims := (*buf)[:0]
+	if cap(sims) < len(ks) {
+		sims = make([]float64, len(ks))
+	} else {
+		sims = sims[:len(ks)]
+	}
+	*buf = sims
 	par.For(len(ks), 0, func(x int) {
 		i, j := similarity.PairAt(len(contribs), ks[x])
 		sims[x] = score(i, j)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/eventlog"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/store"
 )
 
@@ -51,44 +52,78 @@ func FlaggedFromLog(log *eventlog.Log) map[model.WorkerID]bool {
 }
 
 func checkAxiom4(st *store.Store, flagged map[model.WorkerID]bool, dirty map[model.WorkerID]bool, full bool) *Report {
-	rep := &Report{Axiom: Axiom4MaliciousDetection}
-	const spamLine = 0.5
-	judge := func(w *model.Worker) {
-		v, ok := w.Computed[model.AttrAcceptanceRatio]
-		if !ok || v.Kind != model.AttrNum {
-			return
-		}
-		// Only workers with some history are judged; a ratio on zero
-		// submissions is meaningless and is stored as absent by the sim.
-		rep.Checked++
-		if v.Num >= spamLine || flagged[w.ID] {
-			return
-		}
-		rep.Violations = append(rep.Violations, Violation{
-			Axiom:    Axiom4MaliciousDetection,
-			Subjects: []string{string(w.ID)},
-			Detail: fmt.Sprintf("acceptance ratio %.2f below %.2f but the platform never flagged the worker",
-				v.Num, spamLine),
-			Severity: spamLine - v.Num,
-		})
-	}
+	var ids []model.WorkerID
 	if full {
-		for _, w := range st.Workers() {
-			judge(w)
+		ws := st.Workers()
+		ids = make([]model.WorkerID, len(ws))
+		for i, w := range ws {
+			ids[i] = w.ID
 		}
 	} else {
-		ids := make([]model.WorkerID, 0, len(dirty))
-		for id := range dirty {
-			ids = append(ids, id)
+		ids = sortedIDList(dirty)
+	}
+	return foldWorkerAudits(CheckAxiom4Workers(st, flagged, ids))
+}
+
+// WorkerAudit is one worker's Axiom 4 verdict, as produced by
+// CheckAxiom4Workers: whether the worker was judged at all (Checked) and the
+// violation, if any.
+type WorkerAudit struct {
+	Worker     model.WorkerID
+	Checked    int
+	Violations []Violation
+}
+
+// CheckAxiom4Workers judges each listed worker independently, fanning the
+// store fetches and judgements out on the bounded pool into disjoint result
+// slots — the batch form incremental auditors fold from, replacing one
+// map-allocating delta call per dirty worker. Slot k is always ids[k]'s
+// verdict, so output order is fixed by ids regardless of scheduling; flagged
+// is only read. Unknown ids yield empty audits.
+func CheckAxiom4Workers(st *store.Store, flagged map[model.WorkerID]bool, ids []model.WorkerID) []WorkerAudit {
+	out := make([]WorkerAudit, len(ids))
+	par.For(len(ids), 0, func(k int) {
+		out[k].Worker = ids[k]
+		w, err := st.Worker(ids[k])
+		if err != nil {
+			return
 		}
-		sortWorkerIDs(ids)
-		for _, id := range ids {
-			w, err := st.Worker(id)
-			if err != nil {
-				continue
-			}
-			judge(w)
+		checked, v := judgeAxiom4(w, flagged)
+		out[k].Checked = checked
+		if v != nil {
+			out[k].Violations = append(out[k].Violations, *v)
 		}
+	})
+	return out
+}
+
+// judgeAxiom4 applies the spam-line judgement to one worker. checked is 0
+// when the worker has no acceptance history (the sim stores a ratio on zero
+// submissions as absent, and a ratio on no history is meaningless).
+func judgeAxiom4(w *model.Worker, flagged map[model.WorkerID]bool) (checked int, viol *Violation) {
+	const spamLine = 0.5
+	v, ok := w.Computed[model.AttrAcceptanceRatio]
+	if !ok || v.Kind != model.AttrNum {
+		return 0, nil
+	}
+	if v.Num >= spamLine || flagged[w.ID] {
+		return 1, nil
+	}
+	return 1, &Violation{
+		Axiom:    Axiom4MaliciousDetection,
+		Subjects: []string{string(w.ID)},
+		Detail: fmt.Sprintf("acceptance ratio %.2f below %.2f but the platform never flagged the worker",
+			v.Num, spamLine),
+		Severity: spamLine - v.Num,
+	}
+}
+
+// foldWorkerAudits concatenates per-worker verdicts into one report.
+func foldWorkerAudits(audits []WorkerAudit) *Report {
+	rep := &Report{Axiom: Axiom4MaliciousDetection}
+	for i := range audits {
+		rep.Checked += audits[i].Checked
+		rep.Violations = append(rep.Violations, audits[i].Violations...)
 	}
 	sortViolations(rep.Violations)
 	return rep

@@ -3,6 +3,7 @@ package fairness
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/par"
@@ -263,13 +264,47 @@ func PopulateIndex(ix similarity.CandidateIndex, n int, id func(int) string, tok
 	}
 }
 
+// contribIxPool recycles transient contribution LSH indexes, one pool per
+// parameter set (parameters are derived from the config, so a process
+// typically cycles through one or two). Recycled indexes keep their bucket
+// maps and signature freelists warm, so the per-task rebuild in
+// ContribCandidates allocates almost nothing in steady state. sync.Pool is
+// concurrency-safe, which matters now that CheckAxiom3Tasks fans tasks out.
+var contribIxPool sync.Map // similarity.LSHParams → *sync.Pool of *LSHIndex
+
+func getContribIndex(p similarity.LSHParams) *similarity.LSHIndex {
+	v, ok := contribIxPool.Load(p)
+	if !ok {
+		v, _ = contribIxPool.LoadOrStore(p, &sync.Pool{})
+	}
+	if ix, ok := v.(*sync.Pool).Get().(*similarity.LSHIndex); ok {
+		return ix
+	}
+	return similarity.NewLSHIndex(p)
+}
+
+func putContribIndex(p similarity.LSHParams, ix *similarity.LSHIndex) {
+	ix.Reset()
+	if v, ok := contribIxPool.Load(p); ok {
+		v.(*sync.Pool).Put(ix)
+	}
+}
+
+// posPool recycles the contribution-ID position maps ContribCandidates
+// builds per task.
+var posPool = sync.Pool{New: func() any { return make(map[string]int, 32) }}
+
 // ContribCandidates prunes one task's contribution pairs: it builds a
 // transient LSH index over the contributions and returns the candidate
 // pairs as ascending linear pair indices. For the exact backend it reports
 // pruned=false — Axiom 3 keeps its all-pairs scoring kernel. The index is
 // transient by design: contributions are only ever compared within one
 // task, and a dirty task is always re-audited against its current
-// contribution set, so there is no cross-pass state to maintain.
+// contribution set, so there is no cross-pass state to maintain — but its
+// storage is pooled, and upserting serially into a recycled index reuses
+// the freelisted signature buffers (tasks themselves are already fanned out
+// by CheckAxiom3Tasks, so intra-task parallel hashing would only fight the
+// outer shards for the same pool).
 func (p IndexPlan) ContribCandidates(contribs []*model.Contribution) (ks []int, pruned bool) {
 	if p.Kind != CandidateLSH {
 		return nil, false
@@ -278,10 +313,16 @@ func (p IndexPlan) ContribCandidates(contribs []*model.Contribution) (ks []int, 
 	if n < 2 {
 		return []int{}, true
 	}
-	ix := similarity.NewLSHIndex(p.Contrib)
-	PopulateIndex(ix, n, func(i int) string { return string(contribs[i].ID) },
-		func(i int) []uint64 { return p.ContribTokens(contribs[i]) })
-	pos := make(map[string]int, n)
+	ix := getContribIndex(p.Contrib)
+	defer putContribIndex(p.Contrib, ix)
+	for i := 0; i < n; i++ {
+		ix.Upsert(string(contribs[i].ID), p.ContribTokens(contribs[i]))
+	}
+	pos := posPool.Get().(map[string]int)
+	defer func() {
+		clear(pos)
+		posPool.Put(pos)
+	}()
 	for i, c := range contribs {
 		pos[string(c.ID)] = i
 	}
@@ -315,33 +356,37 @@ type snapshotSource interface {
 
 // snapshotProvider builds indexes on demand from the current store
 // snapshot — the candidate source for one-shot checker calls (CheckAll and
-// friends). Each index is built at most once per pass.
+// friends). Each index is built at most once per pass; the once-guards make
+// the lazy builds safe under the checkers' sharded Partners calls, which
+// may race to trigger the first build.
 type snapshotProvider struct {
-	plan     IndexPlan
-	src      snapshotSource
-	workerIx similarity.CandidateIndex
-	taskIx   similarity.CandidateIndex
+	plan       IndexPlan
+	src        snapshotSource
+	workerOnce sync.Once
+	taskOnce   sync.Once
+	workerIx   similarity.CandidateIndex
+	taskIx     similarity.CandidateIndex
 }
 
 func (sp *snapshotProvider) workers() similarity.CandidateIndex {
-	if sp.workerIx == nil {
+	sp.workerOnce.Do(func() {
 		ws := sp.src.Workers()
 		ix := sp.plan.NewWorkerIndex()
 		PopulateIndex(ix, len(ws), func(i int) string { return string(ws[i].ID) },
 			func(i int) []uint64 { return sp.plan.WorkerTokens(ws[i]) })
 		sp.workerIx = ix
-	}
+	})
 	return sp.workerIx
 }
 
 func (sp *snapshotProvider) tasks() similarity.CandidateIndex {
-	if sp.taskIx == nil {
+	sp.taskOnce.Do(func() {
 		ts := sp.src.Tasks()
 		ix := sp.plan.NewTaskIndex()
 		PopulateIndex(ix, len(ts), func(i int) string { return string(ts[i].ID) },
 			func(i int) []uint64 { return sp.plan.TaskTokens(ts[i]) })
 		sp.taskIx = ix
-	}
+	})
 	return sp.taskIx
 }
 

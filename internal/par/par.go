@@ -1,7 +1,8 @@
 // Package par provides the bounded parallel-for primitive behind every
 // fan-out in this repository: similarity pair scoring, detector
-// answer-matrix scoring, and the sweep engine's job pool all shard their
-// index space over a GOMAXPROCS-sized goroutine pool through For.
+// answer-matrix scoring, the audit engine's axiom task graph, and the
+// sweep engine's job pool all shard their index space over a bounded
+// goroutine pool through For and Do.
 //
 // Determinism is preserved by construction: workers claim indices from a
 // shared atomic counter but write results only to caller-owned, disjoint
@@ -9,12 +10,12 @@
 // byte-identical to the serial one regardless of scheduling order.
 //
 // Nested fan-outs compose through a global token budget. The process owns
-// GOMAXPROCS-1 extra-worker tokens; every For acquires tokens (without
+// Workers()-1 extra-worker tokens; every For acquires tokens (without
 // blocking) for each worker beyond the caller's own goroutine and releases
 // them as those workers drain. When the sweep engine's outer job pool
 // holds the whole budget, the inner kernels it calls find no tokens and
 // run inline on their job's goroutine — total runnable goroutines stay at
-// GOMAXPROCS instead of multiplying per nesting level.
+// the budget instead of multiplying per nesting level.
 package par
 
 import (
@@ -27,14 +28,48 @@ import (
 // goroutines for a handful of cheap iterations costs more than it saves.
 const serialThreshold = 16
 
-// extraTokens budgets the extra worker goroutines the whole process may
-// have in flight: GOMAXPROCS minus the caller's own goroutine.
-var extraTokens = make(chan struct{}, Workers()-1)
+// budget is one process-wide parallelism regime: a worker ceiling plus the
+// token channel that enforces it. Budgets are immutable once published;
+// SetMaxWorkers swaps in a fresh one. In-flight fan-outs release tokens to
+// the channel they acquired from (captured per Do call), so a swap never
+// leaks or double-frees a token.
+type budget struct {
+	workers int
+	tokens  chan struct{}
+}
 
-// Workers returns the maximum pool size used by For: GOMAXPROCS, the
-// number of OS threads the runtime will actually schedule.
+var curBudget atomic.Pointer[budget]
+
+func init() {
+	curBudget.Store(newBudget(runtime.GOMAXPROCS(0)))
+}
+
+func newBudget(workers int) *budget {
+	if workers < 1 {
+		workers = 1
+	}
+	return &budget{workers: workers, tokens: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the current pool ceiling used by For and Do: GOMAXPROCS
+// unless SetMaxWorkers overrode it.
 func Workers() int {
-	return runtime.GOMAXPROCS(0)
+	return curBudget.Load().workers
+}
+
+// SetMaxWorkers replaces the process-wide parallelism budget with n total
+// workers (the caller's goroutine plus n-1 pool workers); n <= 0 restores
+// the GOMAXPROCS default. It returns the previous ceiling. The new budget
+// applies to For/Do calls that start after it is published; fan-outs
+// already in flight finish under the budget they started with. Intended
+// for benchmarks and scaling sweeps, not for concurrent tuning: calls
+// racing active fan-outs briefly let old-budget and new-budget workers
+// coexist.
+func SetMaxWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return curBudget.Swap(newBudget(n)).workers
 }
 
 // For runs fn(i) for every i in [0, n) on the caller's goroutine plus up
@@ -58,13 +93,15 @@ func For(n, workers int, fn func(i int)) {
 
 // Do is For without the small-n inline shortcut: it parallelises any n > 1
 // (budget permitting). Use it when each iteration is expensive enough —
-// a sweep job, a whole experiment — that pool overhead never dominates.
+// a sweep job, an axiom pass, a whole experiment — that pool overhead
+// never dominates.
 func Do(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = Workers()
+	b := curBudget.Load()
+	if workers <= 0 || workers > b.workers {
+		workers = b.workers
 	}
 	if workers > n {
 		workers = n
@@ -73,7 +110,7 @@ func Do(n, workers int, fn func(i int)) {
 acquire:
 	for extra < workers-1 {
 		select {
-		case extraTokens <- struct{}{}:
+		case b.tokens <- struct{}{}:
 			extra++
 		default:
 			break acquire // budget exhausted
@@ -100,7 +137,7 @@ acquire:
 	for w := 0; w < extra; w++ {
 		go func() {
 			defer wg.Done()
-			defer func() { <-extraTokens }()
+			defer func() { <-b.tokens }()
 			work()
 		}()
 	}

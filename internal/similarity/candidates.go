@@ -133,7 +133,8 @@ func (x *ExactIndex) Partners(id string, yield func(partner string)) {
 	if !ok {
 		return
 	}
-	seen := map[string]bool{id: true}
+	seen := getSeen(id)
+	defer putSeen(seen)
 	for _, t := range ts {
 		for p := range x.buckets[t] {
 			if !seen[p] {

@@ -366,3 +366,40 @@ func contains(sorted []string, s string) bool {
 	i := sort.SearchStrings(sorted, s)
 	return i < len(sorted) && sorted[i] == s
 }
+
+func TestLSHIndexResetBehavesLikeFresh(t *testing.T) {
+	// Reset recycles signature/band-hash storage for the transient-index
+	// pool; a Reset index must be observationally identical to a fresh one
+	// with the same parameters, across several reuse generations.
+	params := LSHParams{Bands: 8, Rows: 4, Seed: 7}
+	rng := rand.New(rand.NewSource(11))
+	pooled := NewLSHIndex(params)
+	for gen := 0; gen < 4; gen++ {
+		sets := randomTokenSets(rng, 40, 20, 6)
+		fresh := NewLSHIndex(params)
+		for id, toks := range sets {
+			fresh.Upsert(id, toks)
+			pooled.Upsert(id, toks)
+		}
+		if pooled.Len() != fresh.Len() {
+			t.Fatalf("gen %d: Len %d vs fresh %d", gen, pooled.Len(), fresh.Len())
+		}
+		gp, gf := collectPairs(t, pooled), collectPairs(t, fresh)
+		if !equalStrings(gp, gf) {
+			t.Fatalf("gen %d: pooled index yields %d pairs, fresh %d", gen, len(gp), len(gf))
+		}
+		for id := range sets {
+			if !sigsEqual(pooled.Signature(id), fresh.Signature(id)) {
+				t.Fatalf("gen %d: signature mismatch for %q after reuse", gen, id)
+			}
+			break
+		}
+		pooled.Reset()
+		if pooled.Len() != 0 {
+			t.Fatalf("gen %d: Len %d after Reset, want 0", gen, pooled.Len())
+		}
+		if ps := collectPairs(t, pooled); len(ps) != 0 {
+			t.Fatalf("gen %d: Reset index still yields %d pairs", gen, len(ps))
+		}
+	}
+}

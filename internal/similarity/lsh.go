@@ -88,6 +88,14 @@ type LSHIndex struct {
 	// buckets stay small under any reasonable banding, so the O(len)
 	// sorted insert and delete are cheaper than map bookkeeping.
 	buckets []map[uint64][]string
+	// sigFree/bhFree recycle the signature and band-hash storage of
+	// removed, replaced, or Reset entries, so a pooled transient index
+	// (fairness.ContribCandidates builds one per dirty task) re-upserts
+	// without allocating per entity. Consequence of recycling: a slice
+	// returned by Signature/Signatures is valid only until its entity is
+	// re-upserted or removed.
+	sigFree [][]uint32
+	bhFree  [][]uint64
 }
 
 // NewLSHIndex returns an empty index with the given parameters.
@@ -119,7 +127,31 @@ func (x *LSHIndex) Len() int { return len(x.sigs) }
 
 // Upsert implements CandidateIndex.
 func (x *LSHIndex) Upsert(id string, tokens []uint64) {
-	x.UpsertSignature(id, x.hasher.Signature(tokens))
+	x.UpsertSignature(id, x.hasher.AppendSignature(x.takeSigBuf(), tokens))
+}
+
+// takeSigBuf pops a recycled signature buffer (nil when the freelist is
+// empty; AppendSignature then allocates).
+func (x *LSHIndex) takeSigBuf() []uint32 {
+	n := len(x.sigFree)
+	if n == 0 {
+		return nil
+	}
+	s := x.sigFree[n-1]
+	x.sigFree = x.sigFree[:n-1]
+	return s
+}
+
+// takeBHBuf pops a recycled band-hash buffer (nil when the freelist is
+// empty).
+func (x *LSHIndex) takeBHBuf() []uint64 {
+	n := len(x.bhFree)
+	if n == 0 {
+		return nil
+	}
+	b := x.bhFree[n-1]
+	x.bhFree = x.bhFree[:n-1]
+	return b
 }
 
 // UpsertSignature installs a precomputed signature (as produced by this
@@ -135,8 +167,10 @@ func (x *LSHIndex) UpsertSignature(id string, sig []uint32) {
 			return
 		}
 		x.dropFromBuckets(id)
+		x.sigFree = append(x.sigFree, old)
+		x.bhFree = append(x.bhFree, x.bandHashes[id])
 	}
-	bh := x.bandHashesOf(sig)
+	bh := x.appendBandHashes(x.takeBHBuf(), sig)
 	x.sigs[id] = sig
 	x.bandHashes[id] = bh
 	for b, h := range bh {
@@ -174,6 +208,8 @@ func (x *LSHIndex) BulkUpsertSignatures(ids []string, sigs [][]uint32) {
 				continue
 			}
 			x.dropFromBuckets(id)
+			x.sigFree = append(x.sigFree, old)
+			x.bhFree = append(x.bhFree, x.bandHashes[id])
 		}
 		keep = append(keep, i)
 	}
@@ -205,13 +241,15 @@ func (x *LSHIndex) BulkUpsertSignatures(ids []string, sigs [][]uint32) {
 func (x *LSHIndex) Hasher() *MinHasher { return x.hasher }
 
 // Signature returns the stored signature for id (nil if absent). The
-// returned slice is the index's own storage; callers must not mutate it.
+// returned slice is the index's own storage; callers must not mutate it,
+// and it is valid only until the entity is re-upserted or removed (its
+// backing array is then recycled).
 func (x *LSHIndex) Signature(id string) []uint32 { return x.sigs[id] }
 
 // Signatures calls yield for every indexed (id, signature) pair, in
 // unspecified order — the export hook for serialising the index. The
-// yielded slices are the index's own storage; callers must not mutate
-// them.
+// yielded slices are the index's own storage; callers must not mutate or
+// retain them across mutations.
 func (x *LSHIndex) Signatures(yield func(id string, sig []uint32)) {
 	for id, sig := range x.sigs {
 		yield(id, sig)
@@ -220,12 +258,34 @@ func (x *LSHIndex) Signatures(yield func(id string, sig []uint32)) {
 
 // Remove implements CandidateIndex.
 func (x *LSHIndex) Remove(id string) {
-	if _, ok := x.sigs[id]; !ok {
+	sig, ok := x.sigs[id]
+	if !ok {
 		return
 	}
 	x.dropFromBuckets(id)
+	x.sigFree = append(x.sigFree, sig)
+	x.bhFree = append(x.bhFree, x.bandHashes[id])
 	delete(x.sigs, id)
 	delete(x.bandHashes, id)
+}
+
+// Reset empties the index in place, keeping its parameters, hasher, bucket
+// maps, and recycled signature storage. A Reset index is observationally
+// identical to a fresh NewLSHIndex with the same parameters; it exists so
+// transient per-task contribution indexes can be pooled instead of
+// reallocating ~Bands bucket maps and a hash family per audit.
+func (x *LSHIndex) Reset() {
+	for _, sig := range x.sigs {
+		x.sigFree = append(x.sigFree, sig)
+	}
+	for _, bh := range x.bandHashes {
+		x.bhFree = append(x.bhFree, bh)
+	}
+	clear(x.sigs)
+	clear(x.bandHashes)
+	for b := range x.buckets {
+		clear(x.buckets[b])
+	}
 }
 
 func (x *LSHIndex) dropFromBuckets(id string) {
@@ -247,7 +307,17 @@ func (x *LSHIndex) dropFromBuckets(id string) {
 // via a running mix (band index seeds the chain so identical row values in
 // different bands hash apart).
 func (x *LSHIndex) bandHashesOf(sig []uint32) []uint64 {
-	bh := make([]uint64, x.params.Bands)
+	return x.appendBandHashes(nil, sig)
+}
+
+// appendBandHashes is bandHashesOf into caller-provided storage.
+func (x *LSHIndex) appendBandHashes(dst []uint64, sig []uint32) []uint64 {
+	bh := dst
+	if cap(bh) < x.params.Bands {
+		bh = make([]uint64, x.params.Bands)
+	} else {
+		bh = bh[:x.params.Bands]
+	}
 	for b := 0; b < x.params.Bands; b++ {
 		h := mix64(uint64(b) + 0x51_7c_c1_b7_27_22_0a_95)
 		for r := 0; r < x.params.Rows; r++ {
@@ -284,7 +354,8 @@ func (x *LSHIndex) Partners(id string, yield func(partner string)) {
 	if !ok {
 		return
 	}
-	seen := map[string]bool{id: true}
+	seen := getSeen(id)
+	defer putSeen(seen)
 	for b, h := range bh {
 		for _, p := range x.buckets[b][h] {
 			if !seen[p] {

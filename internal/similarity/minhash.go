@@ -79,7 +79,20 @@ func (m *MinHasher) K() int { return len(m.a) }
 // Duplicate tokens are harmless (min is idempotent); an empty set yields
 // the all-emptySlot signature, which collides only with other empty sets.
 func (m *MinHasher) Signature(tokens []uint64) []uint32 {
-	sig := make([]uint32, len(m.a))
+	return m.AppendSignature(nil, tokens)
+}
+
+// AppendSignature is Signature into caller-provided storage: dst is resized
+// (reallocating only when capacity is short) and returned. It lets index
+// code recycle signature buffers through a freelist instead of allocating
+// one slice per hashed entity.
+func (m *MinHasher) AppendSignature(dst []uint32, tokens []uint64) []uint32 {
+	sig := dst
+	if cap(sig) < len(m.a) {
+		sig = make([]uint32, len(m.a))
+	} else {
+		sig = sig[:len(m.a)]
+	}
 	for i := range sig {
 		sig[i] = emptySlot
 	}

@@ -56,8 +56,22 @@ func PairIndex(n, i, j int) int {
 // byte-identical to the serial nested loop no matter how the work is
 // scheduled. score must be safe for concurrent calls.
 func ScorePairs(n int, score func(i, j int) float64) []float64 {
-	out := make([]float64, PairCount(n))
-	par.For(len(out), 0, func(k int) {
+	return ScorePairsInto(nil, n, score)
+}
+
+// ScorePairsInto is ScorePairs into caller-provided storage: dst is resized
+// to PairCount(n) (reallocating only when capacity is short) and returned.
+// It exists so per-task audit loops can recycle the pair-score buffer
+// through a pool instead of allocating one per task per pass.
+func ScorePairsInto(dst []float64, n int, score func(i, j int) float64) []float64 {
+	m := PairCount(n)
+	out := dst
+	if cap(out) < m {
+		out = make([]float64, m)
+	} else {
+		out = out[:m]
+	}
+	par.For(m, 0, func(k int) {
 		i, j := PairAt(n, k)
 		out[k] = score(i, j)
 	})

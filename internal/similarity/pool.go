@@ -1,0 +1,21 @@
+package similarity
+
+import "sync"
+
+// seenPool recycles the per-call dedup sets Partners enumeration needs:
+// delta audits call Partners once per dirty entity per pass, and at
+// steady-state traffic those short-lived maps dominate the candidate
+// layer's allocation profile. Maps are returned cleared, so a pooled map
+// behaves exactly like a fresh one.
+var seenPool = sync.Pool{New: func() any { return make(map[string]bool, 32) }}
+
+func getSeen(id string) map[string]bool {
+	m := seenPool.Get().(map[string]bool)
+	m[id] = true
+	return m
+}
+
+func putSeen(m map[string]bool) {
+	clear(m)
+	seenPool.Put(m)
+}

@@ -126,13 +126,24 @@ func (w *Writer) commitWait(b *batch) error {
 	// lets the appenders the previous flush just woke (runnable but not yet
 	// scheduled) frame their records into this batch, so one fsync covers
 	// the whole convoy. Without it, a blocking fsync on a single-P runtime
-	// stalls every other appender and batches collapse to one record. The
-	// linger stops the first time a yield adds nothing, so an uncontended
-	// writer pays one scheduler round-trip, not a timer.
+	// stalls every other appender and batches collapse to one record.
+	//
+	// The linger is adaptive: it stops once the batch reaches the writer's
+	// lifetime mean occupancy (appends per batch so far) — the batch has
+	// already collected a typical convoy, so further yields trade latency
+	// for marginal coverage — or the first time a yield adds nothing, with
+	// the fixed yield budget as a backstop. An uncontended writer's mean
+	// sits at one record per batch, so it skips the linger entirely; a
+	// convoyed writer's mean grows with the observed group size and keeps
+	// the full linger.
+	target := 1
+	if batches := w.nBatches.Load(); batches > 0 {
+		target = int(w.nAppends.Load() / batches)
+	}
 	w.qmu.Lock()
 	prev := b.count
 	w.qmu.Unlock()
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 4 && prev < target; i++ {
 		runtime.Gosched()
 		w.qmu.Lock()
 		n := b.count

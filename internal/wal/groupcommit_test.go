@@ -196,3 +196,38 @@ func TestParseSyncPolicyInterval(t *testing.T) {
 		t.Fatal("bad interval duration parsed without error")
 	}
 }
+
+// TestAdaptiveLingerUncontendedOccupancy pins the adaptive linger's
+// steady-state behaviour for a strictly serial appender: the lifetime mean
+// occupancy settles at one record per batch, so the leader seals
+// immediately instead of yielding, and every append still lands in its own
+// durable batch with nothing lost.
+func TestAdaptiveLingerUncontendedOccupancy(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 1; i <= n; i++ {
+		c, err := w.AppendAsync(uint64(i), []byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != n || st.Batches != n {
+		t.Fatalf("uncontended writer: %d appends over %d batches, want %d batches of one record",
+			st.Appends, st.Batches, n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	keys, _, damaged := readAll(t, dir)
+	if damaged || len(keys) != n {
+		t.Fatalf("reopened log has %d records (damaged=%v), want %d clean", len(keys), damaged, n)
+	}
+}

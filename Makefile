@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-shuffle vet lint fmt-check bench bench-store bench-wal bench-reshard bench-lsh bench-audit sweep clean
+.PHONY: all build test test-race test-shuffle vet lint fmt-check bench bench-store bench-wal bench-reshard bench-lsh bench-audit bench-serve sweep clean
 
 all: build test
 
@@ -70,6 +70,14 @@ bench-lsh:
 # fails if any width's reports diverge from the serial baseline.
 bench-audit:
 	$(GO) run ./cmd/benchrunner -auditbench -auditout BENCH_audit.json
+
+# Online-serving benchmarks: closed-loop latency over a durable WAL-backed
+# server at several concurrencies, a concurrent-vs-serial-oracle audit
+# determinism double-run, an overload cell (429 shedding with bounded
+# admitted p99), and a binary search for the max SLO-clean open-loop rate,
+# written to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/benchrunner -servebench -serveout BENCH_serve.json
 
 # Quick demonstration of the parallel sweep engine.
 sweep:

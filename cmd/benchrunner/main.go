@@ -119,6 +119,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	auditRounds := fs.Int("auditrounds", 5, "delta passes per -auditbench cell")
 	auditBackend := fs.String("auditbackend", "lsh", "candidate backend for -auditbench (exact|lsh)")
 	auditOut := fs.String("auditout", "", "write the -auditbench JSON report to this file (default: stdout)")
+	serveBench := fs.Bool("servebench", false, "measure the HTTP serving hot path: closed/open-loop latency vs SLO, overload shedding, and a capacity search")
+	serveRequests := fs.Int("serverequests", 4000, "measured requests per -servebench cell")
+	serveConc := fs.String("serveconc", "8,32", "comma-separated closed-loop concurrencies for -servebench (at least two)")
+	serveSLO := fs.Duration("serveslo", 100*time.Millisecond, "SLO p99 latency bound per endpoint for -servebench")
+	serveCapIters := fs.Int("servecapiters", 5, "capacity-search bisection rounds for -servebench")
+	serveOverRate := fs.Float64("serveoverrate", 0, "open-loop overload rate for -servebench (0: 3x best closed-loop achieved rate)")
+	serveOut := fs.String("serveout", "", "write the -servebench JSON report to this file (default: stdout)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected benchmark to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after a final GC) of the selected benchmark to this file")
 	if err := fs.Parse(args); err != nil {
@@ -144,6 +151,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
+	// The bench modes are mutually exclusive: each takes over the whole
+	// run, so naming two at once used to silently run whichever this
+	// dispatch chain tested first. Reject the ambiguity instead.
+	var modes []string
+	for _, m := range []struct {
+		name string
+		set  bool
+	}{
+		{"-auditbench", *auditBench},
+		{"-lshbench", *lshBench},
+		{"-storebench", *storeBench},
+		{"-reshardbench", *reshardBench},
+		{"-walbench", *walBench},
+		{"-servebench", *serveBench},
+		{"-sweep", *sweepSel != ""},
+	} {
+		if m.set {
+			modes = append(modes, m.name)
+		}
+	}
+	if len(modes) > 1 {
+		return fmt.Errorf("conflicting bench modes %s: pick exactly one", strings.Join(modes, " "))
+	}
+	if len(modes) == 1 && modes[0] != "-sweep" && *only != "" {
+		return fmt.Errorf("-only selects experiments for the default/sweep modes and does not compose with %s", modes[0])
+	}
+
+	if *serveBench {
+		return runServeBench(serveBenchOpts{
+			requests: *serveRequests, conc: *serveConc, sloP99: *serveSLO,
+			capIters: *serveCapIters, overRate: *serveOverRate,
+			out: *serveOut, seed: *seed,
+		}, stdout)
+	}
 	if *auditBench {
 		return runAuditBench(auditBenchOpts{
 			sizes: *auditSizes, fracs: *auditDirty, workers: *auditWorkers,

@@ -290,13 +290,12 @@ func (p *Platform) AppendEvent(e Event) error {
 	return err
 }
 
-// now returns the next logical timestamp (monotone with the log).
+// now returns the next logical timestamp (monotone with the log). LastTime
+// reads the tail under the log's read lock without copying the trace —
+// the previous Events()-based implementation cloned the whole log per
+// mutation, turning every serving write into an O(trace) allocation.
 func (p *Platform) now() int64 {
-	events := p.log.Events()
-	if len(events) == 0 {
-		return 0
-	}
-	return events[len(events)-1].Time
+	return p.log.LastTime()
 }
 
 // Reshard changes the platform store's shard count online: entities are

@@ -1,0 +1,141 @@
+package crowdfair
+
+import (
+	"repro/internal/eventlog"
+)
+
+// Offer names one task-visibility grant — the access evidence Axioms 1
+// and 2 audit. It is the batch form of Platform.Offer.
+type Offer struct {
+	Task   TaskID   `json:"Task"`
+	Worker WorkerID `json:"Worker"`
+}
+
+// The batch mutation entry points below are the serving hot path: a
+// front-end coalesces many concurrent requests into one call, the store
+// fans the writes out by owning shard under a single lock acquisition per
+// shard (store.bulkApply), and both the store WAL and the event trace pay
+// one group-commit durability wait per shard for the whole batch instead
+// of one per request. Events are appended after the entities land so a
+// replayed trace never references an entity the store does not hold yet.
+
+// AddWorkers registers many workers and logs their arrivals, batching both
+// the store writes and the trace appends. On error the store keeps every
+// insert that preceded the failure in its shard (see store.BulkPutWorkers);
+// arrival events are only logged when every insert succeeded.
+func (p *Platform) AddWorkers(ws []*Worker) error {
+	if len(ws) == 0 {
+		return nil
+	}
+	if err := p.st.BulkPutWorkers(ws); err != nil {
+		return err
+	}
+	t := p.now()
+	events := make([]eventlog.Event, len(ws))
+	for i, w := range ws {
+		events[i] = eventlog.Event{Time: t, Type: eventlog.WorkerJoined, Worker: w.ID}
+	}
+	return p.log.AppendBatch(events)
+}
+
+// UpdateWorkers replaces many existing workers' attributes and skills in
+// one shard-parallel batch. Updates log no trace events, matching the
+// single-entity store path.
+func (p *Platform) UpdateWorkers(ws []*Worker) error {
+	if len(ws) == 0 {
+		return nil
+	}
+	return p.st.BulkUpdateWorkers(ws)
+}
+
+// PostTasks publishes many tasks and logs TaskPosted for each, batching the
+// store writes and the trace appends. Referenced requesters must already
+// exist.
+func (p *Platform) PostTasks(ts []*Task) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	if err := p.st.BulkPutTasks(ts); err != nil {
+		return err
+	}
+	t := p.now()
+	events := make([]eventlog.Event, len(ts))
+	for i, tk := range ts {
+		events[i] = eventlog.Event{Time: t, Type: eventlog.TaskPosted, Task: tk.ID, Requester: tk.Requester}
+	}
+	return p.log.AppendBatch(events)
+}
+
+// RecordContributions stores many contributions and their submission
+// events, batching the store writes and the trace appends. Referenced
+// tasks and workers must already exist.
+func (p *Platform) RecordContributions(cs []*Contribution) error {
+	if len(cs) == 0 {
+		return nil
+	}
+	if err := p.st.BulkPutContributions(cs); err != nil {
+		return err
+	}
+	t := p.now()
+	events := make([]eventlog.Event, len(cs))
+	for i, c := range cs {
+		events[i] = eventlog.Event{Time: t, Type: eventlog.TaskSubmitted, Task: c.Task, Worker: c.Worker, Contribution: c.ID}
+	}
+	return p.log.AppendBatch(events)
+}
+
+// UpdateContribution replaces an existing contribution (accept/reject
+// decision, payment). Task and worker are immutable.
+func (p *Platform) UpdateContribution(c *Contribution) error {
+	return p.st.UpdateContribution(c)
+}
+
+// OfferBatch records many task-visibility grants as one trace batch. Every
+// referenced task and worker must exist; on a dangling reference nothing is
+// appended.
+func (p *Platform) OfferBatch(offers []Offer) error {
+	if len(offers) == 0 {
+		return nil
+	}
+	t := p.now()
+	events := make([]eventlog.Event, len(offers))
+	for i, o := range offers {
+		tk, err := p.st.Task(o.Task)
+		if err != nil {
+			return err
+		}
+		if _, err := p.st.Worker(o.Worker); err != nil {
+			return err
+		}
+		events[i] = eventlog.Event{
+			Time: t, Type: eventlog.TaskOffered, Task: o.Task, Worker: o.Worker, Requester: tk.Requester,
+		}
+	}
+	return p.log.AppendBatch(events)
+}
+
+// Universe returns the skill universe the platform's store was built over.
+func (p *Platform) Universe() *Universe { return p.st.Universe() }
+
+// Version returns the store's current mutation counter — the freshness
+// stamp served alongside cached audit reports.
+func (p *Platform) Version() uint64 { return p.st.Version() }
+
+// EntityCounts returns the store's table sizes plus the trace length, the
+// cheap inventory a serving stats endpoint reports.
+func (p *Platform) EntityCounts() (workers, tasks, contributions, events int) {
+	return p.st.WorkerCount(), p.st.TaskCount(), p.st.ContributionCount(), p.log.Len()
+}
+
+// ValidateOffer reports the first dangling task/worker reference of an
+// offer without touching the log — front-ends use it to screen a coalesced
+// batch before applying it.
+func (p *Platform) ValidateOffer(o Offer) error {
+	if _, err := p.st.Task(o.Task); err != nil {
+		return err
+	}
+	if _, err := p.st.Worker(o.Worker); err != nil {
+		return err
+	}
+	return nil
+}

@@ -150,11 +150,68 @@ func (l *Log) MustAppend(e Event) Event {
 	return out
 }
 
+// AppendBatch appends events in order under one lock acquisition and — on a
+// durable log — waits on a single durability ticket covering the whole
+// batch. WAL batches seal and flush strictly in append order with a sticky
+// error (wal/groupcommit.go), so the last append's ack covers every earlier
+// one: one fsync wait amortises over the entire admitted batch, which is
+// what makes coalesced serving writes cheap. Timestamps must be
+// non-decreasing across the batch; on a violation nothing is appended.
+// The stored events (with sequence numbers assigned) are written back into
+// events.
+func (l *Log) AppendBatch(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	last := int64(0)
+	if n := len(l.events); n > 0 {
+		last = l.events[n-1].Time
+	}
+	for i := range events {
+		if events[i].Time < last {
+			l.mu.Unlock()
+			return fmt.Errorf("%w: %d < %d", ErrOutOfOrder, events[i].Time, last)
+		}
+		last = events[i].Time
+	}
+	var ack wal.Commit
+	var err error
+	for i := range events {
+		events[i].Seq = uint64(len(l.events) + 1)
+		l.events = append(l.events, events[i])
+		if l.sink != nil && err == nil {
+			l.scratch = encodeEvent(l.scratch[:0], events[i])
+			ack, err = l.sink.AppendAsync(events[i].Seq, l.scratch)
+		}
+	}
+	l.mu.Unlock()
+	if err == nil {
+		err = ack.Wait()
+	}
+	if err != nil {
+		return fmt.Errorf("eventlog: wal append: %w", err)
+	}
+	return nil
+}
+
 // Len returns the number of events.
 func (l *Log) Len() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return len(l.events)
+}
+
+// LastTime returns the timestamp of the most recent event (0 for an empty
+// log) without copying the log — the cheap clock query serving hot paths
+// need to stamp new events monotonically.
+func (l *Log) LastTime() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if n := len(l.events); n > 0 {
+		return l.events[n-1].Time
+	}
+	return 0
 }
 
 // Events returns a copy of the whole log in append order.

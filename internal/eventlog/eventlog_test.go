@@ -163,3 +163,61 @@ func TestByWorkerEmptyResult(t *testing.T) {
 		t.Fatalf("ghost worker events = %v", got)
 	}
 }
+
+func TestAppendBatch(t *testing.T) {
+	l := New()
+	l.MustAppend(Event{Time: 3, Type: WorkerJoined, Worker: "w0"})
+	batch := []Event{
+		{Time: 3, Type: WorkerJoined, Worker: "w1"},
+		{Time: 4, Type: TaskPosted, Task: "t1", Requester: "r1"},
+		{Time: 4, Type: TaskOffered, Task: "t1", Worker: "w1"},
+	}
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	for i, e := range l.Events() {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	// Sequence numbers are written back into the caller's slice.
+	if batch[0].Seq != 2 || batch[2].Seq != 4 {
+		t.Fatalf("batch seqs = %d,%d,%d", batch[0].Seq, batch[1].Seq, batch[2].Seq)
+	}
+}
+
+func TestAppendBatchRejectsTimeRegression(t *testing.T) {
+	l := New()
+	l.MustAppend(Event{Time: 5, Type: WorkerJoined, Worker: "w0"})
+	err := l.AppendBatch([]Event{
+		{Time: 5, Type: WorkerJoined, Worker: "w1"},
+		{Time: 4, Type: WorkerJoined, Worker: "w2"},
+	})
+	if err == nil {
+		t.Fatal("regressing batch accepted")
+	}
+	if got := l.Len(); got != 1 {
+		t.Fatalf("rejected batch left %d events, want 1", got)
+	}
+}
+
+func TestAppendBatchEmpty(t *testing.T) {
+	l := New()
+	if err := l.AppendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastTime(t *testing.T) {
+	l := New()
+	if got := l.LastTime(); got != 0 {
+		t.Fatalf("empty LastTime = %d", got)
+	}
+	l.MustAppend(Event{Time: 7, Type: WorkerJoined, Worker: "w1"})
+	if got := l.LastTime(); got != 7 {
+		t.Fatalf("LastTime = %d, want 7", got)
+	}
+}

@@ -197,3 +197,30 @@ func TestCursorAtAndPos(t *testing.T) {
 		t.Fatalf("clamp failed: %d", c3.Pos())
 	}
 }
+
+func TestDurableAppendBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDurable(dir, wal.Options{SegmentBytes: 256, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := demoEvents(9)
+	if err := l.AppendBatch(events[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(events[5:]); err != nil {
+		t.Fatal(err)
+	}
+	want := l.Events()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(dir, wal.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %d events != appended %d", len(got), len(want))
+	}
+}

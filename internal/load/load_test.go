@@ -1,0 +1,158 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/crowdfair"
+	"repro/internal/workload"
+)
+
+// TestBuildPlanDeterministic is the loadgen reproducibility contract: two
+// plans from equal (spec, seed) are deeply equal — ids, payload bytes,
+// request ordering, everything.
+func TestBuildPlanDeterministic(t *testing.T) {
+	spec := MixSpec{Workers: 30, Tasks: 10, Requests: 500}
+	a := BuildPlan(spec, 99)
+	b := BuildPlan(spec, 99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (spec, seed) produced different plans")
+	}
+	c := BuildPlan(spec, 100)
+	if reflect.DeepEqual(a.Requests, c.Requests) {
+		t.Fatal("different seeds produced identical request sequences")
+	}
+}
+
+// TestPlanReferencesOnlySeedEntities asserts the shed-safety invariant:
+// every measured mutation references seed-phase entities only, so a shed
+// request can never invalidate a later one.
+func TestPlanReferencesOnlySeedEntities(t *testing.T) {
+	p := BuildPlan(MixSpec{Workers: 20, Tasks: 8, Requests: 600}, 7)
+	workers := map[string]bool{}
+	for _, w := range p.Workers {
+		workers[string(w.ID)] = true
+	}
+	tasks := map[string]bool{}
+	for _, tk := range p.Tasks {
+		tasks[string(tk.ID)] = true
+	}
+	contribWorkers := map[string]bool{}
+	offerWorkers := map[string]bool{}
+	muts, reads := 0, 0
+	for i := range p.Requests {
+		r := &p.Requests[i]
+		switch {
+		case r.contrib != nil:
+			muts++
+			if !tasks[string(r.contrib.Task)] || !workers[string(r.contrib.Worker)] {
+				t.Fatalf("request %d references non-seed entities: %+v", i, r.contrib)
+			}
+			contribWorkers[string(r.contrib.Worker)] = true
+		case r.worker != nil:
+			muts++
+			if !workers[string(r.worker.ID)] {
+				t.Fatalf("request %d updates non-seed worker %s", i, r.worker.ID)
+			}
+		case r.offer != nil:
+			muts++
+			if !tasks[string(r.offer.Task)] || !workers[string(r.offer.Worker)] {
+				t.Fatalf("request %d offers non-seed entities: %+v", i, r.offer)
+			}
+			offerWorkers[string(r.offer.Worker)] = true
+		default:
+			reads++
+		}
+	}
+	if muts == 0 || reads == 0 {
+		t.Fatalf("degenerate mix: %d mutations, %d reads", muts, reads)
+	}
+	if muts != p.Mutations() {
+		t.Fatalf("Mutations() = %d, counted %d", p.Mutations(), muts)
+	}
+	// Offers and submissions must draw from disjoint worker halves — the
+	// invariant that keeps the temporal axioms order-insensitive.
+	for w := range contribWorkers {
+		if offerWorkers[w] {
+			t.Fatalf("worker %s both submits and receives offers", w)
+		}
+	}
+}
+
+// TestOracleReproducible pins that the serial oracle itself is a pure
+// function of the plan.
+func TestOracleReproducible(t *testing.T) {
+	p := BuildPlan(MixSpec{Workers: 16, Tasks: 6, Requests: 120}, 3)
+	cfg := crowdfair.DefaultAuditConfig()
+	a, err := p.Oracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Oracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == "" || a != b {
+		t.Fatalf("oracle fingerprints %q vs %q", a, b)
+	}
+}
+
+// TestSearchCapacity checks the bisection against a synthetic server with
+// a known capacity cliff.
+func TestSearchCapacity(t *testing.T) {
+	const cliff = 730.0
+	trial := func(rate float64) *Result {
+		return &Result{SLOPass: rate <= cliff, ShedRate: 0}
+	}
+	cr := SearchCapacity(100, 1600, 8, trial)
+	if cr.SustainableRate > cliff {
+		t.Fatalf("sustainable %.1f above the cliff %.1f", cr.SustainableRate, cliff)
+	}
+	if cliff-cr.SustainableRate > (1600-100)/256.0 {
+		t.Fatalf("sustainable %.1f did not converge to the cliff %.1f", cr.SustainableRate, cliff)
+	}
+	if cr.FirstFailingRate <= cliff {
+		t.Fatalf("first failing %.1f at or below the cliff", cr.FirstFailingRate)
+	}
+	if len(cr.Trials) != 10 {
+		t.Fatalf("trials = %d, want lo+hi+8 bisections", len(cr.Trials))
+	}
+
+	// Degenerate ends: lower bound already failing, upper bound passing.
+	if cr := SearchCapacity(100, 200, 4, func(float64) *Result { return &Result{} }); cr.SustainableRate != 0 {
+		t.Fatalf("all-fail search found %.1f", cr.SustainableRate)
+	}
+	if cr := SearchCapacity(100, 200, 4, func(float64) *Result { return &Result{SLOPass: true} }); cr.SustainableRate != 200 || cr.FirstFailingRate != 0 {
+		t.Fatalf("all-pass search = %+v", cr)
+	}
+}
+
+func TestSLOJudgement(t *testing.T) {
+	out := []outcome{
+		{endpoint: EpContribution, latency: 2 * time.Millisecond, status: 200},
+		{endpoint: EpContribution, latency: 40 * time.Millisecond, status: 200},
+		{endpoint: EpOffer, latency: time.Millisecond, status: 429},
+	}
+	sched := workload.ClosedLoop(4)
+	res := aggregate(out, sched, time.Second, &SLO{P99: 10 * time.Millisecond, MaxShedRate: 1})
+	if res.SLOPass {
+		t.Fatal("p99 over bound must fail the SLO")
+	}
+	if res.Shed != 1 || res.Endpoints[EpOffer].Shed != 1 {
+		t.Fatalf("shed accounting: %+v", res)
+	}
+	res = aggregate(out, sched, time.Second, &SLO{P99: 100 * time.Millisecond, MaxShedRate: 1})
+	if !res.SLOPass {
+		t.Fatal("p99 under bound must pass")
+	}
+	// The zero MaxShedRate tolerates no shedding at all.
+	res = aggregate(out, sched, time.Second, &SLO{P99: 100 * time.Millisecond})
+	if res.SLOPass {
+		t.Fatal("shedding with MaxShedRate 0 must fail")
+	}
+	// Sheds are excluded from latency percentiles.
+	if res.Endpoints[EpOffer].P99MS != 0 {
+		t.Fatalf("shed latency leaked into percentiles: %+v", res.Endpoints[EpOffer])
+	}
+}

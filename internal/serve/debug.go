@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugServer points at the most recently started Server: expvar allows a
+// name to be published exactly once per process, so the "crowdserve" var is
+// an indirection that always reads the latest server instead of a direct
+// publish per instance (tests start many servers in one process).
+var (
+	debugServer  atomic.Pointer[Server]
+	debugPublish sync.Once
+)
+
+// setDebugServer registers s as the process's expvar subject.
+func setDebugServer(s *Server) {
+	debugServer.Store(s)
+	debugPublish.Do(func() {
+		expvar.Publish("crowdserve", expvar.Func(func() any {
+			cur := debugServer.Load()
+			if cur == nil {
+				return nil
+			}
+			return cur.statsz()
+		}))
+	})
+}
+
+// registerDebug wires the /debug surface onto mux: expvar under
+// /debug/vars and the pprof handlers under /debug/pprof/, matching what
+// http.DefaultServeMux would carry, so serving benchmarks are profilable
+// against any Server without importing the default mux's side effects.
+func registerDebug(mux *http.ServeMux) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,276 @@
+// Package serve is the online serving surface over crowdfair.Platform: an
+// HTTP/JSON front-end whose hot path is engineered for the layers below it
+// rather than merely wired to them.
+//
+// Three mechanisms carry the load story:
+//
+//   - Request coalescing (batch.go): concurrent mutation requests are
+//     enqueued into a single channel and drained by one dispatcher into
+//     type-ordered batches, applied through the platform's bulk entry
+//     points. The store fans each batch out by owning shard under one lock
+//     acquisition per shard, and both the store WAL and the event trace pay
+//     one group-commit durability wait per shard for the whole batch — the
+//     per-request fsync cost of a naive front-end amortises away exactly
+//     like the group-commit WAL amortises appends.
+//
+//   - Admission control: mutations are shed with HTTP 429 + Retry-After
+//     when the dispatcher queue is full or the incremental auditor has
+//     fallen more than MaxAuditLag store versions behind, so overload
+//     degrades into fast, explicit rejections instead of collapsing the
+//     latency of admitted requests.
+//
+//   - Read caching: audit reports are served from a version-stamped
+//     snapshot refreshed by an in-loop AuditIncremental goroutine — a read
+//     never triggers an audit, it observes the freshest completed one.
+//
+// A /debug surface (net/http/pprof + expvar counters for batch occupancy,
+// shed counts, and audit lag) makes serving benchmarks profilable like the
+// existing -memprofile paths.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/crowdfair"
+	"repro/internal/fairness"
+)
+
+// Platform and AuditConfig alias the public API types the server fronts.
+type (
+	Platform    = crowdfair.Platform
+	AuditConfig = crowdfair.AuditConfig
+)
+
+// Config parameterises a Server. The zero value of every knob selects the
+// documented default; Platform is required.
+type Config struct {
+	// Platform is the platform under service (required).
+	Platform *Platform
+	// Audit is the fairness configuration the in-loop auditor runs under.
+	Audit AuditConfig
+
+	// BatchMax caps how many queued mutations one coalesced batch admits
+	// (default 256).
+	BatchMax int
+	// Linger is how long the dispatcher waits for more arrivals after the
+	// first of a batch before applying it. The default 0 never waits: the
+	// durability stall of the in-flight batch is itself the accumulation
+	// window for the next one (natural batching, as in group commit), so
+	// an uncontended request pays no added latency.
+	Linger time.Duration
+	// MaxQueue bounds the mutations queued awaiting a batch (default
+	// 4096). Arrivals beyond it are shed with 429.
+	MaxQueue int
+	// MaxAuditLag sheds mutations once the cached audit snapshot trails
+	// the store by more than this many versions (default 0: disabled).
+	// It is the backpressure valve that keeps "audited" a live property
+	// under write floods.
+	MaxAuditLag uint64
+	// RetryAfter is the advisory delay clients receive with a 429
+	// (default 500ms).
+	RetryAfter time.Duration
+	// AuditEvery is the cadence of the in-loop AuditIncremental refresh
+	// (default 100ms; negative disables the loop — snapshots then move
+	// only through AuditNow).
+	AuditEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchMax == 0 {
+		c.BatchMax = 256
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4096
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the HTTP front-end. Construct with New, wire Handler into an
+// http.Server (or httptest), call Start before serving and Stop when done.
+type Server struct {
+	cfg Config
+	p   *Platform
+	mux *http.ServeMux
+
+	ops   chan *op
+	stopc chan struct{}
+	wg    sync.WaitGroup
+
+	// snapshot is the cached audit result reads are served from; audited
+	// is the store version stamped into it (the admission lag baseline).
+	snapshot atomic.Pointer[AuditSnapshot]
+	audited  atomic.Uint64
+	auditMu  sync.Mutex // serialises AuditNow with the background loop
+
+	// Counters, exported through /statsz and /debug/vars.
+	admitted   atomic.Uint64 // mutations accepted into the queue
+	shedQueue  atomic.Uint64 // 429s from a full queue
+	shedLag    atomic.Uint64 // 429s from audit lag
+	batches    atomic.Uint64 // coalesced batches applied
+	batchedOps atomic.Uint64 // mutations covered by those batches
+	audits     atomic.Uint64 // audit passes completed
+}
+
+// AuditSnapshot is the version-stamped cached audit result served by
+// GET /v1/audit.
+type AuditSnapshot struct {
+	// Version is the store version observed before the audit pass began:
+	// every mutation at or below it is reflected in the reports.
+	Version uint64 `json:"version"`
+	// Pass counts completed audit passes (1 = cold scan).
+	Pass uint64 `json:"pass"`
+	// TookMS is the wall time of the pass in milliseconds.
+	TookMS float64 `json:"took_ms"`
+	// Fingerprint is a SHA-256 over every rendered report — the equality
+	// handle determinism checks and serial oracles compare against.
+	Fingerprint string `json:"fingerprint"`
+	// Reports summarises the five axiom reports in axiom order.
+	Reports []ReportSummary `json:"reports"`
+}
+
+// ReportSummary is the wire form of one axiom report.
+type ReportSummary struct {
+	Axiom      string `json:"axiom"`
+	Checked    int    `json:"checked"`
+	Violations int    `json:"violations"`
+	Satisfied  bool   `json:"satisfied"`
+}
+
+// AuditFingerprint reduces a report set to a stable hex digest: axiom,
+// Checked, and every rendered violation, hashed. Two report sets with equal
+// fingerprints rendered identically — the comparison the serving
+// determinism gates (same seed → same final audit report) are built on.
+func AuditFingerprint(reps []*fairness.Report) string {
+	h := sha256.New()
+	for _, r := range reps {
+		fmt.Fprintf(h, "%s|%d|%d\n", r.Axiom, r.Checked, len(r.Violations))
+		for _, v := range r.Violations {
+			h.Write([]byte(v.String()))
+			h.Write([]byte{'\n'})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// New builds a Server over cfg.Platform. It panics if the platform is nil.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.Platform == nil {
+		panic("serve: Config.Platform is required")
+	}
+	s := &Server{
+		cfg:   cfg,
+		p:     cfg.Platform,
+		ops:   make(chan *op, cfg.MaxQueue),
+		stopc: make(chan struct{}),
+	}
+	s.mux = s.buildMux()
+	return s
+}
+
+// Start launches the dispatcher and the in-loop audit goroutine, and runs
+// one synchronous audit pass so reads have a snapshot from the first
+// request on.
+func (s *Server) Start() {
+	s.AuditNow()
+	s.wg.Add(1)
+	go s.dispatch()
+	if s.cfg.AuditEvery > 0 {
+		s.wg.Add(1)
+		go s.auditLoop()
+	}
+	setDebugServer(s)
+}
+
+// Stop drains the dispatcher (queued mutations are applied, not dropped)
+// and stops the audit loop. The platform stays usable.
+func (s *Server) Stop() {
+	close(s.stopc)
+	s.wg.Wait()
+}
+
+// Handler returns the server's HTTP handler, including the /debug surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the current cached audit snapshot (nil before the first
+// pass completes, which Start prevents by auditing synchronously).
+func (s *Server) Snapshot() *AuditSnapshot { return s.snapshot.Load() }
+
+// QueueDepth returns how many admitted mutations currently await a batch.
+func (s *Server) QueueDepth() int { return len(s.ops) }
+
+// BatchStats returns the coalesced batch count and the mutations those
+// batches covered.
+func (s *Server) BatchStats() (batches, ops uint64) {
+	return s.batches.Load(), s.batchedOps.Load()
+}
+
+// AuditLag returns how many store versions the cached audit snapshot
+// trails the live store by.
+func (s *Server) AuditLag() uint64 {
+	v := s.p.Version()
+	a := s.audited.Load()
+	if v <= a {
+		return 0
+	}
+	return v - a
+}
+
+// AuditNow runs one audit pass synchronously and publishes the refreshed
+// snapshot. Benchmarks and tests use it to observe a final, fully
+// caught-up report; the background loop calls the same path.
+func (s *Server) AuditNow() *AuditSnapshot {
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	ver := s.p.Version()
+	start := time.Now()
+	reps := s.p.AuditIncremental(s.cfg.Audit)
+	took := time.Since(start)
+	snap := &AuditSnapshot{
+		Version:     ver,
+		Pass:        s.audits.Add(1),
+		TookMS:      float64(took.Microseconds()) / 1e3,
+		Fingerprint: AuditFingerprint(reps),
+	}
+	for _, r := range reps {
+		snap.Reports = append(snap.Reports, ReportSummary{
+			Axiom:      r.Axiom.String(),
+			Checked:    r.Checked,
+			Violations: len(r.Violations),
+			Satisfied:  r.Satisfied(),
+		})
+	}
+	s.snapshot.Store(snap)
+	s.audited.Store(ver)
+	return snap
+}
+
+// auditLoop refreshes the audit snapshot on the configured cadence,
+// skipping passes while the store version is unchanged.
+func (s *Server) auditLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.AuditEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			if s.p.Version() != s.audited.Load() {
+				s.AuditNow()
+			}
+		}
+	}
+}

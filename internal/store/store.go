@@ -801,6 +801,17 @@ func (s *Store) contributionsSlice(parallel bool, held []*shard) []*model.Contri
 	return mergeSorted(per, func(a, b *model.Contribution) bool { return a.ID < b.ID })
 }
 
+// ContributionCount returns the number of contributions.
+func (s *Store) ContributionCount() int {
+	shs, release := s.rlockView()
+	n := 0
+	for _, sh := range shs {
+		n += len(sh.contribs)
+	}
+	release()
+	return n
+}
+
 // contribOrderLess is the (SubmittedAt, ID) read order of the per-task and
 // per-worker contribution listings.
 func contribOrderLess(a, b *model.Contribution) bool {

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ArrivalMode selects how a load generator paces its requests.
+type ArrivalMode string
+
+// Arrival modes.
+const (
+	// ArrivalClosed is the closed-loop mode: a fixed pool of C virtual
+	// clients each issue their next request the moment the previous
+	// response lands, so the offered rate self-regulates to the server's
+	// capacity (the Workload.play fixed-concurrency adapter shape).
+	ArrivalClosed ArrivalMode = "closed"
+	// ArrivalOpenPoisson is the open-loop mode: requests fire at seeded
+	// Poisson arrival instants regardless of outstanding responses, so
+	// overload shows up as queueing and shedding instead of silently
+	// slowing the generator — the only mode that can ask "does rate R
+	// hold the SLO?".
+	ArrivalOpenPoisson ArrivalMode = "open-poisson"
+)
+
+// ArrivalSchedule is a fully materialised, seed-deterministic pacing plan
+// for n requests. For closed-loop schedules Offsets is nil (pacing is
+// response-driven); for open-loop schedules Offsets[i] is the instant,
+// relative to the run start, at which request i fires. Two schedules built
+// from equal parameters and seeds are byte-identical.
+type ArrivalSchedule struct {
+	Mode ArrivalMode
+	// Concurrency is the virtual-client pool size (closed loop only).
+	Concurrency int
+	// Rate is the target offered rate in requests/second (open loop only).
+	Rate float64
+	// Offsets are the open-loop arrival instants, non-decreasing.
+	Offsets []time.Duration
+}
+
+// Requests returns the number of requests the schedule paces: the offset
+// count for open-loop schedules, n as given for closed-loop ones (where it
+// is carried by the caller's plan instead).
+func (s ArrivalSchedule) Requests() int { return len(s.Offsets) }
+
+// String renders the schedule parameters for reports.
+func (s ArrivalSchedule) String() string {
+	if s.Mode == ArrivalClosed {
+		return fmt.Sprintf("closed-loop c=%d", s.Concurrency)
+	}
+	return fmt.Sprintf("%s rate=%.0f/s n=%d", s.Mode, s.Rate, len(s.Offsets))
+}
+
+// ClosedLoop returns the degenerate schedule of a fixed-concurrency run:
+// concurrency virtual clients issue requests back-to-back with no think
+// time. It panics if concurrency < 1.
+func ClosedLoop(concurrency int) ArrivalSchedule {
+	if concurrency < 1 {
+		panic("workload: ClosedLoop needs concurrency >= 1")
+	}
+	return ArrivalSchedule{Mode: ArrivalClosed, Concurrency: concurrency}
+}
+
+// OpenLoopPoisson materialises n Poisson arrival instants at the given
+// rate (requests/second) from the caller's RNG: inter-arrival gaps are
+// seeded exponential variates, so the schedule — and therefore the whole
+// loadgen run shape — is byte-reproducible from the seed. It panics if
+// rate <= 0 or n < 0.
+func OpenLoopPoisson(rate float64, n int, rng *stats.RNG) ArrivalSchedule {
+	if rate <= 0 {
+		panic("workload: OpenLoopPoisson needs rate > 0")
+	}
+	offsets := make([]time.Duration, n)
+	t := 0.0
+	for i := range offsets {
+		t += rng.Exp(rate)
+		offsets[i] = time.Duration(t * float64(time.Second))
+	}
+	return ArrivalSchedule{Mode: ArrivalOpenPoisson, Rate: rate, Offsets: offsets}
+}

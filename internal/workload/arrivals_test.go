@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestOpenLoopPoissonPinned pins the generated schedule byte-for-byte: the
+// loadgen determinism contract ("same seed → same request schedule") rests
+// on these offsets never drifting across refactors or platforms.
+func TestOpenLoopPoissonPinned(t *testing.T) {
+	s := OpenLoopPoisson(1000, 6, stats.NewRNG(7))
+	want := []time.Duration{
+		942045,
+		5029118,
+		5133634,
+		5673321,
+		6466417,
+		7854988,
+	}
+	if !reflect.DeepEqual(s.Offsets, want) {
+		t.Fatalf("offsets drifted:\n got %v\nwant %v", s.Offsets, want)
+	}
+	if s.Mode != ArrivalOpenPoisson || s.Rate != 1000 {
+		t.Fatalf("schedule header = %+v", s)
+	}
+}
+
+func TestOpenLoopPoissonReproducible(t *testing.T) {
+	a := OpenLoopPoisson(500, 2000, stats.NewRNG(42))
+	b := OpenLoopPoisson(500, 2000, stats.NewRNG(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := OpenLoopPoisson(500, 2000, stats.NewRNG(43))
+	if reflect.DeepEqual(a.Offsets, c.Offsets) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestOpenLoopPoissonShape(t *testing.T) {
+	const rate, n = 2000.0, 10000
+	s := OpenLoopPoisson(rate, n, stats.NewRNG(1))
+	if len(s.Offsets) != n {
+		t.Fatalf("len = %d", len(s.Offsets))
+	}
+	for i := 1; i < n; i++ {
+		if s.Offsets[i] < s.Offsets[i-1] {
+			t.Fatalf("offsets regress at %d: %v < %v", i, s.Offsets[i], s.Offsets[i-1])
+		}
+	}
+	// Mean inter-arrival should track 1/rate within a few percent at this
+	// sample size (the exponential's CV is 1, so the mean of 10k draws has
+	// stddev ~1% of the mean).
+	mean := s.Offsets[n-1].Seconds() / float64(n)
+	if mean < 0.9/rate || mean > 1.1/rate {
+		t.Fatalf("mean inter-arrival %.6fs, want ~%.6fs", mean, 1/rate)
+	}
+}
+
+func TestClosedLoop(t *testing.T) {
+	s := ClosedLoop(16)
+	if s.Mode != ArrivalClosed || s.Concurrency != 16 || s.Offsets != nil {
+		t.Fatalf("schedule = %+v", s)
+	}
+	if got := s.String(); got != "closed-loop c=16" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestArrivalPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"closed-zero": func() { ClosedLoop(0) },
+		"rate-zero":   func() { OpenLoopPoisson(0, 1, stats.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

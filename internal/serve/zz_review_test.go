@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"repro/crowdfair"
+)
+
+func TestReviewStopDoesNotReapply(t *testing.T) {
+	u := crowdfair.NewUniverse("s0", "s1")
+	p := crowdfair.NewPlatform(u)
+	s := New(Config{Platform: p, AuditEvery: -1})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	post := func(path, body string) int {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := post("/v1/requesters", `{"ID":"r1"}`); c != 200 { t.Fatalf("req %d", c) }
+	if c := post("/v1/workers", `{"ID":"w1","Skills":[true,false]}`); c != 200 { t.Fatalf("worker %d", c) }
+	if c := post("/v1/tasks", `{"ID":"t1","Requester":"r1"}`); c != 200 { t.Fatalf("task %d", c) }
+	if code := post("/v1/offers", `{"Task":"t1","Worker":"w1"}`); code != 200 {
+		t.Fatalf("offer status %d", code)
+	}
+	before := p.Log().Len()
+	ts.Close()
+	s.Stop()
+	after := p.Log().Len()
+	if after != before {
+		t.Fatalf("Stop re-applied: events %d -> %d", before, after)
+	}
+}
